@@ -1,0 +1,1 @@
+bin/bi_os.ml: Arg Bi_kernel Bi_ulib Cmd Cmdliner Format Int64 List Printf String Term

@@ -1,0 +1,1 @@
+bin/bi_os.mli:

@@ -1,0 +1,1 @@
+bin/verify.ml: Arg Bi_core Bi_fs Bi_kernel Bi_net Bi_nr Bi_pt Cmd Cmdliner Format List Term Unix

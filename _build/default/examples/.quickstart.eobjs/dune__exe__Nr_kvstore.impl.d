@@ -1,0 +1,1 @@
+examples/nr_kvstore.ml: Bi_nr Domain Format Hashtbl List Printf

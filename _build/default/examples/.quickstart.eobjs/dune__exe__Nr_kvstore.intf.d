@@ -1,0 +1,1 @@
+examples/nr_kvstore.mli:

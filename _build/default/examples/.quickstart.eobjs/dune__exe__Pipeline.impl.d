@@ -1,0 +1,1 @@
+examples/pipeline.ml: Bi_kernel List String

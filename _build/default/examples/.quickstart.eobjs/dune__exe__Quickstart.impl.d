@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bi_core Bi_hw Bi_pt Format Int64 List

@@ -1,0 +1,1 @@
+examples/storage_node.ml: Bi_app Bi_fs Bi_hw Bi_kernel Bi_net Char Format List Printf String

@@ -1,0 +1,1 @@
+examples/verified_mutex.ml: Bi_kernel Bi_ulib List Printf Queue String

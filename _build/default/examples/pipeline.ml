@@ -1,0 +1,88 @@
+(* A shell-style pipeline on the simulated OS: three threads connected by
+   kernel pipes — producer | transform | consumer — with the consumer
+   persisting results through the filesystem.  Exercises the pipe, rename
+   and mprotect extensions end to end.
+
+   Run with:  dune exec examples/pipeline.exe *)
+
+module K = Bi_kernel.Kernel
+module U = Bi_kernel.Usys
+
+let program s _arg =
+  U.log s "pipeline: producer | upcase | sink > /result.txt";
+  match (U.pipe s, U.pipe s) with
+  | Ok (r1, w1), Ok (r2, w2) ->
+      (* Stage 1: produce lines. *)
+      let producer =
+        U.thread_create s (fun s2 ->
+            List.iter
+              (fun line ->
+                ignore (U.write s2 ~fd:w1 (line ^ "\n"));
+                U.yield s2)
+              [ "hello pipes"; "from the"; "verified os" ];
+            ignore (U.close s2 w1))
+      in
+      (* Stage 2: uppercase every chunk. *)
+      let transform =
+        U.thread_create s (fun s2 ->
+            let rec loop () =
+              match U.read s2 ~fd:r1 ~len:64 with
+              | Ok "" -> ignore (U.close s2 w2)
+              | Ok chunk ->
+                  ignore (U.write s2 ~fd:w2 (String.uppercase_ascii chunk));
+                  loop ()
+              | Error _ -> ignore (U.close s2 w2)
+            in
+            loop ())
+      in
+      (* Stage 3: sink to a temp file, then atomically rename into place —
+         the classic write-then-rename durability idiom. *)
+      let sink =
+        U.thread_create s (fun s2 ->
+            match U.openf s2 ~create:true "/result.tmp" with
+            | Error _ -> U.log s2 "sink: open failed"
+            | Ok fd ->
+                let rec drain () =
+                  match U.read s2 ~fd:r2 ~len:64 with
+                  | Ok "" ->
+                      ignore (U.fsync s2 ~fd);
+                      ignore (U.close s2 fd);
+                      (match U.rename s2 ~src:"/result.tmp" ~dst:"/result.txt" with
+                      | Ok () -> U.log s2 "sink: committed /result.txt"
+                      | Error _ -> U.log s2 "sink: rename failed")
+                  | Ok chunk ->
+                      ignore (U.write s2 ~fd chunk);
+                      drain ()
+                  | Error _ -> ()
+                in
+                drain ())
+      in
+      List.iter (fun t -> ignore (U.thread_join s t)) [ producer; transform; sink ];
+      (* Read the committed result back. *)
+      (match U.openf s "/result.txt" with
+      | Ok fd -> (
+          match U.read s ~fd ~len:256 with
+          | Ok contents ->
+              U.log s "pipeline output:";
+              String.split_on_char '\n' contents
+              |> List.iter (fun l -> if l <> "" then U.log s ("  | " ^ l))
+          | Error _ -> U.log s "read back failed")
+      | Error _ -> U.log s "/result.txt missing");
+      (* Bonus: freeze a data region read-only via mprotect. *)
+      (match U.mmap s ~bytes:4096 with
+      | Ok va ->
+          ignore (U.store s ~va 42L);
+          ignore (U.mprotect s ~va ~writable:false ~executable:false);
+          (match U.store s ~va 43L with
+          | Error _ -> U.log s "mprotect: frozen region rejects writes"
+          | Ok () -> U.log s "mprotect failed to protect?!")
+      | Error _ -> ())
+  | _ -> U.log s "pipe creation failed"
+
+let () =
+  let k = K.create () in
+  K.register_program k "pipeline" program;
+  (match K.spawn k ~prog:"pipeline" ~arg:"" with
+  | Ok _ -> K.run k
+  | Error _ -> failwith "spawn failed");
+  print_string (K.serial_output k)

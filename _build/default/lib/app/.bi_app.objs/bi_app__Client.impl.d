@@ -1,0 +1,1 @@
+lib/app/client.ml: Bi_kernel Bytes Format Protocol Storage_node

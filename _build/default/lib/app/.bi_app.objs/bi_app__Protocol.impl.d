@@ -1,0 +1,1 @@
+lib/app/protocol.ml: Array Bi_ulib Buffer Bytes Char Int32 Lazy String

@@ -1,0 +1,1 @@
+lib/app/protocol.mli:

@@ -1,0 +1,1 @@
+lib/app/storage_node.ml: Bi_kernel Bytes Filename Format Int32 List Printf Protocol String

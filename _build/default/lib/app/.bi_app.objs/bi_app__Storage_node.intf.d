@@ -1,0 +1,1 @@
+lib/app/storage_node.mli: Bi_kernel

@@ -1,0 +1,1 @@
+lib/app/store_spec.ml: Format List Protocol String

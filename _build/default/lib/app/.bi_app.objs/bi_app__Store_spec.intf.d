@@ -1,0 +1,1 @@
+lib/app/store_spec.mli: Format

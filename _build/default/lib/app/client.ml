@@ -1,0 +1,83 @@
+module U = Bi_kernel.Usys
+module P = Protocol
+
+type t = { sys : U.t; conn : int; mutable buf : bytes }
+
+type error = Connection of string | Remote of string | Corrupt
+
+let pp_error ppf = function
+  | Connection m -> Format.fprintf ppf "connection: %s" m
+  | Remote m -> Format.fprintf ppf "remote: %s" m
+  | Corrupt -> Format.pp_print_string ppf "corrupt value"
+
+let connect sys ~ip =
+  match U.tcp_connect sys ~ip ~port:Storage_node.port with
+  | Ok conn -> Ok { sys; conn; buf = Bytes.empty }
+  | Error e ->
+      Error (Connection (Format.asprintf "%a" Bi_kernel.Sysabi.pp_err e))
+
+let rec read_resp t =
+  match P.decode_resp t.buf ~off:0 with
+  | Some (resp, consumed) ->
+      t.buf <- Bytes.sub t.buf consumed (Bytes.length t.buf - consumed);
+      Ok resp
+  | None -> (
+      match U.tcp_recv t.sys t.conn with
+      | Ok "" -> Error (Connection "peer closed")
+      | Ok chunk ->
+          t.buf <- Bytes.cat t.buf (Bytes.of_string chunk);
+          read_resp t
+      | Error e ->
+          Error (Connection (Format.asprintf "%a" Bi_kernel.Sysabi.pp_err e)))
+
+let rpc t req =
+  match U.tcp_send t.sys ~conn:t.conn (Bytes.to_string (P.encode_req req)) with
+  | Error e -> Error (Connection (Format.asprintf "%a" Bi_kernel.Sysabi.pp_err e))
+  | Ok _ -> read_resp t
+
+let put t ~key ~value =
+  match rpc t (P.Put { key; value; crc = P.crc32 value }) with
+  | Ok P.Done -> Ok ()
+  | Ok (P.Err m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response")
+  | Error e -> Error e
+
+let get t ~key =
+  match rpc t (P.Get key) with
+  | Ok (P.Value { value; crc }) ->
+      if P.crc32 value = crc then Ok (Some value) else Error Corrupt
+  | Ok P.Missing -> Ok None
+  | Ok (P.Err m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response")
+  | Error e -> Error e
+
+let delete t ~key =
+  match rpc t (P.Delete key) with
+  | Ok P.Done -> Ok true
+  | Ok P.Missing -> Ok false
+  | Ok (P.Err m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response")
+  | Error e -> Error e
+
+let list t =
+  match rpc t P.List with
+  | Ok (P.Listing keys) -> Ok keys
+  | Ok (P.Err m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response")
+  | Error e -> Error e
+
+let ping t =
+  match rpc t P.Ping with
+  | Ok P.Pong -> Ok ()
+  | Ok (P.Err m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response")
+  | Error e -> Error e
+
+let shutdown t =
+  match rpc t P.Shutdown with
+  | Ok P.Done -> Ok ()
+  | Ok (P.Err m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response")
+  | Error e -> Error e
+
+let close t = ignore (U.tcp_close t.sys ~conn:t.conn)

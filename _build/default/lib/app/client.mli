@@ -1,0 +1,29 @@
+(** Block-store client library: typed operations over one TCP connection
+    to a {!Storage_node}.  Computes and verifies value checksums on the
+    client side, so the integrity contract is end-to-end. *)
+
+type t
+
+type error =
+  | Connection of string
+  | Remote of string  (** The node answered [Err]. *)
+  | Corrupt  (** Value failed its checksum on receipt. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val connect : Bi_kernel.Usys.t -> ip:int32 -> (t, error) result
+(** Open a connection to the node at [ip]:{!Storage_node.port}. *)
+
+val put : t -> key:string -> value:string -> (unit, error) result
+val get : t -> key:string -> (string option, error) result
+(** [Ok None] when the key is absent. *)
+
+val delete : t -> key:string -> (bool, error) result
+(** [Ok false] when the key was absent. *)
+
+val list : t -> (string list, error) result
+val ping : t -> (unit, error) result
+val shutdown : t -> (unit, error) result
+(** Ask the node to stop serving (and close this connection). *)
+
+val close : t -> unit

@@ -1,0 +1,122 @@
+module Serde = Bi_ulib.Serde
+
+type req =
+  | Put of { key : string; value : string; crc : int32 }
+  | Get of string
+  | Delete of string
+  | List
+  | Ping
+  | Shutdown
+
+type resp =
+  | Done
+  | Value of { value : string; crc : int32 }
+  | Missing
+  | Listing of string list
+  | Pong
+  | Err of string
+
+let max_value_size = 60_000
+
+(* CRC-32 (IEEE), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let valid_key k =
+  let n = String.length k in
+  n >= 1 && n <= 24
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '-')
+       k
+
+(* ------------------------------------------------------------------ *)
+(* Codecs                                                              *)
+
+let req_codec : req Serde.t =
+  let open Serde in
+  let inj (tag, (a, (b, (c, ns)))) =
+    ignore ns;
+    match tag with
+    | 0 -> Put { key = a; value = b; crc = c }
+    | 1 -> Get a
+    | 2 -> Delete a
+    | 3 -> List
+    | 4 -> Ping
+    | _ -> Shutdown
+  in
+  let prj = function
+    | Put { key; value; crc } -> (0, (key, (value, (crc, []))))
+    | Get k -> (1, (k, ("", (0l, []))))
+    | Delete k -> (2, (k, ("", (0l, []))))
+    | List -> (3, ("", ("", (0l, []))))
+    | Ping -> (4, ("", ("", (0l, []))))
+    | Shutdown -> (5, ("", ("", (0l, []))))
+  in
+  map inj prj
+    (pair varint (pair string (pair string (pair u32 (list string)))))
+
+let resp_codec : resp Serde.t =
+  let open Serde in
+  let inj (tag, (a, (c, ns))) =
+    match tag with
+    | 0 -> Done
+    | 1 -> Value { value = a; crc = c }
+    | 2 -> Missing
+    | 3 -> Listing ns
+    | 4 -> Pong
+    | _ -> Err a
+  in
+  let prj = function
+    | Done -> (0, ("", (0l, [])))
+    | Value { value; crc } -> (1, (value, (crc, [])))
+    | Missing -> (2, ("", (0l, [])))
+    | Listing ns -> (3, ("", (0l, ns)))
+    | Pong -> (4, ("", (0l, [])))
+    | Err m -> (5, (m, (0l, [])))
+  in
+  map inj prj (pair varint (pair string (pair u32 (list string))))
+
+(* Frames: varint body length + body bytes. *)
+let frame body =
+  let b = Buffer.create (Bytes.length body + 4) in
+  Buffer.add_bytes b (Serde.encode Serde.varint (Bytes.length body));
+  Buffer.add_bytes b body;
+  Buffer.to_bytes b
+
+let deframe buf ~off decode_body =
+  match Serde.decode_prefix Serde.varint buf ~off with
+  | None -> None
+  | Some (len, body_off) ->
+      if len < 0 || body_off + len > Bytes.length buf then None
+      else begin
+        let body = Bytes.sub buf body_off len in
+        match decode_body body with
+        | Some v -> Some (v, body_off + len)
+        | None -> None
+      end
+
+let encode_req r = frame (Serde.encode req_codec r)
+let decode_req buf ~off = deframe buf ~off (Serde.decode req_codec)
+let encode_resp r = frame (Serde.encode resp_codec r)
+let decode_resp buf ~off = deframe buf ~off (Serde.decode resp_codec)

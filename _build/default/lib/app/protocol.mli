@@ -1,0 +1,43 @@
+(** Wire protocol of the block store.
+
+    The paper motivates its whole agenda with "the data-storage node in a
+    distributed block store like GFS or S3" and Amazon's lightweight
+    formal methods for the S3 storage node (Section 1).  This protocol is
+    that node's client interface: length-framed {!Bi_ulib.Serde} messages
+    over TCP, with a CRC-32 on every value so integrity violations are
+    detected end-to-end. *)
+
+type req =
+  | Put of { key : string; value : string; crc : int32 }
+  | Get of string
+  | Delete of string
+  | List
+  | Ping
+  | Shutdown  (** Stop the storage node (test/benchmark teardown). *)
+
+type resp =
+  | Done
+  | Value of { value : string; crc : int32 }
+  | Missing
+  | Listing of string list
+  | Pong
+  | Err of string
+
+val crc32 : string -> int32
+(** IEEE 802.3 CRC-32. *)
+
+val valid_key : string -> bool
+(** Keys: 1–24 chars from [a-z0-9_-]. *)
+
+val encode_req : req -> bytes
+(** Length-framed: a varint byte count followed by the Serde body. *)
+
+val decode_req : bytes -> off:int -> (req * int) option
+(** Decode one frame from a stream buffer; [None] if incomplete or
+    malformed. *)
+
+val encode_resp : resp -> bytes
+val decode_resp : bytes -> off:int -> (resp * int) option
+
+val max_value_size : int
+(** Largest storable value (bounded by the filesystem's max file size). *)

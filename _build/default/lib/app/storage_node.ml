@@ -1,0 +1,147 @@
+module U = Bi_kernel.Usys
+module P = Protocol
+
+let port = 9000
+
+let key_path key = "/blocks/" ^ key
+let crc_path key = "/blocks/" ^ key ^ ".crc"
+
+let read_file s path =
+  match U.openf s path with
+  | Error e -> Error e
+  | Ok fd ->
+      let rec drain acc =
+        match U.read s ~fd ~len:8192 with
+        | Ok "" -> Ok (String.concat "" (List.rev acc))
+        | Ok chunk -> drain (chunk :: acc)
+        | Error e -> Error e
+      in
+      let result = drain [] in
+      ignore (U.close s fd);
+      result
+
+let write_file s path data =
+  match U.openf s ~create:true path with
+  | Error e -> Error e
+  | Ok fd -> (
+      (* Truncate-by-recreate is not available; overwrite then the reader
+         uses the crc sidecar length to validate. We emulate truncation by
+         deleting and recreating. *)
+      ignore (U.close s fd);
+      match U.unlink s path with
+      | Error e -> Error e
+      | Ok () -> (
+          match U.openf s ~create:true path with
+          | Error e -> Error e
+          | Ok fd ->
+              let r = U.write s ~fd data in
+              ignore (U.close s fd);
+              (match r with Ok _ -> Ok () | Error e -> Error e)))
+
+let handle_put s ~key ~value ~crc =
+  if not (P.valid_key key) then P.Err "invalid key"
+  else if String.length value > P.max_value_size then P.Err "value too large"
+  else if P.crc32 value <> crc then P.Err "checksum mismatch on write"
+  else begin
+    match write_file s (key_path key) value with
+    | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
+    | Ok () -> (
+        let crc_text = Printf.sprintf "%08lx" crc in
+        match write_file s (crc_path key) crc_text with
+        | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
+        | Ok () -> P.Done)
+  end
+
+let handle_get s key =
+  if not (P.valid_key key) then P.Err "invalid key"
+  else begin
+    match read_file s (key_path key) with
+    | Error Bi_kernel.Sysabi.E_noent -> P.Missing
+    | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
+    | Ok value -> (
+        match read_file s (crc_path key) with
+        | Error _ -> P.Err "missing checksum"
+        | Ok crc_text ->
+            let stored = Int32.of_string ("0x" ^ crc_text) in
+            let actual = P.crc32 value in
+            if stored <> actual then P.Err "integrity violation detected"
+            else P.Value { value; crc = actual })
+  end
+
+let handle_delete s key =
+  if not (P.valid_key key) then P.Err "invalid key"
+  else begin
+    match U.unlink s (key_path key) with
+    | Error Bi_kernel.Sysabi.E_noent -> P.Missing
+    | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
+    | Ok () ->
+        ignore (U.unlink s (crc_path key));
+        P.Done
+  end
+
+let handle_list s =
+  match U.readdir s "/blocks" with
+  | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
+  | Ok names ->
+      let keys =
+        List.filter
+          (fun n -> not (String.length n > 4 && Filename.check_suffix n ".crc"))
+          names
+      in
+      P.Listing (List.sort compare keys)
+
+(* Serve one connection; returns [`Shutdown] if asked to stop. *)
+let serve_conn s conn =
+  let buf = ref Bytes.empty in
+  let stop = ref `Continue in
+  let connection_open = ref true in
+  while !connection_open do
+    match P.decode_req !buf ~off:0 with
+    | Some (req, consumed) -> (
+        buf := Bytes.sub !buf consumed (Bytes.length !buf - consumed);
+        let resp =
+          match req with
+          | P.Put { key; value; crc } -> handle_put s ~key ~value ~crc
+          | P.Get key -> handle_get s key
+          | P.Delete key -> handle_delete s key
+          | P.List -> handle_list s
+          | P.Ping -> P.Pong
+          | P.Shutdown ->
+              stop := `Shutdown;
+              P.Done
+        in
+        ignore (U.tcp_send s ~conn (Bytes.to_string (P.encode_resp resp)));
+        if !stop = `Shutdown then connection_open := false)
+    | None -> (
+        match U.tcp_recv s conn with
+        | Ok "" -> connection_open := false (* peer closed *)
+        | Ok chunk -> buf := Bytes.cat !buf (Bytes.of_string chunk)
+        | Error _ -> connection_open := false)
+  done;
+  ignore (U.tcp_close s ~conn);
+  !stop
+
+let program s _arg =
+  (match U.mkdir s "/blocks" with
+  | Ok () | Error Bi_kernel.Sysabi.E_exists -> ()
+  | Error e ->
+      U.log s (Format.asprintf "storage_node: mkdir failed: %a"
+                 Bi_kernel.Sysabi.pp_err e));
+  (match U.tcp_listen s port with
+  | Ok () -> ()
+  | Error _ -> U.log s "storage_node: listen failed");
+  U.log s "storage_node: serving";
+  let running = ref true in
+  while !running do
+    match U.tcp_accept s port with
+    | Ok conn -> (
+        match serve_conn s conn with
+        | `Shutdown ->
+            U.log s "storage_node: shutdown requested";
+            running := false
+        | `Continue -> ())
+    | Error _ -> running := false
+  done
+
+let install kernel =
+  Bi_kernel.Kernel.register_program kernel "storage_node" program

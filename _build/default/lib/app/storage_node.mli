@@ -1,0 +1,21 @@
+(** The storage node: the paper's motivating application, running as a
+    user process on the verified OS stack.
+
+    Values live as files under [/blocks/<key>] with the CRC stored in a
+    sidecar [/blocks/<key>.crc]; every GET re-verifies the checksum before
+    answering, so filesystem corruption is detected rather than served —
+    the property Amazon's S3 work checks with lightweight formal methods
+    (paper Section 1).  Everything the node does goes through the
+    {!Bi_kernel.Usys} syscall interface: TCP for transport, the
+    filesystem for persistence. *)
+
+val port : int
+(** 9000. *)
+
+val program : Bi_kernel.Usys.t -> string -> unit
+(** The node's main; register as a kernel program and [Spawn] it.  Serves
+    connections sequentially until a [Shutdown] request arrives. *)
+
+val install : Bi_kernel.Kernel.t -> unit
+(** [register_program kernel "storage_node" program] plus the [/blocks]
+    directory setup at first run. *)

@@ -1,0 +1,30 @@
+(** Abstract specification of the block store: a finite map from keys to
+    values.  Client operations refine these transitions; the end-to-end
+    test drives a real client against a real node across the simulated
+    network and replays the observed results here — the application-level
+    instance of the paper's verification story ("an application verified
+    from its high-level specification down to the hardware"). *)
+
+type state
+
+type op =
+  | Put of string * string
+  | Get of string
+  | Delete of string
+  | List
+
+type ret =
+  | Done
+  | Value of string option
+  | Deleted of bool
+  | Keys of string list
+  | Rejected  (** Invalid key or oversized value. *)
+
+val empty : state
+
+val step : state -> op -> state * ret
+(** Total and deterministic. *)
+
+val equal_ret : ret -> ret -> bool
+val pp_op : Format.formatter -> op -> unit
+val pp_ret : Format.formatter -> ret -> unit

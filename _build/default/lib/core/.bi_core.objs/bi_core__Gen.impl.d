@@ -1,0 +1,1 @@
+lib/core/gen.ml: Array Char Int64 List String

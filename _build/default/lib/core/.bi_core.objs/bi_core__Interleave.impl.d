@@ -1,0 +1,1 @@
+lib/core/interleave.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/core/linearizability.ml: Format List

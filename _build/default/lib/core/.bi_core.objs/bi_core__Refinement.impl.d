@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Format Gen Printexc Printf State_machine Vc

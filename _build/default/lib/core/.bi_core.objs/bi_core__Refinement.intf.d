@@ -1,0 +1,1 @@
+lib/core/refinement.mli: Format Gen State_machine Vc

@@ -1,0 +1,1 @@
+lib/core/state_machine.ml: Format List

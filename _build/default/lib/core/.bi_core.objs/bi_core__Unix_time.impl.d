@@ -1,0 +1,1 @@
+lib/core/unix_time.ml: Unix

@@ -1,0 +1,1 @@
+lib/core/vc.ml: Format Gen List Printexc

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Format Hashtbl List Stats Unix_time Vc

@@ -1,0 +1,44 @@
+type mode = Checked | Erased
+
+exception Violation of { name : string; clause : string; detail : string }
+
+let current = ref Checked
+
+let set_mode m = current := m
+let mode () = !current
+
+let with_mode m f =
+  let saved = !current in
+  current := m;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let fail name clause detail = raise (Violation { name; clause; detail })
+
+let apply ~name ~requires ~ensures body =
+  match !current with
+  | Erased -> body ()
+  | Checked ->
+      if not (requires ()) then fail name "requires" "precondition false";
+      let result = body () in
+      if not (ensures result) then fail name "ensures" "postcondition false";
+      result
+
+let requires ~name b =
+  match !current with
+  | Erased -> ()
+  | Checked -> if not b then fail name "requires" "precondition false"
+
+let ensures ~name b =
+  match !current with
+  | Erased -> ()
+  | Checked -> if not b then fail name "ensures" "postcondition false"
+
+let check_invariant ~name f =
+  match !current with
+  | Erased -> ()
+  | Checked -> if not (f ()) then fail name "invariant" "invariant false"
+
+let ghost f =
+  match !current with
+  | Erased -> ()
+  | Checked -> f ()

@@ -1,0 +1,48 @@
+(** Executable requires/ensures contracts with erasable ghost state.
+
+    This is the reproduction's analogue of Verus function specifications:
+    a function is wrapped in a contract whose precondition and postcondition
+    are checked when the global mode is [Checked] and skipped entirely when
+    it is [Erased].  [Erased] models what Verus produces after verification
+    (all proof code compiled away); [Checked] is the ablation benchmarked in
+    [bench/main.exe] to show what runtime checking would cost instead. *)
+
+type mode = Checked | Erased
+
+exception Violation of { name : string; clause : string; detail : string }
+(** Raised when a checked clause fails.  [clause] is ["requires"] or
+    ["ensures"] (or ["invariant"] for {!check_invariant}). *)
+
+val set_mode : mode -> unit
+(** Set the global contract mode.  Default is [Checked]. *)
+
+val mode : unit -> mode
+(** Current global mode. *)
+
+val with_mode : mode -> (unit -> 'a) -> 'a
+(** Run a thunk under a specific mode, restoring the previous mode after,
+    including on exceptions. *)
+
+val apply :
+  name:string ->
+  requires:(unit -> bool) ->
+  ensures:('a -> bool) ->
+  (unit -> 'a) ->
+  'a
+(** [apply ~name ~requires ~ensures body] checks [requires] before and
+    [ensures] on the result after running [body] — unless the mode is
+    [Erased], in which case only [body] runs. *)
+
+val requires : name:string -> bool -> unit
+(** Standalone precondition check (no-op when erased). *)
+
+val ensures : name:string -> bool -> unit
+(** Standalone postcondition check (no-op when erased). *)
+
+val check_invariant : name:string -> (unit -> bool) -> unit
+(** Check a data-structure invariant (no-op when erased). *)
+
+val ghost : (unit -> unit) -> unit
+(** Run ghost-state maintenance code only in [Checked] mode.  Models
+    Verus ghost code, which exists during verification and is erased in
+    the executable. *)

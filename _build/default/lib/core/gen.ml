@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_string id =
+  (* FNV-1a over the identifier; stable across runs and OCaml versions. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    id;
+  create !h
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let bits g n =
+  if n <= 0 then 0L
+  else if n >= 64 then next64 g
+  else Int64.logand (next64 g) (Int64.sub (Int64.shift_left 1L n) 1L)
+
+let int g bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next64 g) 2) in
+  v mod bound
+
+let int_in g lo hi =
+  assert (hi >= lo);
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let oneof g xs =
+  match xs with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ -> List.nth xs (int g (List.length xs))
+
+let shuffle g xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample g n f = List.init n (fun _ -> f g)

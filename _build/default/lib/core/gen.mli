@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random generation for verification conditions.
+
+    Every verification condition in this project must be reproducible, so
+    randomized checking never uses the global [Random] state.  Instead each
+    VC owns a [Gen.t] seeded from the VC identifier, built on the splitmix64
+    generator.  The combinators below produce the value universes that the
+    page-table and kernel VCs sample from (48-bit canonical virtual
+    addresses, page-aligned frames, permission bits, ...). *)
+
+type t
+(** Mutable deterministic generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val of_string : string -> t
+(** [of_string id] derives a seed by hashing [id]; used to give each VC an
+    independent, reproducible stream. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val bits : t -> int -> int64
+(** [bits g n] returns an int64 with the low [n] bits random, [0 <= n <= 63]. *)
+
+val int : t -> int -> int
+(** [int g bound] returns a uniform value in [0, bound).  [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] returns a uniform value in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val oneof : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)
+
+val sample : t -> int -> (t -> 'a) -> 'a list
+(** [sample g n f] draws [n] values using [f]. *)

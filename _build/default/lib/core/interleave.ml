@@ -1,0 +1,103 @@
+let count_merges seqs =
+  let lens = List.map List.length seqs in
+  let choose n k =
+    let k = min k (n - k) in
+    let num = ref 1 and den = ref 1 in
+    for i = 1 to k do
+      num := !num * (n - k + i);
+      den := !den * i
+    done;
+    !num / !den
+  in
+  let result = ref 1 in
+  let consumed = ref 0 in
+  List.iter
+    (fun l ->
+      consumed := !consumed + l;
+      result := !result * choose !consumed l)
+    lens;
+  !result
+
+let merges ?(limit = 100_000) seqs =
+  let produced = ref 0 in
+  let out = ref [] in
+  let rec go acc remaining =
+    if List.for_all (( = ) []) remaining then begin
+      incr produced;
+      if !produced > limit then
+        invalid_arg "Interleave.merges: interleaving limit exceeded";
+      out := List.rev acc :: !out
+    end
+    else begin
+      let pick i =
+        match List.nth remaining i with
+        | [] -> ()
+        | x :: rest ->
+            let remaining' =
+              List.mapi (fun j s -> if j = i then rest else s) remaining
+            in
+            go (x :: acc) remaining'
+      in
+      for i = 0 to List.length remaining - 1 do
+        pick i
+      done
+    end
+  in
+  go [] seqs;
+  List.rev !out
+
+(* Enumerate schedules as thread-index choices, running the functional steps
+   as we branch, so merged step lists are never materialised. *)
+let explore ?(limit = 100_000) ~init ~threads ~on_state () =
+  let produced = ref 0 in
+  let rec go schedule state remaining =
+    match on_state (List.rev schedule) state with
+    | Error _ as e -> e
+    | Ok () ->
+        if List.for_all (( = ) []) remaining then begin
+          incr produced;
+          if !produced > limit then
+            invalid_arg "Interleave: interleaving limit exceeded";
+          Ok ()
+        end
+        else begin
+          let rec try_all i =
+            if i >= List.length remaining then Ok ()
+            else begin
+              match List.nth remaining i with
+              | [] -> try_all (i + 1)
+              | step :: tail -> (
+                  let remaining' =
+                    List.mapi (fun j s -> if j = i then tail else s) remaining
+                  in
+                  match go (i :: schedule) (step state) remaining' with
+                  | Error _ as e -> e
+                  | Ok () -> try_all (i + 1))
+            end
+          in
+          try_all 0
+        end
+  in
+  go [] init threads
+
+let exhaustive ?limit ~init ~threads ~check () =
+  let on_state schedule state =
+    if check state then Ok ()
+    else
+      Error
+        (Printf.sprintf "invariant violated under schedule [%s]"
+           (String.concat ";" (List.map string_of_int schedule)))
+  in
+  explore ?limit ~init ~threads ~on_state ()
+
+let final_states ?limit ~init ~threads () =
+  let finals = ref [] in
+  let total_steps = List.fold_left (fun n t -> n + List.length t) 0 threads in
+  let on_state schedule state =
+    if List.length schedule = total_steps then finals := state :: !finals;
+    Ok ()
+  in
+  (match explore ?limit ~init ~threads ~on_state () with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  List.rev !finals

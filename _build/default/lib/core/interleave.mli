@@ -1,0 +1,32 @@
+(** Bounded exploration of thread interleavings.
+
+    Used for the paper's data-race-freedom obligation (Section 3) and for
+    small concurrent-algorithm checks: each thread is a fixed sequence of
+    atomic steps over a shared state; the explorer enumerates every merge of
+    the threads' step sequences (preserving per-thread order) and checks a
+    predicate on every intermediate and final state. *)
+
+val merges : ?limit:int -> 'a list list -> 'a list list
+(** All interleavings (order-preserving merges) of the given sequences.
+    [limit] caps the number of interleavings produced (default
+    [100_000]); hitting the cap raises [Invalid_argument] so that a test
+    never silently under-explores. *)
+
+val count_merges : 'a list list -> int
+(** Number of distinct merges (multinomial coefficient). *)
+
+val exhaustive :
+  ?limit:int ->
+  init:'s ->
+  threads:('s -> 's) list list ->
+  check:('s -> bool) ->
+  unit ->
+  (unit, string) result
+(** [exhaustive ~init ~threads ~check ()] runs every interleaving of the
+    thread step-lists from [init] (functional steps), checking [check] on
+    each intermediate state.  Returns [Error] naming the first failing
+    schedule (as a thread-index sequence). *)
+
+val final_states :
+  ?limit:int -> init:'s -> threads:('s -> 's) list list -> unit -> 's list
+(** The final state of every interleaving, in enumeration order. *)

@@ -1,0 +1,47 @@
+module Make (S : sig
+  type state
+  type op
+  type ret
+
+  val step : state -> op -> state * ret
+  val equal_ret : ret -> ret -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_ret : Format.formatter -> ret -> unit
+end) =
+struct
+  type call = { proc : int; op : S.op; ret : S.ret; inv : int; res : int }
+
+  (* A call is minimal among [pending] if no pending call finished before it
+     started; only minimal calls may linearize next. *)
+  let minimal pending c = not (List.exists (fun o -> o.res < c.inv) pending)
+
+  let rec search state pending =
+    match pending with
+    | [] -> true
+    | _ ->
+        let try_call c =
+          if not (minimal pending c) then false
+          else begin
+            let state', ret = S.step state c.op in
+            S.equal_ret ret c.ret
+            && search state' (List.filter (fun o -> o != c) pending)
+          end
+        in
+        List.exists try_call pending
+
+  let check ~init history = search init history
+
+  let counterexample ~init history =
+    if check ~init history then None
+    else begin
+      let pp_call ppf c =
+        Format.fprintf ppf "p%d: %a -> %a [%d,%d]" c.proc S.pp_op c.op
+          S.pp_ret c.ret c.inv c.res
+      in
+      Some
+        (Format.asprintf
+           "history is not linearizable:@.%a"
+           (Format.pp_print_list pp_call)
+           (List.sort (fun a b -> compare a.inv b.inv) history))
+    end
+end

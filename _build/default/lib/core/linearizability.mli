@@ -1,0 +1,40 @@
+(** Linearizability checking for concurrent histories.
+
+    Node replication's correctness claim (paper Section 4.3, verified in
+    IronSync) is that a sequential data structure replicated with NR remains
+    linearizable.  This module checks that claim on concrete histories: a
+    history is a set of timed call records (invocation and response
+    timestamps plus the observed return value), and the checker searches for
+    a legal sequential witness consistent with the real-time order, in the
+    style of Wing & Gold. *)
+
+module Make (S : sig
+  type state
+  type op
+  type ret
+
+  val step : state -> op -> state * ret
+  (** Sequential semantics; must be total on the ops appearing in
+      histories. *)
+
+  val equal_ret : ret -> ret -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_ret : Format.formatter -> ret -> unit
+end) : sig
+  type call = {
+    proc : int;  (** Thread/core issuing the call. *)
+    op : S.op;
+    ret : S.ret;  (** Value the implementation actually returned. *)
+    inv : int;  (** Invocation timestamp (any monotone clock). *)
+    res : int;  (** Response timestamp; must satisfy [inv < res]. *)
+  }
+
+  val check : init:S.state -> call list -> bool
+  (** [check ~init history] is [true] iff there is a total order of the
+      calls that (a) respects real time ([a] before [b] whenever
+      [a.res < b.inv]) and (b) replays against [S.step] from [init]
+      reproducing every recorded return value. *)
+
+  val counterexample : init:S.state -> call list -> string option
+  (** [None] when linearizable; otherwise a human-readable explanation. *)
+end

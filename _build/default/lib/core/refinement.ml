@@ -1,0 +1,94 @@
+module type IMPL = sig
+  type t
+  type op
+  type ret
+
+  val step : t -> op -> ret
+end
+
+module Make
+    (Spec : State_machine.SPEC)
+    (Impl : IMPL with type op = Spec.op and type ret = Spec.ret) =
+struct
+  type failure = { step_index : int; op : Spec.op; reason : string }
+
+  let pp_failure ppf f =
+    Format.fprintf ppf "step %d, op %a: %s" f.step_index Spec.pp_op f.op
+      f.reason
+
+  let check_step ~view ~impl abstract i op =
+    match Spec.step abstract op with
+    | None -> Ok abstract (* precondition false: op skipped *)
+    | Some (abstract', expected_ret) -> (
+        match Impl.step impl op with
+        | exception e ->
+            Error
+              {
+                step_index = i;
+                op;
+                reason = "implementation raised " ^ Printexc.to_string e;
+              }
+        | got_ret ->
+            if not (Spec.equal_ret got_ret expected_ret) then
+              Error
+                {
+                  step_index = i;
+                  op;
+                  reason =
+                    Format.asprintf "return mismatch: impl %a, spec %a"
+                      Spec.pp_ret got_ret Spec.pp_ret expected_ret;
+                }
+            else
+              let viewed = view impl in
+              if not (Spec.equal_state viewed abstract') then
+                Error
+                  {
+                    step_index = i;
+                    op;
+                    reason =
+                      Format.asprintf
+                        "abstraction mismatch: view %a, spec post-state %a"
+                        Spec.pp_state viewed Spec.pp_state abstract';
+                  }
+              else Ok abstract')
+
+  let check_trace ~view ~impl ~init ops =
+    let rec loop abstract i = function
+      | [] -> Ok ()
+      | op :: rest -> (
+          match check_step ~view ~impl abstract i op with
+          | Error f -> Error f
+          | Ok abstract' -> loop abstract' (i + 1) rest)
+    in
+    loop init 0 ops
+
+  let check_random ~view ~make_impl ~init ~gen_op ~seed ~traces ~steps =
+    let rec run_traces t =
+      if t >= traces then Ok ()
+      else begin
+        let g = Gen.of_string (Printf.sprintf "%s/%d" seed t) in
+        let impl = make_impl () in
+        let rec run_steps abstract i =
+          if i >= steps then Ok ()
+          else begin
+            let op = gen_op g abstract in
+            match check_step ~view ~impl abstract i op with
+            | Error f -> Error f
+            | Ok abstract' -> run_steps abstract' (i + 1)
+          end
+        in
+        match run_steps init 0 with
+        | Error f -> Error f
+        | Ok () -> run_traces (t + 1)
+      end
+    in
+    run_traces 0
+
+  let vc ~id ~category ~view ~make_impl ~init ops =
+    let check () =
+      match check_trace ~view ~impl:(make_impl ()) ~init ops with
+      | Ok () -> Vc.Proved
+      | Error f -> Vc.Falsified (Format.asprintf "%a" pp_failure f)
+    in
+    Vc.make ~id ~category check
+end

@@ -1,0 +1,75 @@
+(** Forward-simulation refinement checking.
+
+    The paper's core theorem (Section 4.4) is that the hardware execution of
+    the implementation refines the high-level spec: every implementation
+    behaviour has a corresponding abstract execution with the same observable
+    return values.  For a deterministic spec this is a forward simulation
+    through an abstraction function [view] — exactly the structure of the
+    page-table proof in Section 5 (the "prefix tree map" arrow in Figure 2).
+
+    The functor checks, per executed operation, two obligations:
+    - {b return-value correspondence}: the implementation's return value
+      equals the spec's;
+    - {b abstraction commutation}: [view] of the post-implementation state
+      equals the spec's post-state.
+
+    Both checks run over caller-supplied traces (bounded exhaustive) and
+    seeded random traces. *)
+
+module type IMPL = sig
+  type t
+  (** Concrete, typically imperative, implementation state. *)
+
+  type op
+  type ret
+
+  val step : t -> op -> ret
+  (** Execute an operation.  Only called on ops enabled in the spec. *)
+end
+
+module Make
+    (Spec : State_machine.SPEC)
+    (Impl : IMPL with type op = Spec.op and type ret = Spec.ret) : sig
+  type failure = {
+    step_index : int;
+    op : Spec.op;
+    reason : string;
+  }
+
+  val pp_failure : Format.formatter -> failure -> unit
+
+  val check_trace :
+    view:(Impl.t -> Spec.state) ->
+    impl:Impl.t ->
+    init:Spec.state ->
+    Spec.op list ->
+    (unit, failure) result
+  (** Run a trace against a fresh implementation, checking both obligations
+      after every step.  Ops disabled in the spec are skipped (the spec's
+      precondition is the caller's obligation, as in the paper's
+      [requires] clauses). *)
+
+  val check_random :
+    view:(Impl.t -> Spec.state) ->
+    make_impl:(unit -> Impl.t) ->
+    init:Spec.state ->
+    gen_op:(Gen.t -> Spec.state -> Spec.op) ->
+    seed:string ->
+    traces:int ->
+    steps:int ->
+    (unit, failure) result
+  (** [traces] random traces of [steps] operations each, op generation
+      seeded deterministically from [seed] and allowed to depend on the
+      current abstract state (so generators can bias towards enabled,
+      interesting operations). *)
+
+  val vc :
+    id:string ->
+    category:string ->
+    view:(Impl.t -> Spec.state) ->
+    make_impl:(unit -> Impl.t) ->
+    init:Spec.state ->
+    Spec.op list ->
+    Vc.t
+  (** Package a trace check as a verification condition. *)
+end

@@ -1,0 +1,49 @@
+module type SPEC = sig
+  type state
+  type op
+  type ret
+
+  val step : state -> op -> (state * ret) option
+  val equal_state : state -> state -> bool
+  val equal_ret : ret -> ret -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val pp_op : Format.formatter -> op -> unit
+  val pp_ret : Format.formatter -> ret -> unit
+end
+
+module Trace (S : SPEC) = struct
+  let run init ops =
+    let rec loop st acc = function
+      | [] -> Some (st, List.rev acc)
+      | op :: rest -> (
+          match S.step st op with
+          | None -> None
+          | Some (st', ret) -> loop st' (ret :: acc) rest)
+    in
+    loop init [] ops
+
+  let enabled st op = S.step st op <> None
+
+  let reachable init ~ops ~depth =
+    let seen = ref [ init ] in
+    let mem st = List.exists (S.equal_state st) !seen in
+    let rec expand frontier d =
+      if d = 0 || frontier = [] then ()
+      else begin
+        let next = ref [] in
+        let step_from st op =
+          match S.step st op with
+          | None -> ()
+          | Some (st', _) ->
+              if not (mem st') then begin
+                seen := st' :: !seen;
+                next := st' :: !next
+              end
+        in
+        List.iter (fun st -> List.iter (step_from st) ops) frontier;
+        expand !next (d - 1)
+      end
+    in
+    expand [ init ] depth;
+    List.rev !seen
+end

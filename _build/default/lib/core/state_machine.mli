@@ -1,0 +1,44 @@
+(** Specification state machines.
+
+    The paper's client application contract (Section 3) specifies each
+    system call as a transition relating a pre-state to a post-state and a
+    return value.  Here a spec is an executable, deterministic state
+    machine: [step] returns [None] when the operation is not enabled (its
+    precondition fails) and [Some (post, ret)] otherwise.  Determinism is a
+    deliberate restriction — it is what makes refinement checkable by
+    execution — and matches the paper's examples (e.g. [read_spec]). *)
+
+module type SPEC = sig
+  type state
+  (** Abstract ("mathematical") state, e.g. a map from virtual addresses to
+      page-table entries. *)
+
+  type op
+  (** Operation labels, e.g. [Map (va, frame)]. *)
+
+  type ret
+  (** Return values observed by the client. *)
+
+  val step : state -> op -> (state * ret) option
+  (** Transition function; [None] when the op's precondition is false. *)
+
+  val equal_state : state -> state -> bool
+  val equal_ret : ret -> ret -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val pp_op : Format.formatter -> op -> unit
+  val pp_ret : Format.formatter -> ret -> unit
+end
+
+(** Derived trace operations over a spec. *)
+module Trace (S : SPEC) : sig
+  val run : S.state -> S.op list -> (S.state * S.ret list) option
+  (** Run a whole trace; [None] if any op is disabled along the way. *)
+
+  val enabled : S.state -> S.op -> bool
+  (** Is the op enabled in this state? *)
+
+  val reachable : S.state -> ops:S.op list -> depth:int -> S.state list
+  (** Bounded breadth-first reachable-state set: all states reachable in at
+      most [depth] steps using operations drawn from [ops].  States are
+      deduplicated with [equal_state]. *)
+end

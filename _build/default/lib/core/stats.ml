@@ -1,0 +1,59 @@
+let sum = List.fold_left ( +. ) 0.
+
+let mean = function
+  | [] -> 0.
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let sq = List.map (fun x -> (x -. m) ** 2.) xs in
+      sqrt (sum sq /. float_of_int (List.length xs))
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      a.(idx)
+
+let cdf xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let points = ref [] in
+    for i = n - 1 downto 0 do
+      (* Keep only the last (highest-fraction) point for each distinct x. *)
+      let keep =
+        match !points with
+        | (x, _) :: _ -> a.(i) < x
+        | [] -> true
+      in
+      if keep then points := (a.(i), float_of_int (i + 1) /. float_of_int n) :: !points
+    done;
+    !points
+  end
+
+let histogram ~bins xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+      let counts = Array.make bins 0 in
+      let assign x =
+        let i = int_of_float ((x -. lo) /. width) in
+        let i = max 0 (min (bins - 1) i) in
+        counts.(i) <- counts.(i) + 1
+      in
+      List.iter assign xs;
+      List.init bins (fun i -> (lo +. (width *. float_of_int (i + 1)), counts.(i)))

@@ -1,0 +1,23 @@
+(** Small statistics toolkit used by the verifier and the benchmark
+    harness: means, percentiles and the CDF points plotted in Figure 1a. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,1], nearest-rank on the sorted data.
+    Raises [Invalid_argument] on the empty list. *)
+
+val cdf : float list -> (float * float) list
+(** [cdf xs] returns [(x, fraction <= x)] points over the sorted data, one
+    per distinct value, suitable for plotting a cumulative distribution. *)
+
+val histogram : bins:int -> float list -> (float * int) list
+(** [histogram ~bins xs] returns [(bin_upper_bound, count)] over equal-width
+    bins spanning the data range. *)
+
+val sum : float list -> float
+(** Sum of the list. *)

@@ -1,0 +1,4 @@
+(** Wall-clock time source for VC timing and benchmark harnesses. *)
+
+val now : unit -> float
+(** Seconds since the epoch, wall clock. *)

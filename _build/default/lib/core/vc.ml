@@ -1,0 +1,37 @@
+type outcome = Proved | Falsified of string
+
+type t = { id : string; category : string; check : unit -> outcome }
+
+let make ~id ~category check = { id; category; check }
+
+let outcome_of_bool b = if b then Proved else Falsified "property returned false"
+
+let prop ~id ~category f = make ~id ~category (fun () -> outcome_of_bool (f ()))
+
+let equal_by ~id ~category ~pp ~eq f =
+  let check () =
+    let got, expect = f () in
+    if eq got expect then Proved
+    else Falsified (Format.asprintf "got %a, expected %a" pp got pp expect)
+  in
+  make ~id ~category check
+
+let forall_range ~lo ~hi p () =
+  let rec loop i = if i > hi then true else p i && loop (i + 1) in
+  loop lo
+
+let forall_list xs p () = List.for_all p xs
+
+let forall_pairs xs ys p () = List.for_all (fun x -> List.for_all (p x) ys) xs
+
+let forall_sampled ~id ~n gen p () =
+  let g = Gen.of_string id in
+  let rec loop i = if i >= n then true else p (gen g) && loop (i + 1) in
+  loop 0
+
+let all checks () = List.for_all (fun c -> c ()) checks
+
+let catch f =
+  match f () with
+  | outcome -> outcome
+  | exception e -> Falsified ("exception: " ^ Printexc.to_string e)

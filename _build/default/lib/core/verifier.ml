@@ -1,0 +1,67 @@
+type result = { vc : Vc.t; time_s : float; outcome : Vc.outcome }
+
+type report = {
+  results : result list;
+  total_time_s : float;
+  max_time_s : float;
+  proved : int;
+  falsified : int;
+}
+
+let run_one (vc : Vc.t) =
+  let t0 = Unix_time.now () in
+  let outcome = Vc.catch vc.Vc.check in
+  let t1 = Unix_time.now () in
+  { vc; time_s = t1 -. t0; outcome }
+
+let discharge vcs =
+  let results = List.map run_one vcs in
+  let times = List.map (fun r -> r.time_s) results in
+  let proved =
+    List.length (List.filter (fun r -> r.outcome = Vc.Proved) results)
+  in
+  {
+    results;
+    total_time_s = Stats.sum times;
+    max_time_s = List.fold_left max 0. times;
+    proved;
+    falsified = List.length results - proved;
+  }
+
+let all_proved rep = rep.falsified = 0
+
+let failures rep = List.filter (fun r -> r.outcome <> Vc.Proved) rep.results
+
+let times rep = List.map (fun r -> r.time_s) rep.results
+
+let cdf rep = Stats.cdf (times rep)
+
+let by_category rep =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let add r =
+    let cat = r.vc.Vc.category in
+    if not (Hashtbl.mem tbl cat) then begin
+      order := cat :: !order;
+      Hashtbl.add tbl cat []
+    end;
+    Hashtbl.replace tbl cat (r :: Hashtbl.find tbl cat)
+  in
+  List.iter add rep.results;
+  List.rev_map (fun cat -> (cat, List.rev (Hashtbl.find tbl cat))) !order
+
+let pp_summary ppf rep =
+  Format.fprintf ppf
+    "%d verification conditions: %d proved, %d falsified; total %.3f s, max %.3f s"
+    (List.length rep.results) rep.proved rep.falsified rep.total_time_s
+    rep.max_time_s
+
+let pp_failures ppf rep =
+  let pp_one r =
+    match r.outcome with
+    | Vc.Proved -> ()
+    | Vc.Falsified msg ->
+        Format.fprintf ppf "FALSIFIED %s [%s]: %s@." r.vc.Vc.id r.vc.Vc.category
+          msg
+  in
+  List.iter pp_one rep.results

@@ -1,0 +1,40 @@
+(** VC discharge engine.
+
+    Runs suites of {!Vc.t}, records per-VC wall-clock time, and produces
+    the aggregate views the paper evaluates: the verification-time CDF
+    (Figure 1a), the total verification time and the single-slowest VC
+    (both quoted in Section 5 of the paper). *)
+
+type result = { vc : Vc.t; time_s : float; outcome : Vc.outcome }
+
+type report = {
+  results : result list;
+  total_time_s : float;
+  max_time_s : float;
+  proved : int;
+  falsified : int;
+}
+
+val discharge : Vc.t list -> report
+(** Run every VC, timing each one individually. *)
+
+val all_proved : report -> bool
+(** [true] iff no VC was falsified. *)
+
+val failures : report -> result list
+(** The falsified results, if any. *)
+
+val times : report -> float list
+(** Per-VC times in seconds, in discharge order. *)
+
+val cdf : report -> (float * float) list
+(** CDF points of per-VC verification times (Figure 1a). *)
+
+val by_category : report -> (string * result list) list
+(** Results grouped by VC category, categories in first-seen order. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** One-paragraph summary: counts, total and max times. *)
+
+val pp_failures : Format.formatter -> report -> unit
+(** Detailed listing of falsified VCs with counterexamples. *)

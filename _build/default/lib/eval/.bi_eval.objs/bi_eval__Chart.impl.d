@@ -1,0 +1,1 @@
+lib/eval/chart.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/eval/coverage.ml: Bi_core Bi_fs Bi_hw Bi_kernel Bi_net Bi_nr Bi_pt Bi_ulib Bytes Domain Int64 List

@@ -1,0 +1,1 @@
+lib/eval/loc_count.ml: Array Filename List String Sys

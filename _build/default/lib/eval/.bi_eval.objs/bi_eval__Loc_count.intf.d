@@ -1,0 +1,1 @@
+lib/eval/loc_count.mli:

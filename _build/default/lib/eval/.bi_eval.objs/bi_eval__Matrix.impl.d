@@ -1,0 +1,1 @@
+lib/eval/matrix.ml: Coverage Format List

@@ -1,0 +1,1 @@
+lib/eval/report.ml: Bi_core Bi_hw Bi_nr Bi_pt Chart Filename Format Int64 List Loc_count Matrix Printf Sys

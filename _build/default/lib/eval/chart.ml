@@ -1,0 +1,72 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#' |]
+
+let bounds points =
+  let xs = List.map fst points and ys = List.map snd points in
+  let min_l = List.fold_left min infinity and max_l = List.fold_left max neg_infinity in
+  (min_l xs, max_l xs, min_l ys, max_l ys)
+
+let plot ppf ~title ~xlabel ~ylabel named_series =
+  let width = 64 and height = 18 in
+  let all_points = List.concat_map snd named_series in
+  match all_points with
+  | [] -> Format.fprintf ppf "%s: (no data)@." title
+  | _ ->
+      let x0, x1, y0, y1 = bounds all_points in
+      let x1 = if x1 > x0 then x1 else x0 +. 1. in
+      let y1 = if y1 > y0 then y1 else y0 +. 1. in
+      let grid = Array.make_matrix height width ' ' in
+      let place glyph (x, y) =
+        let cx =
+          int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+        in
+        let cy =
+          int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+        in
+        let cx = max 0 (min (width - 1) cx) in
+        let cy = max 0 (min (height - 1) cy) in
+        grid.(height - 1 - cy).(cx) <- glyph
+      in
+      List.iteri
+        (fun i (_, points) ->
+          List.iter (place glyphs.(i mod Array.length glyphs)) points)
+        named_series;
+      Format.fprintf ppf "%s@." title;
+      Array.iteri
+        (fun i line ->
+          let y =
+            y1 -. (float_of_int i /. float_of_int (height - 1) *. (y1 -. y0))
+          in
+          Format.fprintf ppf "%10.2f |%s@." y (String.init width (Array.get line)))
+        grid;
+      Format.fprintf ppf "%10s +%s@." "" (String.make width '-');
+      Format.fprintf ppf "%10s  %-20.2f%*.2f@." "" x0 (width - 20) x1;
+      Format.fprintf ppf "%10s  (%s vs %s)@." "" ylabel xlabel;
+      List.iteri
+        (fun i (name, _) ->
+          Format.fprintf ppf "%10s  %c = %s@." "" glyphs.(i mod Array.length glyphs) name)
+        named_series
+
+let cdf ppf ~title ~xlabel points =
+  plot ppf ~title ~xlabel ~ylabel:"cumulative fraction"
+    [ ("cdf", points) ]
+
+let series ppf ~title ~xlabel ~ylabel named = plot ppf ~title ~xlabel ~ylabel named
+
+let table ppf ~header rows =
+  let ncols = List.length header in
+  let width col =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row col)))
+      (String.length (List.nth header col))
+      rows
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun i cell -> Format.fprintf ppf "%-*s  " (List.nth widths i) cell)
+      row;
+    Format.fprintf ppf "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows

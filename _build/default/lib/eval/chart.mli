@@ -1,0 +1,24 @@
+(** ASCII chart rendering for the benchmark harness (the terminal
+    analogue of the paper's Figure 1 plots). *)
+
+val cdf :
+  Format.formatter ->
+  title:string ->
+  xlabel:string ->
+  (float * float) list ->
+  unit
+(** Plot CDF points (x, fraction in [0,1]). *)
+
+val series :
+  Format.formatter ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  (string * (float * float) list) list ->
+  unit
+(** Plot one or more named series on shared axes; each series gets its
+    own glyph. *)
+
+val table :
+  Format.formatter -> header:string list -> string list list -> unit
+(** Fixed-width text table. *)

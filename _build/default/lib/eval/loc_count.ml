@@ -1,0 +1,126 @@
+type counts = {
+  proof_lines : int;
+  impl_lines : int;
+  test_lines : int;
+  files : int;
+}
+
+let zero = { proof_lines = 0; impl_lines = 0; test_lines = 0; files = 0 }
+
+let significant_lines path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && not (String.starts_with ~prefix:"(*" line) then
+             incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Some !n
+
+let is_source f = Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let classify path =
+  let base = Filename.basename path in
+  if contains ~sub:"test" path then `Test
+  else if
+    contains ~sub:"_spec" base
+    || contains ~sub:"_refinement" base
+    || contains ~sub:"_check" base
+    || contains ~sub:"_verified" base
+    || contains ~sub:"lib/core" path
+  then `Proof
+  else `Impl
+
+let rec walk dir f =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then begin
+            if entry <> "_build" && entry <> ".git" then walk path f
+          end
+          else if is_source entry then f path)
+        entries
+
+let count_paths paths =
+  List.fold_left
+    (fun acc path ->
+      match significant_lines path with
+      | None -> acc
+      | Some n -> (
+          let acc = { acc with files = acc.files + 1 } in
+          match classify path with
+          | `Proof -> { acc with proof_lines = acc.proof_lines + n }
+          | `Impl -> { acc with impl_lines = acc.impl_lines + n }
+          | `Test -> { acc with test_lines = acc.test_lines + n }))
+    zero paths
+
+let count_dir ~root =
+  let paths = ref [] in
+  walk root (fun p -> paths := p :: !paths);
+  count_paths !paths
+
+let readable path = Sys.file_exists path
+
+let page_table_ratio ~root =
+  let pt = Filename.concat root "lib/pt" in
+  if not (readable pt) then None
+  else begin
+    let proof_files =
+      [ "pt_spec.ml"; "pt_spec.mli"; "pt_refinement.ml"; "pt_refinement.mli";
+        "pt_verified.ml"; "pt_verified.mli" ]
+    in
+    let impl_files = [ "page_table.ml"; "page_table.mli" ] in
+    let total files =
+      List.fold_left
+        (fun acc f ->
+          match significant_lines (Filename.concat pt f) with
+          | Some n -> acc + n
+          | None -> acc)
+        0 files
+    in
+    let proof = total proof_files and impl = total impl_files in
+    if impl = 0 then None
+    else
+      Some
+        ( float_of_int proof /. float_of_int impl,
+          {
+            proof_lines = proof;
+            impl_lines = impl;
+            test_lines = 0;
+            files = List.length proof_files + List.length impl_files;
+          } )
+  end
+
+let whole_repo ~root =
+  if not (readable (Filename.concat root "lib")) then None
+  else begin
+    let acc = ref zero in
+    List.iter
+      (fun sub ->
+        let dir = Filename.concat root sub in
+        if readable dir then begin
+          let c = count_dir ~root:dir in
+          acc :=
+            {
+              proof_lines = !acc.proof_lines + c.proof_lines;
+              impl_lines = !acc.impl_lines + c.impl_lines;
+              test_lines = !acc.test_lines + c.test_lines;
+              files = !acc.files + c.files;
+            }
+        end)
+      [ "lib"; "bin"; "examples"; "bench"; "test" ];
+    Some !acc
+  end

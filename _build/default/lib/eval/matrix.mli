@@ -1,0 +1,35 @@
+(** Feature matrices for the paper's Tables 1 and 2.
+
+    The paper's cells for seL4, Verve, Hyperkernel, CertiKOS and
+    SeKVM+VRM are transcribed verbatim; the extra "this work" column is
+    {e computed}: every [Yes]/[Partial] cell must be backed by a passing
+    {!Coverage} probe, which the table renderer re-runs — a claimed
+    checkmark that stops being true fails the benchmark run. *)
+
+type mark = Yes | No | Partial
+
+val pp_mark : Format.formatter -> mark -> unit
+(** ✓ / ✗ / (✓). *)
+
+type row = {
+  label : string;
+  cells : mark list;  (** One per system, in column order. *)
+  ours : mark;
+  probe : (unit -> bool) option;
+      (** Must return [true] when [ours <> No]. *)
+}
+
+type table = { title : string; columns : string list; rows : row list }
+
+val table1 : unit -> table
+(** "Comparison of OS verification projects". *)
+
+val table2 : unit -> table
+(** "Verified OS components". *)
+
+val render : Format.formatter -> table -> unit
+(** Render, running each row's probe; probe failures render as [!!] and
+    are also returned by {!validate}. *)
+
+val validate : table -> (string * bool) list
+(** [(row_label, probe_ok)] for every row with a probe. *)

@@ -1,0 +1,1 @@
+lib/fs/block_dev.ml: Bi_hw Bytes

@@ -1,0 +1,1 @@
+lib/fs/block_dev.mli: Bi_hw

@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Block_dev Bytes Char Format Int32 List Path String Wal

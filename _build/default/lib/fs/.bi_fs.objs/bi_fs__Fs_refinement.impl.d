@@ -1,0 +1,1 @@
+lib/fs/fs_refinement.ml: Bi_core Bi_hw Block_dev Bytes Char Format Fs Fs_spec List Printf String

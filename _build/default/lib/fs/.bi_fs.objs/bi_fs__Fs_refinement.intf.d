@@ -1,0 +1,1 @@
+lib/fs/fs_refinement.mli: Bi_core Fs Fs_spec

@@ -1,0 +1,1 @@
+lib/fs/fs_spec.ml: Bytes Format Fs List Option Path String

@@ -1,0 +1,1 @@
+lib/fs/path.ml: List String

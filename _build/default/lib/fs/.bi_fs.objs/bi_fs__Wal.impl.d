@@ -1,0 +1,1 @@
+lib/fs/wal.ml: Block_dev Bytes Int32 List

@@ -1,0 +1,1 @@
+lib/fs/wal.mli: Block_dev

@@ -1,0 +1,19 @@
+module Disk = Bi_hw.Device.Disk
+
+type t = { disk : Disk.t }
+
+let block_size = Disk.sector_size
+
+let of_disk disk = { disk }
+let blocks t = Disk.sectors t.disk
+let read t i = Disk.read_sector t.disk i
+
+let write t i b =
+  if Bytes.length b <> block_size then
+    invalid_arg "Block_dev.write: buffer must be one block";
+  Disk.write_sector t.disk i b
+
+let flush t = Disk.flush t.disk
+let crash t = { disk = Disk.crash t.disk }
+let crash_with t ~keep_unflushed = { disk = Disk.crash_with t.disk ~keep_unflushed }
+let io_count t = Disk.io_count t.disk

@@ -1,0 +1,35 @@
+(** Block device: the filesystem's view of the disk.
+
+    Thin, block-granular layer over {!Bi_hw.Device.Disk} (one block = one
+    512-byte sector).  The crash-simulation entry points pass through to
+    the disk model so the filesystem's recovery VCs can cut the write
+    stream at arbitrary points. *)
+
+type t
+
+val block_size : int
+(** 512 bytes. *)
+
+val of_disk : Bi_hw.Device.Disk.t -> t
+
+val blocks : t -> int
+
+val read : t -> int -> bytes
+(** Read one block (fresh buffer). *)
+
+val write : t -> int -> bytes -> unit
+(** Write one block; the buffer must be exactly {!block_size} bytes.
+    Volatile until {!flush}. *)
+
+val flush : t -> unit
+(** Durability barrier. *)
+
+val crash : t -> t
+(** Crash copy: durable data plus a deterministic subset of un-flushed
+    writes (see {!Bi_hw.Device.Disk.crash}). *)
+
+val crash_with : t -> keep_unflushed:int -> t
+(** Crash copy keeping exactly the first [keep_unflushed] un-flushed
+    writes in issue order. *)
+
+val io_count : t -> int

@@ -1,0 +1,689 @@
+let bs = Block_dev.block_size
+
+(* On-disk layout (in blocks). *)
+let sb_block = 0
+let wal_header = 1
+let ibmap_block = 1 + Wal.log_blocks (* 32 *)
+let dbmap_block = ibmap_block + 1
+let itable_start = dbmap_block + 1
+let itable_blocks = 32
+let data_start = itable_start + itable_blocks (* 66 *)
+let inodes_per_block = bs / 64
+let max_inodes = itable_blocks * inodes_per_block
+let root_ino = 1
+let ndirect = 10
+let indirect_ptrs = bs / 4
+let max_file_blocks = ndirect + indirect_ptrs
+let max_file_size = max_file_blocks * bs
+let dirent_size = 32
+let dirents_per_block = bs / dirent_size
+
+let sb_magic = 0x62694653l (* "biFS" *)
+
+type t = { dev : Block_dev.t; wal : Wal.t; ndata : int }
+
+type error =
+  | Not_found
+  | Exists
+  | Not_dir
+  | Is_dir
+  | Not_empty
+  | No_space
+  | Too_large
+  | Invalid_path
+
+type kind = File | Dir
+
+type stat = { kind : kind; size : int; ino : int }
+
+let pp_error ppf e =
+  Format.pp_print_string ppf
+    (match e with
+    | Not_found -> "not-found"
+    | Exists -> "exists"
+    | Not_dir -> "not-dir"
+    | Is_dir -> "is-dir"
+    | Not_empty -> "not-empty"
+    | No_space -> "no-space"
+    | Too_large -> "too-large"
+    | Invalid_path -> "invalid-path")
+
+(* ------------------------------------------------------------------ *)
+(* Inode codec                                                         *)
+
+type inode = {
+  ikind : kind;
+  isize : int;
+  direct : int array; (* length ndirect; 0 = hole *)
+  indirect : int; (* block number or 0 *)
+}
+
+let empty_inode kind = { ikind = kind; isize = 0; direct = Array.make ndirect 0; indirect = 0 }
+
+let inode_location ino =
+  if ino < 1 || ino >= max_inodes then invalid_arg "Fs: inode out of range";
+  (itable_start + (ino / inodes_per_block), ino mod inodes_per_block * 64)
+
+let decode_inode b off =
+  match Char.code (Bytes.get b off) with
+  | 0 -> None
+  | k ->
+      let ikind = if k = 2 then Dir else File in
+      let isize = Int32.to_int (Bytes.get_int32_le b (off + 4)) in
+      let direct =
+        Array.init ndirect (fun i ->
+            Int32.to_int (Bytes.get_int32_le b (off + 8 + (4 * i))))
+      in
+      let indirect = Int32.to_int (Bytes.get_int32_le b (off + 48)) in
+      Some { ikind; isize; direct; indirect }
+
+let encode_inode b off = function
+  | None -> Bytes.fill b off 64 '\000'
+  | Some ino ->
+      Bytes.fill b off 64 '\000';
+      Bytes.set b off (Char.chr (match ino.ikind with File -> 1 | Dir -> 2));
+      Bytes.set_int32_le b (off + 4) (Int32.of_int ino.isize);
+      Array.iteri
+        (fun i p -> Bytes.set_int32_le b (off + 8 + (4 * i)) (Int32.of_int p))
+        ino.direct;
+      Bytes.set_int32_le b (off + 48) (Int32.of_int ino.indirect)
+
+(* ------------------------------------------------------------------ *)
+(* Transactional helpers                                               *)
+
+let get_inode txn ino =
+  let block, off = inode_location ino in
+  decode_inode (Wal.txn_read txn block) off
+
+let put_inode txn ino v =
+  let block, off = inode_location ino in
+  let b = Wal.txn_read txn block in
+  encode_inode b off v;
+  Wal.txn_write txn block b
+
+let bitmap_alloc txn ~block ~limit =
+  let b = Wal.txn_read txn block in
+  let rec scan i =
+    if i >= limit then None
+    else begin
+      let byte = Char.code (Bytes.get b (i / 8)) in
+      let bit = 1 lsl (i mod 8) in
+      if byte land bit = 0 then begin
+        Bytes.set b (i / 8) (Char.chr (byte lor bit));
+        Wal.txn_write txn block b;
+        Some i
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let bitmap_free txn ~block i =
+  let b = Wal.txn_read txn block in
+  let byte = Char.code (Bytes.get b (i / 8)) in
+  let bit = 1 lsl (i mod 8) in
+  Bytes.set b (i / 8) (Char.chr (byte land lnot bit));
+  Wal.txn_write txn block b
+
+let bitmap_count dev ~block ~limit =
+  let b = Block_dev.read dev block in
+  let used = ref 0 in
+  for i = 0 to limit - 1 do
+    if Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0 then
+      incr used
+  done;
+  !used
+
+let alloc_ino txn =
+  (* Inode 0 is reserved as nil; pre-mark by starting the scan at 1. *)
+  let b = Wal.txn_read txn ibmap_block in
+  let rec scan i =
+    if i >= max_inodes then None
+    else begin
+      let byte = Char.code (Bytes.get b (i / 8)) in
+      let bit = 1 lsl (i mod 8) in
+      if byte land bit = 0 then begin
+        Bytes.set b (i / 8) (Char.chr (byte lor bit));
+        Wal.txn_write txn ibmap_block b;
+        Some i
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 1
+
+let free_ino txn ino = bitmap_free txn ~block:ibmap_block ino
+
+let alloc_data t txn =
+  match bitmap_alloc txn ~block:dbmap_block ~limit:t.ndata with
+  | None -> None
+  | Some i -> Some (data_start + i)
+
+let free_data txn phys = bitmap_free txn ~block:dbmap_block (phys - data_start)
+
+(* Physical block backing file block [i] of [ino]; [alloc] controls whether
+   holes are filled.  Returns [Ok 0] for a hole when not allocating. *)
+let file_block t txn inode_num i ~alloc =
+  match get_inode txn inode_num with
+  | None -> Error Not_found
+  | Some ino ->
+      if i < 0 || i >= max_file_blocks then Error Too_large
+      else if i < ndirect then begin
+        if ino.direct.(i) <> 0 then Ok ino.direct.(i)
+        else if not alloc then Ok 0
+        else begin
+          match alloc_data t txn with
+          | None -> Error No_space
+          | Some phys ->
+              Wal.txn_write txn phys (Bytes.make bs '\000');
+              let direct = Array.copy ino.direct in
+              direct.(i) <- phys;
+              put_inode txn inode_num (Some { ino with direct });
+              Ok phys
+        end
+      end
+      else begin
+        let slot = i - ndirect in
+        let with_indirect ind (ino : inode) =
+          let ib = Wal.txn_read txn ind in
+          let phys = Int32.to_int (Bytes.get_int32_le ib (4 * slot)) in
+          if phys <> 0 then Ok phys
+          else if not alloc then Ok 0
+          else begin
+            match alloc_data t txn with
+            | None -> Error No_space
+            | Some phys ->
+                Wal.txn_write txn phys (Bytes.make bs '\000');
+                Bytes.set_int32_le ib (4 * slot) (Int32.of_int phys);
+                Wal.txn_write txn ind ib;
+                ignore ino;
+                Ok phys
+          end
+        in
+        if ino.indirect <> 0 then with_indirect ino.indirect ino
+        else if not alloc then Ok 0
+        else begin
+          match alloc_data t txn with
+          | None -> Error No_space
+          | Some ind ->
+              Wal.txn_write txn ind (Bytes.make bs '\000');
+              put_inode txn inode_num (Some { ino with indirect = ind });
+              with_indirect ind { ino with indirect = ind }
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Directory entries                                                   *)
+
+let dirent_name b off =
+  let raw = Bytes.sub_string b (off + 4) (dirent_size - 4) in
+  match String.index_opt raw '\000' with
+  | Some i -> String.sub raw 0 i
+  | None -> raw
+
+let dir_iter t txn dino f =
+  (* Iterate (slot_index, name, ino) over all allocated entries. *)
+  match get_inode txn dino with
+  | None -> Error Not_found
+  | Some ino when ino.ikind <> Dir -> Error Not_dir
+  | Some ino ->
+      let nblocks = (ino.isize + bs - 1) / bs in
+      let rec blocks bi =
+        if bi >= nblocks then Ok ()
+        else begin
+          match file_block t txn dino bi ~alloc:false with
+          | Error e -> Error e
+          | Ok 0 -> blocks (bi + 1)
+          | Ok phys ->
+              let b = Wal.txn_read txn phys in
+              let upper =
+                min dirents_per_block ((ino.isize - (bi * bs)) / dirent_size)
+              in
+              for s = 0 to upper - 1 do
+                let off = s * dirent_size in
+                let e_ino = Int32.to_int (Bytes.get_int32_le b off) in
+                if e_ino <> 0 then
+                  f ((bi * dirents_per_block) + s) (dirent_name b off) e_ino
+              done;
+              blocks (bi + 1)
+        end
+      in
+      blocks 0
+
+let dir_lookup t txn dino name =
+  let found = ref None in
+  match
+    dir_iter t txn dino (fun _ n ino -> if n = name then found := Some ino)
+  with
+  | Error e -> Error e
+  | Ok () -> Ok !found
+
+let dir_entries t txn dino =
+  let acc = ref [] in
+  match dir_iter t txn dino (fun _ n ino -> acc := (n, ino) :: !acc) with
+  | Error e -> Error e
+  | Ok () -> Ok (List.sort compare !acc)
+
+let write_dirent b off name ino =
+  Bytes.fill b off dirent_size '\000';
+  Bytes.set_int32_le b off (Int32.of_int ino);
+  Bytes.blit_string name 0 b (off + 4) (String.length name)
+
+let dir_add t txn dino name ino =
+  match get_inode txn dino with
+  | None -> Error Not_found
+  | Some di when di.ikind <> Dir -> Error Not_dir
+  | Some di -> (
+      (* Reuse a freed slot if one exists within the current size. *)
+      let free_slot = ref None in
+      let nslots = di.isize / dirent_size in
+      let rec scan slot =
+        if slot >= nslots || !free_slot <> None then ()
+        else begin
+          let bi = slot / dirents_per_block in
+          match file_block t txn dino bi ~alloc:false with
+          | Error _ | Ok 0 -> scan ((bi + 1) * dirents_per_block)
+          | Ok phys ->
+              let b = Wal.txn_read txn phys in
+              let off = slot mod dirents_per_block * dirent_size in
+              if Bytes.get_int32_le b off = 0l then free_slot := Some (slot, phys)
+              else scan (slot + 1)
+        end
+      in
+      scan 0;
+      match !free_slot with
+      | Some (slot, phys) ->
+          let b = Wal.txn_read txn phys in
+          write_dirent b (slot mod dirents_per_block * dirent_size) name ino;
+          Wal.txn_write txn phys b;
+          Ok ()
+      | None -> (
+          (* Append a new slot at the end. *)
+          let slot = nslots in
+          let bi = slot / dirents_per_block in
+          if bi >= max_file_blocks then Error No_space
+          else begin
+            match file_block t txn dino bi ~alloc:true with
+            | Error e -> Error e
+            | Ok phys ->
+                let b = Wal.txn_read txn phys in
+                write_dirent b (slot mod dirents_per_block * dirent_size) name
+                  ino;
+                Wal.txn_write txn phys b;
+                (match get_inode txn dino with
+                | Some di ->
+                    put_inode txn dino
+                      (Some { di with isize = (slot + 1) * dirent_size })
+                | None -> ());
+                Ok ()
+          end))
+
+let dir_remove t txn dino name =
+  let slot_found = ref None in
+  match
+    dir_iter t txn dino (fun slot n _ ->
+        if n = name then slot_found := Some slot)
+  with
+  | Error e -> Error e
+  | Ok () -> (
+      match !slot_found with
+      | None -> Error Not_found
+      | Some slot -> (
+          let bi = slot / dirents_per_block in
+          match file_block t txn dino bi ~alloc:false with
+          | Error e -> Error e
+          | Ok 0 -> Error Not_found
+          | Ok phys ->
+              let b = Wal.txn_read txn phys in
+              Bytes.fill b (slot mod dirents_per_block * dirent_size)
+                dirent_size '\000';
+              Wal.txn_write txn phys b;
+              Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* Path resolution                                                     *)
+
+let resolve_in_txn t txn path =
+  match Path.split path with
+  | Error () -> Error Invalid_path
+  | Ok parts ->
+      let rec walk ino = function
+        | [] -> Ok ino
+        | name :: rest -> (
+            match dir_lookup t txn ino name with
+            | Error e -> Error e
+            | Ok None -> Error Not_found
+            | Ok (Some child) -> walk child rest)
+      in
+      walk root_ino parts
+
+let resolve_parent t txn path =
+  match Path.dirname_basename path with
+  | Error () -> Error Invalid_path
+  | Ok (parents, name) -> (
+      match resolve_in_txn t txn (Path.join parents) with
+      | Error e -> Error e
+      | Ok dino -> Ok (dino, name))
+
+(* ------------------------------------------------------------------ *)
+(* Top-level operations                                                *)
+
+let mkfs dev =
+  if Block_dev.blocks dev < data_start + 16 then
+    invalid_arg "Fs.mkfs: device too small";
+  let ndata = min (Block_dev.blocks dev - data_start) (bs * 8) in
+  let sb = Bytes.make bs '\000' in
+  Bytes.set_int32_le sb 0 sb_magic;
+  Bytes.set_int32_le sb 4 (Int32.of_int ndata);
+  Block_dev.write dev sb_block sb;
+  Block_dev.write dev ibmap_block (Bytes.make bs '\000');
+  Block_dev.write dev dbmap_block (Bytes.make bs '\000');
+  for i = 0 to itable_blocks - 1 do
+    Block_dev.write dev (itable_start + i) (Bytes.make bs '\000')
+  done;
+  let t = { dev; wal = Wal.create dev ~header_block:wal_header; ndata } in
+  ignore (Wal.recover t.wal : int);
+  (* Root directory. *)
+  let txn = Wal.begin_txn t.wal in
+  let b = Wal.txn_read txn ibmap_block in
+  Bytes.set b 0 (Char.chr 0b11);
+  (* inode 0 reserved + inode 1 root *)
+  Wal.txn_write txn ibmap_block b;
+  put_inode txn root_ino (Some (empty_inode Dir));
+  Wal.commit txn;
+  t
+
+let mount dev =
+  let sb = Block_dev.read dev sb_block in
+  if Bytes.get_int32_le sb 0 <> sb_magic then
+    invalid_arg "Fs.mount: bad superblock";
+  let ndata = Int32.to_int (Bytes.get_int32_le sb 4) in
+  let t = { dev; wal = Wal.create dev ~header_block:wal_header; ndata } in
+  ignore (Wal.recover t.wal : int);
+  t
+
+(* Run [f] in a transaction; commit on [Ok], abort on [Error]. *)
+let transact t f =
+  let txn = Wal.begin_txn t.wal in
+  match f txn with
+  | Ok _ as ok ->
+      Wal.commit txn;
+      ok
+  | Error _ as e ->
+      Wal.abort txn;
+      e
+  | exception e ->
+      Wal.abort txn;
+      raise e
+
+let create_node t path kind =
+  transact t (fun txn ->
+      match resolve_parent t txn path with
+      | Error e -> Error e
+      | Ok (dino, name) -> (
+          match dir_lookup t txn dino name with
+          | Error e -> Error e
+          | Ok (Some _) -> Error Exists
+          | Ok None -> (
+              match alloc_ino txn with
+              | None -> Error No_space
+              | Some ino -> (
+                  put_inode txn ino (Some (empty_inode kind));
+                  match dir_add t txn dino name ino with
+                  | Error e -> Error e
+                  | Ok () -> Ok ()))))
+
+let create t path = create_node t path File
+let mkdir t path = create_node t path Dir
+
+let free_file_blocks t txn ino_num (ino : inode) =
+  Array.iter (fun p -> if p <> 0 then free_data txn p) ino.direct;
+  if ino.indirect <> 0 then begin
+    let ib = Wal.txn_read txn ino.indirect in
+    for s = 0 to indirect_ptrs - 1 do
+      let p = Int32.to_int (Bytes.get_int32_le ib (4 * s)) in
+      if p <> 0 then free_data txn p
+    done;
+    free_data txn ino.indirect
+  end;
+  ignore t;
+  ignore ino_num
+
+let unlink t path =
+  transact t (fun txn ->
+      match resolve_parent t txn path with
+      | Error e -> Error e
+      | Ok (dino, name) -> (
+          match dir_lookup t txn dino name with
+          | Error e -> Error e
+          | Ok None -> Error Not_found
+          | Ok (Some ino_num) -> (
+              match get_inode txn ino_num with
+              | None -> Error Not_found
+              | Some ino when ino.ikind = Dir -> Error Is_dir
+              | Some ino -> (
+                  match dir_remove t txn dino name with
+                  | Error e -> Error e
+                  | Ok () ->
+                      free_file_blocks t txn ino_num ino;
+                      put_inode txn ino_num None;
+                      free_ino txn ino_num;
+                      Ok ()))))
+
+let rmdir t path =
+  transact t (fun txn ->
+      match resolve_parent t txn path with
+      | Error e -> Error e
+      | Ok (dino, name) -> (
+          match dir_lookup t txn dino name with
+          | Error e -> Error e
+          | Ok None -> Error Not_found
+          | Ok (Some ino_num) -> (
+              match get_inode txn ino_num with
+              | None -> Error Not_found
+              | Some ino when ino.ikind <> Dir -> Error Not_dir
+              | Some ino -> (
+                  match dir_entries t txn ino_num with
+                  | Error e -> Error e
+                  | Ok (_ :: _) -> Error Not_empty
+                  | Ok [] -> (
+                      match dir_remove t txn dino name with
+                      | Error e -> Error e
+                      | Ok () ->
+                          free_file_blocks t txn ino_num ino;
+                          put_inode txn ino_num None;
+                          free_ino txn ino_num;
+                          Ok ())))))
+
+let rename t ~src ~dst =
+  transact t (fun txn ->
+      match (resolve_parent t txn src, resolve_parent t txn dst) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok (sdir, sname), Ok (ddir, dname) -> (
+          match dir_lookup t txn sdir sname with
+          | Error e -> Error e
+          | Ok None -> Error Not_found
+          | Ok (Some ino) -> (
+              match get_inode txn ino with
+              | None -> Error Not_found
+              | Some i when i.ikind = Dir -> Error Is_dir
+              | Some _ -> (
+                  match dir_lookup t txn ddir dname with
+                  | Error e -> Error e
+                  | Ok (Some _) -> Error Exists
+                  | Ok None -> (
+                      (* Link at the destination first, then unlink the
+                         source; both inside one transaction, so a crash
+                         shows either the old or the new name, never both
+                         or neither. *)
+                      match dir_add t txn ddir dname ino with
+                      | Error e -> Error e
+                      | Ok () -> dir_remove t txn sdir sname)))))
+
+let readdir t path =
+  transact t (fun txn ->
+      match resolve_in_txn t txn path with
+      | Error e -> Error e
+      | Ok ino -> (
+          match dir_entries t txn ino with
+          | Error e -> Error e
+          | Ok entries -> Ok (List.map fst entries)))
+
+let stat_of t txn ino_num =
+  match get_inode txn ino_num with
+  | None -> Error Not_found
+  | Some ino ->
+      ignore t;
+      (* A directory's on-disk entry-table size is implementation detail;
+         the spec-visible size of a directory is 0. *)
+      let size = match ino.ikind with Dir -> 0 | File -> ino.isize in
+      Ok { kind = ino.ikind; size; ino = ino_num }
+
+let stat t path =
+  transact t (fun txn ->
+      match resolve_in_txn t txn path with
+      | Error e -> Error e
+      | Ok ino -> stat_of t txn ino)
+
+let resolve t path = transact t (fun txn -> resolve_in_txn t txn path)
+
+let stat_ino t ino = transact t (fun txn -> stat_of t txn ino)
+
+let read_ino t ~ino ~off ~len =
+  if off < 0 || len < 0 then Error Invalid_path
+  else
+    transact t (fun txn ->
+        match get_inode txn ino with
+        | None -> Error Not_found
+        | Some inode when inode.ikind = Dir -> Error Is_dir
+        | Some inode ->
+            let len = max 0 (min len (inode.isize - off)) in
+            let out = Bytes.make len '\000' in
+            let rec copy pos =
+              if pos >= len then Ok out
+              else begin
+                let file_off = off + pos in
+                let bi = file_off / bs in
+                let boff = file_off mod bs in
+                let n = min (bs - boff) (len - pos) in
+                match file_block t txn ino bi ~alloc:false with
+                | Error e -> Error e
+                | Ok 0 -> copy (pos + n) (* hole reads as zeros *)
+                | Ok phys ->
+                    let b = Wal.txn_read txn phys in
+                    Bytes.blit b boff out pos n;
+                    copy (pos + n)
+              end
+            in
+            copy 0)
+
+(* Writes are chunked so each transaction touches at most a handful of data
+   blocks and stays within the WAL's record budget. *)
+let write_chunk_blocks = 8
+
+let write_ino t ~ino ~off data =
+  let total = Bytes.length data in
+  if off < 0 then Error Invalid_path
+  else if off + total > max_file_size then Error Too_large
+  else begin
+    let rec chunks pos =
+      if pos >= total then Ok ()
+      else begin
+        let chunk_len = min (write_chunk_blocks * bs) (total - pos) in
+        let result =
+          transact t (fun txn ->
+              let rec blocks p =
+                if p >= chunk_len then begin
+                  match get_inode txn ino with
+                  | None -> Error Not_found
+                  | Some inode ->
+                      let new_size = max inode.isize (off + pos + chunk_len) in
+                      put_inode txn ino (Some { inode with isize = new_size });
+                      Ok ()
+                end
+                else begin
+                  let file_off = off + pos + p in
+                  let bi = file_off / bs in
+                  let boff = file_off mod bs in
+                  let n = min (bs - boff) (chunk_len - p) in
+                  match file_block t txn ino bi ~alloc:true with
+                  | Error e -> Error e
+                  | Ok phys ->
+                      let b = Wal.txn_read txn phys in
+                      Bytes.blit data (pos + p) b boff n;
+                      Wal.txn_write txn phys b;
+                      blocks (p + n)
+                end
+              in
+              match get_inode txn ino with
+              | None -> Error Not_found
+              | Some inode when inode.ikind = Dir -> Error Is_dir
+              | Some _ -> blocks 0)
+        in
+        match result with Error e -> Error e | Ok () -> chunks (pos + chunk_len)
+      end
+    in
+    if total = 0 then
+      transact t (fun txn ->
+          match get_inode txn ino with
+          | None -> Error Not_found
+          | Some _ -> Ok ())
+    else chunks 0
+  end
+
+let truncate_ino t ~ino size =
+  if size < 0 || size > max_file_size then Error Too_large
+  else
+    transact t (fun txn ->
+        match get_inode txn ino with
+        | None -> Error Not_found
+        | Some inode when inode.ikind = Dir -> Error Is_dir
+        | Some inode ->
+            let keep_blocks = (size + bs - 1) / bs in
+            (* When shrinking into the middle of a block, zero its tail so a
+               later extension reads zeros there (spec: truncate pads with
+               NUL). *)
+            (if size < inode.isize && size mod bs <> 0 then begin
+               match file_block t txn ino (size / bs) ~alloc:false with
+               | Ok phys when phys <> 0 ->
+                   let b = Wal.txn_read txn phys in
+                   Bytes.fill b (size mod bs) (bs - (size mod bs)) '\000';
+                   Wal.txn_write txn phys b
+               | Ok _ | Error _ -> ()
+             end);
+            let direct = Array.copy inode.direct in
+            for i = keep_blocks to ndirect - 1 do
+              if direct.(i) <> 0 then begin
+                free_data txn direct.(i);
+                direct.(i) <- 0
+              end
+            done;
+            let indirect = ref inode.indirect in
+            if !indirect <> 0 then begin
+              let ib = Wal.txn_read txn !indirect in
+              let still_used = ref false in
+              for s = 0 to indirect_ptrs - 1 do
+                let p = Int32.to_int (Bytes.get_int32_le ib (4 * s)) in
+                if p <> 0 then begin
+                  if ndirect + s >= keep_blocks then begin
+                    free_data txn p;
+                    Bytes.set_int32_le ib (4 * s) 0l
+                  end
+                  else still_used := true
+                end
+              done;
+              if !still_used then Wal.txn_write txn !indirect ib
+              else begin
+                free_data txn !indirect;
+                indirect := 0
+              end
+            end;
+            put_inode txn ino
+              (Some { inode with isize = size; direct; indirect = !indirect });
+            Ok ())
+
+let fsync t = Block_dev.flush t.dev
+
+let free_data_blocks t =
+  t.ndata - bitmap_count t.dev ~block:dbmap_block ~limit:t.ndata

@@ -1,0 +1,56 @@
+(** High-level filesystem specification.
+
+    The abstract state a client application programs against: a map from
+    absolute paths to nodes, where a file node is just its byte contents.
+    Block layout, inodes, the WAL — all implementation detail hidden by
+    refinement, exactly as the paper's Section 3 prescribes for system
+    services.  The [Read]/[Write] transitions are the offset-based
+    semantics that the kernel's fd layer (see {!Bi_kernel.Sys_spec})
+    builds its [read_spec]-style contract on. *)
+
+type node = Dir | File of string
+
+type state
+(** Path-keyed finite map; always contains the root directory ["/"], and
+    every entry's parent directory. *)
+
+type op =
+  | Create of string
+  | Mkdir of string
+  | Unlink of string
+  | Rmdir of string
+  | Rename of string * string
+  | Readdir of string
+  | Stat of string
+  | Read of { path : string; off : int; len : int }
+  | Write of { path : string; off : int; data : string }
+  | Truncate of string * int
+
+type ret =
+  | Done
+  | Names of string list
+  | Statd of { dir : bool; size : int }
+  | Data of string
+  | Error of Fs.error
+
+val empty : state
+(** Just the root directory. *)
+
+val of_entries : (string * node) list -> state
+(** Build a state from path/node pairs (the root is implicit; parents must
+    be present for the result to be meaningful). *)
+
+val step : state -> op -> (state * ret) option
+(** Total (always [Some]); errors are modelled as [Error _] returns.
+    Matches {!Bi_core.State_machine.SPEC}. *)
+
+val lookup : state -> string -> node option
+
+val entries : state -> (string * node) list
+(** All entries sorted by path (root excluded). *)
+
+val equal_state : state -> state -> bool
+val equal_ret : ret -> ret -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_ret : Format.formatter -> ret -> unit

@@ -1,0 +1,30 @@
+let max_name = 27
+
+let valid_name s =
+  let n = String.length s in
+  n > 0 && n <= max_name
+  && (not (String.contains s '/'))
+  && (not (String.contains s '\000'))
+  && s <> "." && s <> ".."
+
+let split p =
+  let n = String.length p in
+  if n = 0 || p.[0] <> '/' then Error ()
+  else if p = "/" then Ok []
+  else begin
+    let parts = String.split_on_char '/' (String.sub p 1 (n - 1)) in
+    if List.for_all valid_name parts then Ok parts else Error ()
+  end
+
+let dirname_basename p =
+  match split p with
+  | Error () -> Error ()
+  | Ok [] -> Error ()
+  | Ok parts -> (
+      match List.rev parts with
+      | [] -> Error ()
+      | last :: rev_init -> Ok (List.rev rev_init, last))
+
+let join = function
+  | [] -> "/"
+  | parts -> "/" ^ String.concat "/" parts

@@ -1,0 +1,20 @@
+(** Path handling for the filesystem: absolute, [/]-separated paths. *)
+
+val max_name : int
+(** Maximum length of one component (27 bytes, the directory-entry
+    limit). *)
+
+val split : string -> (string list, unit) result
+(** [split "/a/b"] is [Ok ["a"; "b"]]; [split "/"] is [Ok []].  [Error ()]
+    on relative paths, empty components, components containing NUL, or
+    over-long components. *)
+
+val dirname_basename : string -> (string list * string, unit) result
+(** Split into parent components and final component; [Error ()] for the
+    root or invalid paths. *)
+
+val join : string list -> string
+(** Inverse of {!split}: [join ["a"; "b"] = "/a/b"], [join [] = "/"]. *)
+
+val valid_name : string -> bool
+(** Usable as one component. *)

@@ -1,0 +1,1 @@
+lib/hw/device.ml: Array Bi_core Buffer Bytes Int64 List Queue String

@@ -1,0 +1,1 @@
+lib/hw/frame_alloc.ml: Addr Bytes Int64 Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Addr Array Cost_model Device Frame_alloc Int64 Phys_mem Tlb

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Addr Cost_model Device Frame_alloc Phys_mem Tlb

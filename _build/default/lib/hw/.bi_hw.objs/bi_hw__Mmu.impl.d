@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Format Int64 Phys_mem Pte Tlb

@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Addr Format Phys_mem Pte Tlb

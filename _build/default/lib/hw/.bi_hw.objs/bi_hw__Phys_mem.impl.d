@@ -1,0 +1,1 @@
+lib/hw/phys_mem.ml: Addr Bytes Char Int64

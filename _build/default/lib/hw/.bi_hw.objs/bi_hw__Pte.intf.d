@@ -1,0 +1,1 @@
+lib/hw/pte.mli: Addr Format

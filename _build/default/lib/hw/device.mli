@@ -1,0 +1,120 @@
+(** Device models: timer, serial output, disk, network interface and the
+    interrupt controller.
+
+    The paper's component list (Section 1) includes device drivers for a
+    network controller, disk controllers, an interrupt controller, a timer
+    and serial output; these are the hardware halves those drivers talk
+    to.  Each device is deterministic and interrupt-generating via
+    {!Intr}. *)
+
+(** Interrupt controller: a set of pending vectors with per-vector mask. *)
+module Intr : sig
+  type t
+
+  val create : vectors:int -> t
+  val raise_irq : t -> int -> unit
+  (** Mark a vector pending (idempotent). *)
+
+  val pending : t -> int option
+  (** Highest-priority (lowest-numbered) unmasked pending vector. *)
+
+  val ack : t -> int -> unit
+  (** Clear a pending vector. *)
+
+  val mask : t -> int -> unit
+  val unmask : t -> int -> unit
+  val is_pending : t -> int -> bool
+end
+
+(** Programmable one-shot/periodic timer. *)
+module Timer : sig
+  type t
+
+  val create : intr:Intr.t -> vector:int -> t
+  val arm : t -> deadline:int64 -> unit
+  (** Fire when the tick counter reaches [deadline]. *)
+
+  val arm_periodic : t -> interval:int64 -> unit
+  val tick : t -> unit
+  (** Advance one tick; raises the IRQ at deadlines. *)
+
+  val now : t -> int64
+  (** Current tick counter. *)
+end
+
+(** Write-only serial console that records its output. *)
+module Serial : sig
+  type t
+
+  val create : unit -> t
+  val write_char : t -> char -> unit
+  val write_string : t -> string -> unit
+  val output : t -> string
+  (** Everything written so far. *)
+
+  val clear : t -> unit
+end
+
+(** Fixed-geometry sector-addressed disk with a completion interrupt. *)
+module Disk : sig
+  type t
+
+  val sector_size : int
+
+  val create : ?intr:Intr.t * int -> sectors:int -> unit -> t
+  (** [intr] is the controller/vector pair to signal on I/O completion. *)
+
+  val sectors : t -> int
+  val read_sector : t -> int -> bytes
+  (** Raises [Invalid_argument] on an out-of-range sector. *)
+
+  val write_sector : t -> int -> bytes -> unit
+  (** The buffer must be exactly [sector_size] bytes. *)
+
+  val flush : t -> unit
+  (** Barrier: all previous writes become durable (see {!crash}). *)
+
+  val crash : t -> t
+  (** A copy of the disk holding only data durable at the last {!flush},
+      with each un-flushed write independently either applied or dropped
+      (deterministically, seeded by write order) — the prefix-crash model
+      the filesystem's recovery VCs quantify over. *)
+
+  val crash_with : t -> keep_unflushed:int -> t
+  (** Deterministic crash keeping exactly the first [keep_unflushed]
+      un-flushed writes (in issue order). *)
+
+  val io_count : t -> int
+end
+
+(** Network interface: paired TX/RX frame queues.  Two NICs are linked with
+    {!connect}, which models the wire. *)
+module Nic : sig
+  type t
+
+  val mtu : int
+
+  val create : ?intr:Intr.t * int -> mac:string -> unit -> t
+  (** [mac] is a 6-byte string. *)
+
+  val mac : t -> string
+  val connect : t -> t -> unit
+  (** Cross-link the two NICs' queues (full duplex). *)
+
+  val transmit : t -> bytes -> unit
+  (** Queue a frame for the peer; raises [Invalid_argument] beyond
+      {!mtu}. Frames are delivered by {!deliver}. *)
+
+  val deliver : t -> int
+  (** Move queued frames across the wire into peers' RX rings, raising RX
+      interrupts; returns the number delivered.  Separating transmit from
+      delivery lets tests model in-flight loss and reordering. *)
+
+  val drop_next_tx : t -> unit
+  (** Fault injection: silently lose the next transmitted frame. *)
+
+  val receive : t -> bytes option
+  (** Dequeue a received frame, if any. *)
+
+  val rx_pending : t -> int
+end

@@ -1,0 +1,65 @@
+type t = {
+  data : Bytes.t;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+exception Bad_address of Addr.paddr
+
+let create ~size =
+  if size <= 0 || size mod Int64.to_int Addr.page_size <> 0 then
+    invalid_arg "Phys_mem.create: size must be a positive multiple of 4096";
+  { data = Bytes.make size '\000'; loads = 0; stores = 0 }
+
+let size t = Bytes.length t.data
+
+let check t pa width =
+  let i = Int64.to_int pa in
+  if pa < 0L || i + width > Bytes.length t.data then raise (Bad_address pa);
+  i
+
+let read_u64 t pa =
+  if Int64.rem pa 8L <> 0L then raise (Bad_address pa);
+  let i = check t pa 8 in
+  t.loads <- t.loads + 1;
+  Bytes.get_int64_le t.data i
+
+let write_u64 t pa v =
+  if Int64.rem pa 8L <> 0L then raise (Bad_address pa);
+  let i = check t pa 8 in
+  t.stores <- t.stores + 1;
+  Bytes.set_int64_le t.data i v
+
+let read_u8 t pa =
+  let i = check t pa 1 in
+  t.loads <- t.loads + 1;
+  Char.code (Bytes.get t.data i)
+
+let write_u8 t pa v =
+  let i = check t pa 1 in
+  t.stores <- t.stores + 1;
+  Bytes.set t.data i (Char.chr (v land 0xFF))
+
+let read_bytes t pa len =
+  let i = check t pa len in
+  t.loads <- t.loads + ((len + 7) / 8);
+  Bytes.sub t.data i len
+
+let write_bytes t pa b =
+  let len = Bytes.length b in
+  let i = check t pa len in
+  t.stores <- t.stores + ((len + 7) / 8);
+  Bytes.blit b 0 t.data i len
+
+let zero_frame t pa =
+  if not (Addr.is_aligned pa Addr.page_size) then raise (Bad_address pa);
+  let i = check t pa (Int64.to_int Addr.page_size) in
+  Bytes.fill t.data i (Int64.to_int Addr.page_size) '\000';
+  t.stores <- t.stores + (Int64.to_int Addr.page_size / 8)
+
+let loads t = t.loads
+let stores t = t.stores
+
+let reset_counters t =
+  t.loads <- 0;
+  t.stores <- 0

@@ -1,0 +1,79 @@
+type perm = { writable : bool; user : bool; executable : bool }
+
+type t =
+  | Absent
+  | Table of Addr.paddr
+  | Leaf of { frame : Addr.paddr; perm : perm; huge : bool }
+
+let rw = { writable = true; user = false; executable = false }
+let user_rw = { writable = true; user = true; executable = false }
+let user_rx = { writable = false; user = true; executable = true }
+let ro = { writable = false; user = false; executable = false }
+
+let equal_perm a b =
+  a.writable = b.writable && a.user = b.user && a.executable = b.executable
+
+let pp_perm ppf p =
+  Format.fprintf ppf "%c%c%c"
+    (if p.writable then 'w' else '-')
+    (if p.user then 'u' else '-')
+    (if p.executable then 'x' else '-')
+
+let bit_present = 0x1L
+let bit_writable = 0x2L
+let bit_user = 0x4L
+let bit_ps = 0x80L
+let bit_nx = Int64.shift_left 1L 63
+let frame_mask = 0x000F_FFFF_FFFF_F000L
+
+let has bits flag = Int64.logand bits flag <> 0L
+
+let encode = function
+  | Absent -> 0L
+  | Table pa ->
+      (* Table pointers are kernel-managed: present, writable, user-visible
+         so that lower-level user bits decide access. *)
+      Int64.logor (Int64.logand pa frame_mask)
+        (Int64.logor bit_present (Int64.logor bit_writable bit_user))
+  | Leaf { frame; perm; huge } ->
+      let bits = ref (Int64.logor (Int64.logand frame frame_mask) bit_present) in
+      if perm.writable then bits := Int64.logor !bits bit_writable;
+      if perm.user then bits := Int64.logor !bits bit_user;
+      if huge then bits := Int64.logor !bits bit_ps;
+      if not perm.executable then bits := Int64.logor !bits bit_nx;
+      !bits
+
+let decode ~level bits =
+  if not (has bits bit_present) then Absent
+  else begin
+    let frame = Int64.logand bits frame_mask in
+    let perm =
+      {
+        writable = has bits bit_writable;
+        user = has bits bit_user;
+        executable = not (has bits bit_nx);
+      }
+    in
+    let is_leaf =
+      match level with
+      | 1 -> true
+      | 2 | 3 -> has bits bit_ps
+      | _ -> false
+    in
+    if is_leaf then Leaf { frame; perm; huge = has bits bit_ps && level > 1 }
+    else Table frame
+  end
+
+let equal a b =
+  match (a, b) with
+  | Absent, Absent -> true
+  | Table x, Table y -> x = y
+  | Leaf x, Leaf y -> x.frame = y.frame && equal_perm x.perm y.perm && x.huge = y.huge
+  | (Absent | Table _ | Leaf _), _ -> false
+
+let pp ppf = function
+  | Absent -> Format.fprintf ppf "absent"
+  | Table pa -> Format.fprintf ppf "table@0x%Lx" pa
+  | Leaf { frame; perm; huge } ->
+      Format.fprintf ppf "leaf@0x%Lx[%a%s]" frame pp_perm perm
+        (if huge then ",huge" else "")

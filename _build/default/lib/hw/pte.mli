@@ -1,0 +1,43 @@
+(** Page-table entry bit codec.
+
+    The x86-64 entry layout used here: bit 0 present, bit 1 writable,
+    bit 2 user, bit 7 page-size (leaf at L3/L2), bit 63 execute-disable,
+    bits 12..51 frame address.  [encode]/[decode] must round-trip — that
+    family of bit-level lemmas is part of the page-table VC suite, as it is
+    in the paper's proof ("map from ... bits to a flat abstract data
+    type"). *)
+
+type perm = { writable : bool; user : bool; executable : bool }
+(** Access permissions carried by an entry. *)
+
+type t =
+  | Absent  (** Present bit clear; all other bits ignored. *)
+  | Table of Addr.paddr  (** Next-level table pointer (non-leaf). *)
+  | Leaf of { frame : Addr.paddr; perm : perm; huge : bool }
+      (** Terminal mapping.  [huge] is the PS bit; at L1 it must be
+          [false]. *)
+
+val rw : perm
+(** Kernel read/write, no-execute: [{writable = true; user = false;
+    executable = false}]. *)
+
+val user_rw : perm
+val user_rx : perm
+val ro : perm
+
+val equal_perm : perm -> perm -> bool
+val pp_perm : Format.formatter -> perm -> unit
+
+val encode : t -> int64
+(** Entry to raw bits. *)
+
+val decode : level:int -> int64 -> t
+(** Raw bits to entry; [level] (4..1) decides whether the PS bit can make
+    the entry a leaf (L4 entries are never leaves; L1 entries are always
+    leaves when present). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val frame_mask : int64
+(** Bits 12..51, the physical frame number field. *)

@@ -1,0 +1,58 @@
+type entry = { frame : Addr.paddr; perm : Pte.perm }
+
+type t = {
+  capacity : int;
+  table : (Addr.vaddr, entry) Hashtbl.t;
+  order : Addr.vaddr Queue.t; (* insertion order for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity <= 0";
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let lookup t va =
+  let key = Addr.vpage_4k va in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let rec evict_one t =
+  if not (Queue.is_empty t.order) then begin
+    let victim = Queue.pop t.order in
+    (* The queue can hold keys already invalidated; skip them. *)
+    if Hashtbl.mem t.table victim then Hashtbl.remove t.table victim
+    else evict_one t
+  end
+
+let insert t va e =
+  let key = Addr.vpage_4k va in
+  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
+  then evict_one t;
+  Hashtbl.replace t.table key e;
+  Queue.push key t.order
+
+let invlpg t va = Hashtbl.remove t.table (Addr.vpage_4k va)
+
+let flush t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let entry_count t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

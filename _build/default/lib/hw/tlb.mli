@@ -1,0 +1,32 @@
+(** Translation lookaside buffer model.
+
+    The hardware spec in the paper (Section 5) covers "walking the page
+    table, or using cached translations from the TLB".  This model caches
+    4 KiB-granularity translations and — crucially for the unmap proof
+    obligation — can serve {e stale} entries until they are explicitly
+    invalidated, which is why unmap must end with an [invlpg] (and a
+    shootdown on other cores, costed in the Figure 1c benchmark). *)
+
+type entry = { frame : Addr.paddr; perm : Pte.perm }
+
+type t
+
+val create : capacity:int -> t
+(** A [capacity]-entry TLB with pseudo-LRU (FIFO) replacement. *)
+
+val lookup : t -> Addr.vaddr -> entry option
+(** Lookup by the enclosing 4 KiB virtual page. *)
+
+val insert : t -> Addr.vaddr -> entry -> unit
+(** Cache a translation for the enclosing 4 KiB virtual page. *)
+
+val invlpg : t -> Addr.vaddr -> unit
+(** Invalidate the entry covering the address, if cached. *)
+
+val flush : t -> unit
+(** Drop everything (CR3 reload). *)
+
+val entry_count : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit

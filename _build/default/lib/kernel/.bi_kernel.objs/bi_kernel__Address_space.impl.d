@@ -1,0 +1,1 @@
+lib/kernel/address_space.ml: Bi_hw Bi_pt Bytes Char Int64 List Sysabi

@@ -1,0 +1,1 @@
+lib/kernel/address_space.mli: Bi_hw Sysabi

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Address_space Bi_fs Bi_hw Bi_net Bytes Effect Futex Hashtbl Int64 List Printexc Printf Scheduler String Sysabi

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bi_fs Bi_hw Bi_net Sysabi

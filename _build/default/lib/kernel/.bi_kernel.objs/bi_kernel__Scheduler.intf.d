@@ -1,0 +1,1 @@
+lib/kernel/scheduler.mli:

@@ -1,0 +1,1 @@
+lib/kernel/sys_spec.ml: Address_space Bi_fs Format Int64 List String Sysabi

@@ -1,0 +1,1 @@
+lib/kernel/sys_spec.mli: Bi_fs Sysabi

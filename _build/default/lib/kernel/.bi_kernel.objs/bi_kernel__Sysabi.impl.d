@@ -1,0 +1,1 @@
+lib/kernel/sysabi.ml: Bi_core Bi_net Bytes Char Format Int32 Int64 List Option String

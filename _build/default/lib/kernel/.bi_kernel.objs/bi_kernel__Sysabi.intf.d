@@ -1,0 +1,1 @@
+lib/kernel/sysabi.mli: Bi_core Format

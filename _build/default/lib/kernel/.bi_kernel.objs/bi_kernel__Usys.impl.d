@@ -1,0 +1,1 @@
+lib/kernel/usys.ml: Format Kernel Sysabi

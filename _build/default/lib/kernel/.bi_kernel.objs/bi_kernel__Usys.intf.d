@@ -1,0 +1,1 @@
+lib/kernel/usys.mli: Kernel Sysabi

@@ -1,0 +1,34 @@
+type t = { mutable items : int list (* front = next to run *) }
+
+type op = Enqueue of int | Dequeue | Remove of int | Length
+
+type ret = Unit | Tid of int option | Len of int
+
+let create () = { items = [] }
+
+let enqueue t tid = t.items <- t.items @ [ tid ]
+
+let dequeue t =
+  match t.items with
+  | [] -> None
+  | tid :: rest ->
+      t.items <- rest;
+      Some tid
+
+let remove t tid = t.items <- List.filter (( <> ) tid) t.items
+let length t = List.length t.items
+let to_list t = t.items
+
+let apply t = function
+  | Enqueue tid ->
+      enqueue t tid;
+      Unit
+  | Dequeue -> Tid (dequeue t)
+  | Remove tid ->
+      remove t tid;
+      Unit
+  | Length -> Len (length t)
+
+let is_read_only = function
+  | Length -> true
+  | Enqueue _ | Dequeue | Remove _ -> false

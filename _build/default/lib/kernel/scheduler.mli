@@ -1,0 +1,25 @@
+(** Run-queue scheduler.
+
+    A sequential round-robin run queue — deliberately a plain sequential
+    data structure, because in the NrOS design (paper Section 4.1) kernel
+    state like this is made multicore-safe by node replication, not by
+    internal locking.  The module satisfies {!Bi_nr.Seq_ds.S}'s shape so
+    the NR tests and benchmarks can replicate it as-is. *)
+
+type t
+
+type op = Enqueue of int | Dequeue | Remove of int | Length
+
+type ret = Unit | Tid of int option | Len of int
+
+val create : unit -> t
+val apply : t -> op -> ret
+val is_read_only : op -> bool
+
+val enqueue : t -> int -> unit
+(** Direct (non-op) interface used by the kernel. *)
+
+val dequeue : t -> int option
+val remove : t -> int -> unit
+val length : t -> int
+val to_list : t -> int list

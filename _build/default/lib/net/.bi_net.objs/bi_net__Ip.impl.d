@@ -1,0 +1,1 @@
+lib/net/ip.ml: Bytes Char Int32 Pkt Printf String

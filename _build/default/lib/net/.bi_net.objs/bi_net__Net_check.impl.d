@@ -1,0 +1,1 @@
+lib/net/net_check.ml: Arp Bi_core Bi_hw Bytes Char Eth Int32 Ip Stack String Tcp Udp

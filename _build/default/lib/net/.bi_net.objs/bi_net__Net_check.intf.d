@@ -1,0 +1,1 @@
+lib/net/net_check.mli: Bi_core

@@ -1,0 +1,1 @@
+lib/net/pkt.ml: Buffer Bytes Char Int32

@@ -1,0 +1,1 @@
+lib/net/stack.ml: Arp Bi_hw Eth Hashtbl Int32 Ip List Queue Tcp Udp

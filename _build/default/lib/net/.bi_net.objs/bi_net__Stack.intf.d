@@ -1,0 +1,1 @@
+lib/net/stack.mli: Bi_hw Tcp

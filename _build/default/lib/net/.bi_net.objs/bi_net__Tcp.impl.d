@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Buffer Bytes Char Format Int32 Ip List Pkt

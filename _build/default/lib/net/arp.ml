@@ -1,0 +1,73 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : string;
+  sender_ip : int32;
+  target_mac : string;
+  target_ip : int32;
+}
+
+let encode t =
+  let w = Pkt.W.create () in
+  Pkt.W.u16 w 1 (* htype ethernet *);
+  Pkt.W.u16 w 0x0800 (* ptype ipv4 *);
+  Pkt.W.u8 w 6;
+  Pkt.W.u8 w 4;
+  Pkt.W.u16 w (match t.op with Request -> 1 | Reply -> 2);
+  Pkt.W.string w t.sender_mac;
+  Pkt.W.u32 w t.sender_ip;
+  Pkt.W.string w t.target_mac;
+  Pkt.W.u32 w t.target_ip;
+  Pkt.W.contents w
+
+let decode b =
+  try
+    let r = Pkt.R.of_bytes b in
+    let htype = Pkt.R.u16 r in
+    let ptype = Pkt.R.u16 r in
+    let hlen = Pkt.R.u8 r in
+    let plen = Pkt.R.u8 r in
+    let opcode = Pkt.R.u16 r in
+    if htype <> 1 || ptype <> 0x0800 || hlen <> 6 || plen <> 4 then None
+    else begin
+      let op =
+        match opcode with 1 -> Some Request | 2 -> Some Reply | _ -> None
+      in
+      match op with
+      | None -> None
+      | Some op ->
+          let sender_mac = Bytes.to_string (Pkt.R.take r 6) in
+          let sender_ip = Pkt.R.u32 r in
+          let target_mac = Bytes.to_string (Pkt.R.take r 6) in
+          let target_ip = Pkt.R.u32 r in
+          Some { op; sender_mac; sender_ip; target_mac; target_ip }
+    end
+  with Pkt.R.Truncated -> None
+
+module Cache = struct
+  type entry = string
+
+  type cache = {
+    capacity : int;
+    table : (int32, entry) Hashtbl.t;
+    order : int32 Queue.t;
+  }
+
+  let create ?(capacity = 64) () =
+    { capacity; table = Hashtbl.create 16; order = Queue.create () }
+
+  let add c ip mac =
+    if not (Hashtbl.mem c.table ip) then begin
+      if Hashtbl.length c.table >= c.capacity then begin
+        match Queue.take_opt c.order with
+        | Some victim -> Hashtbl.remove c.table victim
+        | None -> ()
+      end;
+      Queue.push ip c.order
+    end;
+    Hashtbl.replace c.table ip mac
+
+  let find c ip = Hashtbl.find_opt c.table ip
+  let size c = Hashtbl.length c.table
+end

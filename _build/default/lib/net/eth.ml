@@ -1,0 +1,32 @@
+type t = { dst : string; src : string; ethertype : int; payload : bytes }
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let broadcast = "\xff\xff\xff\xff\xff\xff"
+
+let encode t =
+  if String.length t.dst <> 6 || String.length t.src <> 6 then
+    invalid_arg "Eth.encode: MACs must be 6 bytes";
+  let w = Pkt.W.create () in
+  Pkt.W.string w t.dst;
+  Pkt.W.string w t.src;
+  Pkt.W.u16 w t.ethertype;
+  Pkt.W.bytes w t.payload;
+  Pkt.W.contents w
+
+let decode frame =
+  match Pkt.R.of_bytes frame with
+  | r -> (
+      try
+        let dst = Bytes.to_string (Pkt.R.take r 6) in
+        let src = Bytes.to_string (Pkt.R.take r 6) in
+        let ethertype = Pkt.R.u16 r in
+        Some { dst; src; ethertype; payload = Pkt.R.rest r }
+      with Pkt.R.Truncated -> None)
+
+let pp_mac ppf mac =
+  String.iteri
+    (fun i c ->
+      if i > 0 then Format.pp_print_char ppf ':';
+      Format.fprintf ppf "%02x" (Char.code c))
+    mac

@@ -1,0 +1,17 @@
+(** Ethernet II framing. *)
+
+type t = { dst : string; src : string; ethertype : int; payload : bytes }
+(** MACs are 6-byte strings. *)
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+
+val broadcast : string
+(** ff:ff:ff:ff:ff:ff. *)
+
+val encode : t -> bytes
+
+val decode : bytes -> t option
+(** [None] on truncated frames. *)
+
+val pp_mac : Format.formatter -> string -> unit

@@ -1,0 +1,77 @@
+type t = {
+  src : int32;
+  dst : int32;
+  proto : int;
+  ttl : int;
+  payload : bytes;
+}
+
+let proto_udp = 17
+let proto_tcp = 6
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let part x =
+        let v = int_of_string x in
+        if v < 0 || v > 255 then invalid_arg "Ip.addr_of_string";
+        v
+      in
+      Int32.of_int
+        ((part a lsl 24) lor (part b lsl 16) lor (part c lsl 8) lor part d)
+  | _ -> invalid_arg "Ip.addr_of_string"
+
+let string_of_addr a =
+  let v = Int32.to_int (Int32.logand a 0xFFFFFFFFl) land 0xFFFFFFFF in
+  Printf.sprintf "%d.%d.%d.%d"
+    ((v lsr 24) land 0xFF)
+    ((v lsr 16) land 0xFF)
+    ((v lsr 8) land 0xFF)
+    (v land 0xFF)
+
+let header_len = 20
+
+let encode t =
+  let total = header_len + Bytes.length t.payload in
+  let w = Pkt.W.create () in
+  Pkt.W.u8 w 0x45 (* v4, ihl 5 *);
+  Pkt.W.u8 w 0 (* dscp *);
+  Pkt.W.u16 w total;
+  Pkt.W.u16 w 0 (* id *);
+  Pkt.W.u16 w 0 (* flags/frag *);
+  Pkt.W.u8 w t.ttl;
+  Pkt.W.u8 w t.proto;
+  Pkt.W.u16 w 0 (* checksum placeholder *);
+  Pkt.W.u32 w t.src;
+  Pkt.W.u32 w t.dst;
+  Pkt.W.bytes w t.payload;
+  let b = Pkt.W.contents w in
+  let csum = Pkt.checksum b ~off:0 ~len:header_len in
+  Bytes.set b 10 (Char.chr (csum lsr 8));
+  Bytes.set b 11 (Char.chr (csum land 0xFF));
+  b
+
+let decode b =
+  if Bytes.length b < header_len then None
+  else begin
+    let vihl = Char.code (Bytes.get b 0) in
+    if vihl <> 0x45 then None
+    else if not (Pkt.checksum_valid b ~off:0 ~len:header_len) then None
+    else begin
+      try
+        let r = Pkt.R.of_bytes ~off:2 b in
+        let total = Pkt.R.u16 r in
+        if total > Bytes.length b || total < header_len then None
+        else begin
+          let r = Pkt.R.of_bytes ~off:8 b in
+          let ttl = Pkt.R.u8 r in
+          let proto = Pkt.R.u8 r in
+          let _csum = Pkt.R.u16 r in
+          let src = Pkt.R.u32 r in
+          let dst = Pkt.R.u32 r in
+          let payload = Bytes.sub b header_len (total - header_len) in
+          Some { src; dst; proto; ttl; payload }
+        end
+      with Pkt.R.Truncated -> None
+    end
+  end

@@ -1,0 +1,25 @@
+(** IPv4: 20-byte headers (no options, no fragmentation — the simulated
+    link MTU always fits our segments), header checksum verified on
+    receive. *)
+
+type t = {
+  src : int32;
+  dst : int32;
+  proto : int;
+  ttl : int;
+  payload : bytes;
+}
+
+val proto_udp : int
+val proto_tcp : int
+
+val addr_of_string : string -> int32
+(** ["10.0.0.1"] notation; raises [Invalid_argument] on malformed input. *)
+
+val string_of_addr : int32 -> string
+
+val encode : t -> bytes
+(** Computes the header checksum. *)
+
+val decode : bytes -> t option
+(** [None] on truncation, non-v4, options present, or bad checksum. *)

@@ -1,0 +1,7 @@
+(** Network-stack verification conditions: codec round-trips, checksum
+    corruption detection, ARP resolution, TCP handshake/transfer/close,
+    and the reliable-delivery property under injected packet loss — the
+    stack's analogue of the refinement obligations in the paper's
+    methodology. *)
+
+val vcs : unit -> Bi_core.Vc.t list

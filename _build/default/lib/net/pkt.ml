@@ -1,0 +1,71 @@
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+  let u16 b v =
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u32 b v =
+    u16 b (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF);
+    u16 b (Int32.to_int v land 0xFFFF)
+
+  let bytes b x = Buffer.add_bytes b x
+  let string b x = Buffer.add_string b x
+  let contents b = Buffer.to_bytes b
+  let length = Buffer.length
+end
+
+module R = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes ?(off = 0) data = { data; pos = off }
+
+  let need t n = if t.pos + n > Bytes.length t.data then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo)
+
+  let take t n =
+    need t n;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let remaining t = Bytes.length t.data - t.pos
+  let rest t = take t (remaining t)
+end
+
+let checksum data ~off ~len =
+  let sum = ref 0 in
+  let i = ref off in
+  let last = off + len in
+  while !i + 1 < last do
+    sum := !sum + (Char.code (Bytes.get data !i) lsl 8)
+           + Char.code (Bytes.get data (!i + 1));
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (Char.code (Bytes.get data !i) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let checksum_valid data ~off ~len = checksum data ~off ~len = 0

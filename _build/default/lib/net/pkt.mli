@@ -1,0 +1,41 @@
+(** Packet buffer primitives: big-endian cursor codecs and the Internet
+    checksum.  Every protocol header in {!Bi_net} is built on these, and
+    the codec round-trip VCs quantify over them. *)
+
+(** Sequential writer. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  (** Big-endian. *)
+
+  val u32 : t -> int32 -> unit
+  val bytes : t -> bytes -> unit
+  val string : t -> string -> unit
+  val contents : t -> bytes
+  val length : t -> int
+end
+
+(** Sequential reader. *)
+module R : sig
+  type t
+
+  exception Truncated
+
+  val of_bytes : ?off:int -> bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val take : t -> int -> bytes
+  val rest : t -> bytes
+  val remaining : t -> int
+end
+
+val checksum : bytes -> off:int -> len:int -> int
+(** RFC 1071 Internet checksum (one's-complement sum of 16-bit words). *)
+
+val checksum_valid : bytes -> off:int -> len:int -> bool
+(** A region containing its own checksum field sums to 0xFFFF... i.e. the
+    computed checksum over it is 0. *)

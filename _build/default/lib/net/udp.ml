@@ -1,0 +1,50 @@
+type t = { src_port : int; dst_port : int; payload : bytes }
+
+let pseudo_sum ~src_ip ~dst_ip ~proto ~len segment =
+  (* Build pseudo-header + segment and checksum the whole thing. *)
+  let w = Pkt.W.create () in
+  Pkt.W.u32 w src_ip;
+  Pkt.W.u32 w dst_ip;
+  Pkt.W.u8 w 0;
+  Pkt.W.u8 w proto;
+  Pkt.W.u16 w len;
+  Pkt.W.bytes w segment;
+  let b = Pkt.W.contents w in
+  Pkt.checksum b ~off:0 ~len:(Bytes.length b)
+
+let encode ~src_ip ~dst_ip t =
+  let len = 8 + Bytes.length t.payload in
+  let w = Pkt.W.create () in
+  Pkt.W.u16 w t.src_port;
+  Pkt.W.u16 w t.dst_port;
+  Pkt.W.u16 w len;
+  Pkt.W.u16 w 0;
+  Pkt.W.bytes w t.payload;
+  let seg = Pkt.W.contents w in
+  let csum = pseudo_sum ~src_ip ~dst_ip ~proto:Ip.proto_udp ~len seg in
+  let csum = if csum = 0 then 0xFFFF else csum in
+  Bytes.set seg 6 (Char.chr (csum lsr 8));
+  Bytes.set seg 7 (Char.chr (csum land 0xFF));
+  seg
+
+let decode ~src_ip ~dst_ip b =
+  if Bytes.length b < 8 then None
+  else begin
+    try
+      let r = Pkt.R.of_bytes b in
+      let src_port = Pkt.R.u16 r in
+      let dst_port = Pkt.R.u16 r in
+      let len = Pkt.R.u16 r in
+      let csum = Pkt.R.u16 r in
+      if len < 8 || len > Bytes.length b then None
+      else begin
+        let seg = Bytes.sub b 0 len in
+        let ok =
+          csum = 0
+          || pseudo_sum ~src_ip ~dst_ip ~proto:Ip.proto_udp ~len seg = 0
+        in
+        if not ok then None
+        else Some { src_port; dst_port; payload = Bytes.sub b 8 (len - 8) }
+      end
+    with Pkt.R.Truncated -> None
+  end

@@ -1,0 +1,10 @@
+(** UDP datagrams with the IPv4 pseudo-header checksum. *)
+
+type t = { src_port : int; dst_port : int; payload : bytes }
+
+val encode : src_ip:int32 -> dst_ip:int32 -> t -> bytes
+(** Fills the checksum over the pseudo-header + segment. *)
+
+val decode : src_ip:int32 -> dst_ip:int32 -> bytes -> t option
+(** [None] on truncation or checksum mismatch (a zero checksum field
+    disables verification, per RFC 768). *)

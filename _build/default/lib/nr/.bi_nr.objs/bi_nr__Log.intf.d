@@ -1,0 +1,1 @@
+lib/nr/log.mli:

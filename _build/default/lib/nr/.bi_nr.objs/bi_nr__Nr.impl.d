@@ -1,0 +1,1 @@
+lib/nr/nr.ml: Array Atomic Domain Fun Log Rwlock Seq_ds

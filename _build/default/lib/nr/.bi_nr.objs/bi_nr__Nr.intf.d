@@ -1,0 +1,1 @@
+lib/nr/nr.mli: Seq_ds

@@ -1,0 +1,1 @@
+lib/nr/nr_check.ml: Array Atomic Bi_core Domain Format Hashtbl Int List Log Nr Printf Rwlock

@@ -1,0 +1,1 @@
+lib/nr/nr_check.mli: Bi_core

@@ -1,0 +1,1 @@
+lib/nr/nr_sim.ml: Array Bi_core Bi_hw Bi_sim List

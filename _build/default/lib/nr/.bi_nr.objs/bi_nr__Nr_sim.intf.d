@@ -1,0 +1,1 @@
+lib/nr/nr_sim.mli: Bi_hw

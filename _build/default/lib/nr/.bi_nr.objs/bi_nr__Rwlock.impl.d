@@ -1,0 +1,1 @@
+lib/nr/rwlock.ml: Atomic Domain Fun

@@ -1,0 +1,1 @@
+lib/nr/seq_ds.ml:

@@ -1,0 +1,44 @@
+type 'op entry = { op : 'op; replica : int; slot : int }
+
+type 'op t = {
+  slots : 'op entry option Atomic.t array;
+  tail_ : int Atomic.t;
+  capacity : int;
+}
+
+exception Full
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Log.create: capacity <= 0";
+  {
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+    tail_ = Atomic.make 0;
+    capacity;
+  }
+
+let append t entries =
+  let n = List.length entries in
+  if n = 0 then Atomic.get t.tail_
+  else begin
+    let start = Atomic.fetch_and_add t.tail_ n in
+    if start + n > t.capacity then raise Full;
+    List.iteri
+      (fun i e -> Atomic.set t.slots.(start + i) (Some e))
+      entries;
+    start
+  end
+
+let tail t = min (Atomic.get t.tail_) t.capacity
+
+let get t i =
+  if i < 0 || i >= tail t then invalid_arg "Log.get: index out of range";
+  let rec spin () =
+    match Atomic.get t.slots.(i) with
+    | Some e -> e
+    | None ->
+        Domain.cpu_relax ();
+        spin ()
+  in
+  spin ()
+
+let capacity t = t.capacity

@@ -1,0 +1,33 @@
+(** The shared operation log.
+
+    NR "maintains consistency through an operation log" (paper Section
+    4.1): combiners reserve a contiguous range of slots with an atomic
+    fetch-and-add on the tail, then publish their entries; replicas replay
+    the log in order.  Entries carry the issuing replica and combiner slot
+    so that exactly one replica — the issuer's — delivers the result. *)
+
+type 'op entry = {
+  op : 'op;
+  replica : int;  (** Replica whose thread issued the op. *)
+  slot : int;  (** Combiner slot of the issuing thread within that replica. *)
+}
+
+type 'op t
+
+exception Full
+(** The log has fixed capacity; appending past it raises. *)
+
+val create : capacity:int -> 'op t
+
+val append : 'op t -> 'op entry list -> int
+(** Atomically reserve and publish a batch; returns the index of the first
+    entry.  Safe to call from multiple domains. *)
+
+val tail : 'op t -> int
+(** Number of reserved entries (some may still be publishing). *)
+
+val get : 'op t -> int -> 'op entry
+(** Read entry [i]; spins briefly if the publisher has reserved but not
+    yet published it.  [i] must be below {!tail}. *)
+
+val capacity : 'op t -> int

@@ -1,0 +1,131 @@
+module Make (DS : Seq_ds.S) = struct
+  type replica = {
+    id : int;
+    ds : DS.t;
+    lock : Rwlock.t;
+    mutable ltail : int; (* log entries applied; protected by [lock]'s writer side *)
+    combiner : bool Atomic.t;
+    requests : DS.op option Atomic.t array; (* one slot per thread of this replica *)
+    responses : DS.ret option Atomic.t array;
+  }
+
+  type t = {
+    log : DS.op Log.t;
+    reps : replica array;
+    tpr : int;
+    combines : int Atomic.t;
+  }
+
+  let create ?(replicas = 2) ?(threads_per_replica = 8)
+      ?(log_capacity = 1_048_576) () =
+    if replicas <= 0 then invalid_arg "Nr.create: replicas <= 0";
+    if threads_per_replica <= 0 then
+      invalid_arg "Nr.create: threads_per_replica <= 0";
+    let make_replica id =
+      {
+        id;
+        ds = DS.create ();
+        lock = Rwlock.create ();
+        ltail = 0;
+        combiner = Atomic.make false;
+        requests = Array.init threads_per_replica (fun _ -> Atomic.make None);
+        responses = Array.init threads_per_replica (fun _ -> Atomic.make None);
+      }
+    in
+    {
+      log = Log.create ~capacity:log_capacity;
+      reps = Array.init replicas make_replica;
+      tpr = threads_per_replica;
+      combines = Atomic.make 0;
+    }
+
+  let replicas t = Array.length t.reps
+  let threads_per_replica t = t.tpr
+  let log_entries t = Log.tail t.log
+  let combines t = Atomic.get t.combines
+
+  (* Replay log entries [r.ltail, upto) into the replica.  Caller holds the
+     writer lock.  Results for entries issued by this replica's threads are
+     published to their response slots. *)
+  let apply_upto t r upto =
+    while r.ltail < upto do
+      let e = Log.get t.log r.ltail in
+      let ret = DS.apply r.ds e.Log.op in
+      if e.Log.replica = r.id then
+        Atomic.set r.responses.(e.Log.slot) (Some ret);
+      r.ltail <- r.ltail + 1
+    done
+
+  (* Become the combiner for replica [r]: gather pending requests, append
+     them to the log in one reservation, then replay the log (including
+     other replicas' entries) into the local replica. *)
+  let combine t r =
+    Atomic.incr t.combines;
+    let batch = ref [] in
+    for slot = t.tpr - 1 downto 0 do
+      match Atomic.exchange r.requests.(slot) None with
+      | None -> ()
+      | Some op -> batch := { Log.op; replica = r.id; slot } :: !batch
+    done;
+    ignore (Log.append t.log !batch : int);
+    let upto = Log.tail t.log in
+    Rwlock.with_write r.lock (fun () -> apply_upto t r upto)
+
+  let try_combine t r =
+    if Atomic.compare_and_set r.combiner false true then begin
+      Fun.protect
+        ~finally:(fun () -> Atomic.set r.combiner false)
+        (fun () -> combine t r);
+      true
+    end
+    else false
+
+  let execute_mutating t r slot op =
+    Atomic.set r.requests.(slot) (Some op);
+    let rec wait () =
+      match Atomic.exchange r.responses.(slot) None with
+      | Some ret -> ret
+      | None ->
+          (* Either combine on the replica's behalf or wait for the current
+             combiner to deliver our response. *)
+          ignore (try_combine t r : bool);
+          Domain.cpu_relax ();
+          wait ()
+    in
+    wait ()
+
+  let execute_readonly t r op =
+    let rec attempt () =
+      let tail = Log.tail t.log in
+      if r.ltail >= tail then begin
+        (* ltail only grows, so under the read lock the replica reflects at
+           least [tail]; this read linearizes at the lock acquisition. *)
+        Rwlock.with_read r.lock (fun () -> DS.apply r.ds op)
+      end
+      else begin
+        ignore (try_combine t r : bool);
+        Domain.cpu_relax ();
+        attempt ()
+      end
+    in
+    attempt ()
+
+  let execute t ~thread op =
+    let n = Array.length t.reps * t.tpr in
+    if thread < 0 || thread >= n then invalid_arg "Nr.execute: bad thread id";
+    let r = t.reps.(thread / t.tpr) in
+    let slot = thread mod t.tpr in
+    if DS.is_read_only op then execute_readonly t r op
+    else execute_mutating t r slot op
+
+  let sync_all t =
+    let upto = Log.tail t.log in
+    Array.iter
+      (fun r ->
+        Rwlock.with_write r.lock (fun () -> apply_upto t r upto))
+      t.reps
+
+  let peek t ~replica f =
+    let r = t.reps.(replica) in
+    Rwlock.with_read r.lock (fun () -> f r.ds)
+end

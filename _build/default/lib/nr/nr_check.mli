@@ -1,0 +1,11 @@
+(** Node-replication verification conditions — the executable analogue of
+    the IronSync NR proof the paper's methodology leans on (Section 4.3:
+    "we can verify NR once and reason about their linearizable interface").
+
+    Families: operation-log ordering and reservation atomicity (including
+    from two real domains), readers-writer-lock exclusion, sequential
+    equivalence of the replicated structure against its plain sequential
+    original over randomized traces, replica convergence, read-path
+    properties, and linearizability of concurrent two-domain histories. *)
+
+val vcs : unit -> Bi_core.Vc.t list

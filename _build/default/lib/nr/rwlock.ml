@@ -1,0 +1,38 @@
+type t = { state : int Atomic.t }
+
+(* state >= 0: number of readers; state = -1: writer holds the lock. *)
+
+let create () = { state = Atomic.make 0 }
+
+let rec acquire_read t =
+  let s = Atomic.get t.state in
+  if s >= 0 && Atomic.compare_and_set t.state s (s + 1) then ()
+  else begin
+    Domain.cpu_relax ();
+    acquire_read t
+  end
+
+let release_read t = ignore (Atomic.fetch_and_add t.state (-1))
+
+let try_acquire_write t = Atomic.compare_and_set t.state 0 (-1)
+
+let rec acquire_write t =
+  if try_acquire_write t then ()
+  else begin
+    Domain.cpu_relax ();
+    acquire_write t
+  end
+
+let release_write t = Atomic.set t.state 0
+
+let with_read t f =
+  acquire_read t;
+  Fun.protect ~finally:(fun () -> release_read t) f
+
+let with_write t f =
+  acquire_write t;
+  Fun.protect ~finally:(fun () -> release_write t) f
+
+let readers t =
+  let s = Atomic.get t.state in
+  if s < 0 then 0 else s

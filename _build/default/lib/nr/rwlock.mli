@@ -1,0 +1,30 @@
+(** Spinning readers-writer lock.
+
+    NR uses a readers-writer lock per replica: many readers may consult the
+    replica concurrently; the combiner takes the writer side to replay the
+    log.  This implementation is a single atomic word — negative means a
+    writer holds it, non-negative counts readers — and spins with
+    [Domain.cpu_relax], which is appropriate for the short critical
+    sections NR produces. *)
+
+type t
+
+val create : unit -> t
+
+val acquire_read : t -> unit
+val release_read : t -> unit
+
+val acquire_write : t -> unit
+val release_write : t -> unit
+
+val try_acquire_write : t -> bool
+(** Non-blocking writer acquisition. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Bracketed read section (releases on exceptions). *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Bracketed write section. *)
+
+val readers : t -> int
+(** Instantaneous reader count (for tests and stats; racy by nature). *)

@@ -1,0 +1,9 @@
+module type S = sig
+  type t
+  type op
+  type ret
+
+  val create : unit -> t
+  val apply : t -> op -> ret
+  val is_read_only : op -> bool
+end

@@ -1,0 +1,30 @@
+(** The sequential-data-structure interface node replication lifts.
+
+    NR's promise (paper Section 4.1/4.3) is that a data structure written
+    and verified {e sequentially} becomes a linearizable concurrent
+    structure.  Anything matching this signature can be replicated:
+    the kernel's page-table/address-space state, the scheduler table, a
+    key-value map, ... *)
+
+module type S = sig
+  type t
+  (** Sequential state; never accessed outside NR's locks. *)
+
+  type op
+  (** Operations, both mutating and read-only. *)
+
+  type ret
+  (** Results. *)
+
+  val create : unit -> t
+  (** A fresh replica.  All replicas must start equal. *)
+
+  val apply : t -> op -> ret
+  (** Execute one operation.  Must be deterministic: replicas replay the
+      same log and must converge.  Read-only operations (per
+      {!is_read_only}) must not mutate [t] — they may run concurrently
+      under NR's read lock. *)
+
+  val is_read_only : op -> bool
+  (** Classifies operations; read-only ops skip the log. *)
+end

@@ -1,0 +1,1 @@
+lib/pt/page_table.ml: Bi_hw Hashtbl Int64 Pt_spec

@@ -1,0 +1,1 @@
+lib/pt/page_table.mli: Bi_hw Pt_spec

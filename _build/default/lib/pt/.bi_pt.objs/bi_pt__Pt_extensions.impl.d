@@ -1,0 +1,1 @@
+lib/pt/pt_extensions.ml: Bi_core Bi_hw Format Int64 List Page_table Printf Pt_spec

@@ -1,0 +1,1 @@
+lib/pt/pt_extensions.mli: Bi_core

@@ -1,0 +1,1 @@
+lib/pt/pt_refinement.ml: Bi_core Bi_hw Format Hashtbl Int64 List Page_table Printf Pt_spec Pt_verified

@@ -1,0 +1,1 @@
+lib/pt/pt_refinement.mli: Bi_core

@@ -1,0 +1,1 @@
+lib/pt/pt_spec.ml: Bi_hw Format Int64 List

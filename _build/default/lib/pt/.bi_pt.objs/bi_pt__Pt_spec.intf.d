@@ -1,0 +1,1 @@
+lib/pt/pt_spec.mli: Bi_hw Format

@@ -1,0 +1,1 @@
+lib/pt/pt_verified.ml: Bi_core Page_table Pt_spec

@@ -1,0 +1,1 @@
+lib/pt/pt_verified.mli: Bi_hw Page_table Pt_spec

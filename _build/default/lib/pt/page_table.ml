@@ -1,0 +1,228 @@
+module Addr = Bi_hw.Addr
+module Pte = Bi_hw.Pte
+module Phys_mem = Bi_hw.Phys_mem
+module Frame_alloc = Bi_hw.Frame_alloc
+
+type t = {
+  mem : Phys_mem.t;
+  frames : Frame_alloc.t;
+  root : Addr.paddr;
+  mutable table_count : int;
+  live : (Addr.paddr, int) Hashtbl.t;
+      (* live entries per table node: kernel-side metadata (kept outside
+         the hardware-walked memory, like NrOS's bookkeeping), so unmap
+         does not scan 512 entries to detect an empty table *)
+}
+
+let create ~mem ~frames =
+  let root = Frame_alloc.alloc_zeroed frames in
+  let live = Hashtbl.create 64 in
+  Hashtbl.replace live root 0;
+  { mem; frames; root; table_count = 1; live }
+
+let live_count t table =
+  match Hashtbl.find_opt t.live table with Some n -> n | None -> 0
+
+let bump_live t table delta =
+  Hashtbl.replace t.live table (live_count t table + delta)
+
+let root t = t.root
+let mem t = t.mem
+let table_frames t = t.table_count
+
+let entry_addr table index = Int64.add table (Int64.of_int (8 * index))
+
+let read_entry t ~level table index =
+  Pte.decode ~level (Phys_mem.read_u64 t.mem (entry_addr table index))
+
+let write_entry t table index pte =
+  Phys_mem.write_u64 t.mem (entry_addr table index) (Pte.encode pte)
+
+let index_for ~level va =
+  match level with
+  | 4 -> Addr.l4_index va
+  | 3 -> Addr.l3_index va
+  | 2 -> Addr.l2_index va
+  | _ -> Addr.l1_index va
+
+(* The level at which a mapping of [size] terminates: 1 for 4 KiB, 2 for
+   2 MiB, 3 for 1 GiB. *)
+let leaf_level size =
+  if size = Addr.page_size then 1
+  else if size = Addr.large_page_size then 2
+  else 3
+
+let size_of_level = function
+  | 3 -> Addr.huge_page_size
+  | 2 -> Addr.large_page_size
+  | _ -> Addr.page_size
+
+(* Walk down to [target] level, allocating intermediate tables, and return
+   the table that holds the entry at [target] — or [Error Already_mapped]
+   if a leaf blocks the path. *)
+let rec descend_alloc t ~level ~target table va =
+  if level = target then Ok table
+  else begin
+    let index = index_for ~level va in
+    match read_entry t ~level table index with
+    | Pte.Leaf _ -> Error Pt_spec.Already_mapped
+    | Pte.Table next -> descend_alloc t ~level:(level - 1) ~target next va
+    | Pte.Absent ->
+        let next = Frame_alloc.alloc_zeroed t.frames in
+        t.table_count <- t.table_count + 1;
+        Hashtbl.replace t.live next 0;
+        write_entry t table index (Pte.Table next);
+        bump_live t table 1;
+        descend_alloc t ~level:(level - 1) ~target next va
+  end
+
+(* A present Table entry always has a live descendant (unmap reclaims), so
+   finding a Table below the target level means an existing finer-grained
+   mapping overlaps the requested range. *)
+let map t ~va ~frame ~size ~perm =
+  if not (Pt_spec.valid_size size) then Error Pt_spec.Bad_size
+  else if not (Addr.is_canonical va) then Error Pt_spec.Non_canonical
+  else if (not (Addr.is_aligned va size)) || not (Addr.is_aligned frame size)
+  then Error Pt_spec.Misaligned
+  else begin
+    let target = leaf_level size in
+    match descend_alloc t ~level:4 ~target t.root va with
+    | Error e -> Error e
+    | Ok table -> (
+        let index = index_for ~level:target va in
+        match read_entry t ~level:target table index with
+        | Pte.Absent ->
+            write_entry t table index
+              (Pte.Leaf { frame; perm; huge = target > 1 });
+            bump_live t table 1;
+            Ok ()
+        | Pte.Leaf _ | Pte.Table _ -> Error Pt_spec.Already_mapped)
+  end
+
+(* Note: descend_alloc may have allocated intermediate tables before
+   discovering Already_mapped at the target slot.  Those tables are only
+   created along the va path and, because the target slot is occupied, the
+   path above it already existed — so nothing newly allocated leaks. *)
+
+let rec scan_unmap t ~level table va =
+  let index = index_for ~level va in
+  match read_entry t ~level table index with
+  | Pte.Absent -> Error Pt_spec.Not_mapped
+  | Pte.Leaf { frame; perm = _; huge = _ } ->
+      (* Exact-base requirement: the va must be aligned to this level's
+         size, otherwise it points inside the mapping, not at its base. *)
+      if Addr.is_aligned va (size_of_level level) then begin
+        write_entry t table index Pte.Absent;
+        bump_live t table (-1);
+        Ok frame
+      end
+      else Error Pt_spec.Not_mapped
+  | Pte.Table next -> (
+      match scan_unmap t ~level:(level - 1) next va with
+      | Error _ as e -> e
+      | Ok frame ->
+          (* Reclaim [next] if the removal emptied it (live-entry counter:
+             O(1) instead of scanning 512 slots). *)
+          if live_count t next = 0 then begin
+            write_entry t table index Pte.Absent;
+            bump_live t table (-1);
+            Hashtbl.remove t.live next;
+            Frame_alloc.free t.frames next;
+            t.table_count <- t.table_count - 1
+          end;
+          Ok frame)
+
+let unmap t ~va =
+  if not (Addr.is_canonical va) then Error Pt_spec.Non_canonical
+  else scan_unmap t ~level:4 t.root va
+
+let rec scan_protect t ~level table va perm =
+  let index = index_for ~level va in
+  match read_entry t ~level table index with
+  | Pte.Absent -> Error Pt_spec.Not_mapped
+  | Pte.Leaf { frame; perm = _; huge } ->
+      if Addr.is_aligned va (size_of_level level) then begin
+        write_entry t table index (Pte.Leaf { frame; perm; huge });
+        Ok ()
+      end
+      else Error Pt_spec.Not_mapped
+  | Pte.Table next -> scan_protect t ~level:(level - 1) next va perm
+
+let protect t ~va ~perm =
+  if not (Addr.is_canonical va) then Error Pt_spec.Non_canonical
+  else scan_protect t ~level:4 t.root va perm
+
+let resolve t ~va =
+  if not (Addr.is_canonical va) then Error Pt_spec.Non_canonical
+  else begin
+    let rec walk ~level table =
+      let index = index_for ~level va in
+      match read_entry t ~level table index with
+      | Pte.Absent -> Error Pt_spec.Not_mapped
+      | Pte.Table next -> walk ~level:(level - 1) next
+      | Pte.Leaf { frame; perm; huge = _ } ->
+          let offset =
+            match level with
+            | 3 -> Addr.offset_1g va
+            | 2 -> Addr.offset_2m va
+            | _ -> Addr.offset_4k va
+          in
+          Ok (Int64.add frame offset, perm)
+    in
+    walk ~level:4 t.root
+  end
+
+let view t =
+  let acc = ref [] in
+  let rec walk_table ~level table va_prefix =
+    for index = 0 to Addr.entries_per_table - 1 do
+      let child_va =
+        match level with
+        | 4 -> Addr.of_indices ~l4:index ~l3:0 ~l2:0 ~l1:0 ~offset:0L
+        | 3 ->
+            Int64.add va_prefix
+              (Int64.mul (Int64.of_int index) Addr.huge_page_size)
+        | 2 ->
+            Int64.add va_prefix
+              (Int64.mul (Int64.of_int index) Addr.large_page_size)
+        | _ ->
+            Int64.add va_prefix
+              (Int64.mul (Int64.of_int index) Addr.page_size)
+      in
+      match read_entry t ~level table index with
+      | Pte.Absent -> ()
+      | Pte.Table next -> walk_table ~level:(level - 1) next child_va
+      | Pte.Leaf { frame; perm; huge = _ } ->
+          acc :=
+            ( Addr.canonicalize child_va,
+              { Pt_spec.frame; perm; size = size_of_level level } )
+            :: !acc
+    done
+  in
+  walk_table ~level:4 t.root 0L;
+  Pt_spec.of_mappings !acc
+
+let well_formed t =
+  let ok = ref true in
+  let rec walk_table ~level table =
+    let live = ref 0 in
+    for index = 0 to Addr.entries_per_table - 1 do
+      match read_entry t ~level table index with
+      | Pte.Absent -> ()
+      | Pte.Leaf { frame; perm = _; huge } ->
+          incr live;
+          if level = 4 then ok := false;
+          if not (Addr.is_aligned frame (size_of_level level)) then ok := false;
+          if huge <> (level > 1) then ok := false
+      | Pte.Table next ->
+          incr live;
+          if level = 1 then ok := false;
+          if not (Frame_alloc.is_allocated t.frames next) then ok := false;
+          walk_table ~level:(level - 1) next
+    done;
+    if level < 4 && !live = 0 then ok := false;
+    (* The O(1) live counter must agree with the actual entry scan. *)
+    if live_count t table <> !live then ok := false
+  in
+  walk_table ~level:4 t.root;
+  !ok

@@ -1,0 +1,60 @@
+(** Executable x86-64 page-table implementation.
+
+    The paper's box (3) in Figure 2: concrete [map], [unmap] and [resolve]
+    functions that "read and write memory locations of the page table to
+    perform mapping or unmapping of frames, as well as allocate or free
+    memory used to store the page table".  The four-level radix tree is
+    stored bit-for-bit in {!Bi_hw.Phys_mem}; intermediate tables are
+    allocated from a {!Bi_hw.Frame_alloc} on demand and reclaimed when
+    unmapping empties them, so a present [Table] entry always has at least
+    one live descendant (an invariant the VC suite checks). *)
+
+type t
+
+val create : mem:Bi_hw.Phys_mem.t -> frames:Bi_hw.Frame_alloc.t -> t
+(** Allocate a zeroed root table. *)
+
+val root : t -> Bi_hw.Addr.paddr
+(** Physical address of the L4 table (the CR3 value). *)
+
+val mem : t -> Bi_hw.Phys_mem.t
+
+val map :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  frame:Bi_hw.Addr.paddr ->
+  size:int64 ->
+  perm:Bi_hw.Pte.perm ->
+  (unit, Pt_spec.err) result
+(** Install a mapping of [size] bytes (4 KiB, 2 MiB or 1 GiB).  Fails with
+    [Already_mapped] if the range intersects an existing mapping, and with
+    alignment/canonicality/size errors per {!Pt_spec.step}. *)
+
+val unmap : t -> va:Bi_hw.Addr.vaddr -> (Bi_hw.Addr.paddr, Pt_spec.err) result
+(** Remove the mapping whose base is exactly [va]; returns the frame it
+    mapped.  Reclaims intermediate tables that become empty. *)
+
+val resolve :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  (Bi_hw.Addr.paddr * Bi_hw.Pte.perm, Pt_spec.err) result
+(** Software walk: translate a virtual address if mapped. *)
+
+val protect :
+  t -> va:Bi_hw.Addr.vaddr -> perm:Bi_hw.Pte.perm -> (unit, Pt_spec.err) result
+(** Rewrite the permissions of the mapping whose base is exactly [va]
+    (mprotect).  The caller is responsible for the TLB shootdown, as with
+    unmap. *)
+
+val view : t -> Pt_spec.state
+(** Abstraction function: read the radix tree out of physical memory into
+    the high-level spec's mathematical map.  This is the arrow of the
+    paper's Figure 2 refinement. *)
+
+val table_frames : t -> int
+(** Number of frames currently used for page-table nodes, root included
+    (exercised by the reclamation VCs). *)
+
+val well_formed : t -> bool
+(** Structural invariant: tree acyclic within allocator bounds, no empty
+    intermediate tables, leaf alignment respected at each level. *)

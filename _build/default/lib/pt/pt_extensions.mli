@@ -1,0 +1,8 @@
+(** Extension VCs beyond the paper's fixed 220-VC prototype suite.
+
+    The paper's Section 5 evaluates exactly 220 verification conditions,
+    so {!Pt_refinement} is pinned to that universe.  Features added beyond
+    the prototype — currently [protect] (mprotect) — get their refinement
+    obligations here, discharged by the [ptx] suite of [bin/verify]. *)
+
+val vcs : unit -> Bi_core.Vc.t list

@@ -1,0 +1,29 @@
+(** The page-table verification-condition suite.
+
+    The paper reports "all 220 verification conditions" for its page-table
+    proof (Figure 1a).  This module generates exactly 220 VCs, organised in
+    the same layers as the paper's Figure 2:
+
+    - bit-level lemmas about the PTE codec and address arithmetic (the
+      "multi-level tree structure encoded as bits" part of the proof);
+    - per-operation refinement obligations — one VC per (operation,
+      page-size, permission, scenario) instance, checked through
+      {!Bi_core.Refinement} against {!Pt_spec};
+    - hardware-coupling obligations: agreement with the {!Bi_hw.Mmu}
+      walker, TLB semantics (including staleness after unmap without
+      [invlpg]), and read/write memory semantics through translation;
+    - structural invariants (well-formedness, table-frame reclamation);
+    - randomized whole-trace refinement;
+    - ghost/contract obligations for {!Pt_verified}.
+
+    Discharging them with {!Bi_core.Verifier.discharge} produces the
+    Figure 1a CDF. *)
+
+val count : int
+(** 220, matching the paper. *)
+
+val all : unit -> Bi_core.Vc.t list
+(** Generate the full suite.  [List.length (all ()) = count]. *)
+
+val families : unit -> (string * int) list
+(** VC count per category, in suite order. *)

@@ -1,0 +1,162 @@
+module Addr = Bi_hw.Addr
+module Pte = Bi_hw.Pte
+
+type mapping = { frame : Addr.paddr; perm : Pte.perm; size : int64 }
+
+type state = (Addr.vaddr * mapping) list (* sorted by vaddr, disjoint *)
+
+type err =
+  | Already_mapped
+  | Not_mapped
+  | Misaligned
+  | Non_canonical
+  | Bad_size
+
+type op =
+  | Map of { va : Addr.vaddr; m : mapping }
+  | Unmap of { va : Addr.vaddr }
+  | Resolve of { va : Addr.vaddr }
+  | Protect of { va : Addr.vaddr; perm : Pte.perm }
+
+type ret =
+  | Mapped
+  | Unmapped of Addr.paddr
+  | Resolved of Addr.paddr * Pte.perm
+  | Error of err
+
+let empty = []
+
+let mappings st = st
+
+let valid_size s =
+  s = Addr.page_size || s = Addr.large_page_size || s = Addr.huge_page_size
+
+(* Unsigned comparison is unnecessary: canonical user-space addresses used
+   throughout this project are below 2^47, and frames below 2^52. *)
+let covers (base, m) va = va >= base && va < Int64.add base m.size
+
+let lookup st va = List.find_opt (fun e -> covers e va) st
+
+let translate st va =
+  match lookup st va with
+  | None -> None
+  | Some (base, m) ->
+      Some (Int64.add m.frame (Int64.sub va base), m.perm)
+
+let ranges_intersect a_lo a_hi b_lo b_hi = a_lo < b_hi && b_lo < a_hi
+
+let overlaps st va size =
+  let hi = Int64.add va size in
+  List.exists
+    (fun (base, m) -> ranges_intersect va hi base (Int64.add base m.size))
+    st
+
+let insert st va m =
+  let rec go = function
+    | [] -> [ (va, m) ]
+    | ((base, _) as e) :: rest ->
+        if va < base then (va, m) :: e :: rest else e :: go rest
+  in
+  go st
+
+let well_formed_entry va m =
+  valid_size m.size && Addr.is_canonical va
+  && Addr.is_aligned va m.size
+  && Addr.is_aligned m.frame m.size
+
+let of_mappings entries =
+  let st =
+    List.fold_left
+      (fun acc (va, m) ->
+        if not (well_formed_entry va m) then
+          invalid_arg "Pt_spec.of_mappings: ill-formed entry";
+        if overlaps acc va m.size then
+          invalid_arg "Pt_spec.of_mappings: overlapping entries";
+        insert acc va m)
+      empty entries
+  in
+  st
+
+let step st op =
+  match op with
+  | Map { va; m } ->
+      if not (valid_size m.size) then Some (st, Error Bad_size)
+      else if not (Addr.is_canonical va) then Some (st, Error Non_canonical)
+      else if
+        (not (Addr.is_aligned va m.size))
+        || not (Addr.is_aligned m.frame m.size)
+      then Some (st, Error Misaligned)
+      else if overlaps st va m.size then Some (st, Error Already_mapped)
+      else Some (insert st va m, Mapped)
+  | Unmap { va } -> (
+      match List.assoc_opt va st with
+      | Some m ->
+          Some (List.filter (fun (base, _) -> base <> va) st, Unmapped m.frame)
+      | None ->
+          if not (Addr.is_canonical va) then Some (st, Error Non_canonical)
+          else Some (st, Error Not_mapped))
+  | Resolve { va } -> (
+      if not (Addr.is_canonical va) then Some (st, Error Non_canonical)
+      else
+        match translate st va with
+        | Some (pa, perm) -> Some (st, Resolved (pa, perm))
+        | None -> Some (st, Error Not_mapped))
+  | Protect { va; perm } -> (
+      match List.assoc_opt va st with
+      | Some _ ->
+          let update (base, m) =
+            if base = va then (base, { m with perm }) else (base, m)
+          in
+          Some (List.map update st, Mapped)
+      | None ->
+          if not (Addr.is_canonical va) then Some (st, Error Non_canonical)
+          else Some (st, Error Not_mapped))
+
+let equal_mapping a b =
+  a.frame = b.frame && Pte.equal_perm a.perm b.perm && a.size = b.size
+
+let equal_state a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (va1, m1) (va2, m2) -> va1 = va2 && equal_mapping m1 m2)
+       a b
+
+let equal_ret a b =
+  match (a, b) with
+  | Mapped, Mapped -> true
+  | Unmapped x, Unmapped y -> x = y
+  | Resolved (p1, q1), Resolved (p2, q2) -> p1 = p2 && Pte.equal_perm q1 q2
+  | Error x, Error y -> x = y
+  | (Mapped | Unmapped _ | Resolved _ | Error _), _ -> false
+
+let pp_err ppf = function
+  | Already_mapped -> Format.pp_print_string ppf "already-mapped"
+  | Not_mapped -> Format.pp_print_string ppf "not-mapped"
+  | Misaligned -> Format.pp_print_string ppf "misaligned"
+  | Non_canonical -> Format.pp_print_string ppf "non-canonical"
+  | Bad_size -> Format.pp_print_string ppf "bad-size"
+
+let pp_mapping ppf m =
+  Format.fprintf ppf "frame=0x%Lx size=0x%Lx perm=%a" m.frame m.size
+    Pte.pp_perm m.perm
+
+let pp_state ppf st =
+  Format.fprintf ppf "{";
+  List.iter
+    (fun (va, m) -> Format.fprintf ppf "0x%Lx->(%a); " va pp_mapping m)
+    st;
+  Format.fprintf ppf "}"
+
+let pp_op ppf = function
+  | Map { va; m } -> Format.fprintf ppf "map(0x%Lx, %a)" va pp_mapping m
+  | Unmap { va } -> Format.fprintf ppf "unmap(0x%Lx)" va
+  | Resolve { va } -> Format.fprintf ppf "resolve(0x%Lx)" va
+  | Protect { va; perm } ->
+      Format.fprintf ppf "protect(0x%Lx, %a)" va Pte.pp_perm perm
+
+let pp_ret ppf = function
+  | Mapped -> Format.pp_print_string ppf "mapped"
+  | Unmapped pa -> Format.fprintf ppf "unmapped(0x%Lx)" pa
+  | Resolved (pa, perm) ->
+      Format.fprintf ppf "resolved(0x%Lx,%a)" pa Pte.pp_perm perm
+  | Error e -> Format.fprintf ppf "error(%a)" pp_err e

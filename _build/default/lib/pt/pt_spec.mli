@@ -1,0 +1,72 @@
+(** High-level page-table specification.
+
+    The paper's box (2) in Figure 2: "State: Map VAddr → PTE; Ops:
+    map/unmap/resolve".  The state is a mathematical map from virtual
+    addresses to mappings (frame, permissions, page size); the operations
+    are total transitions that either change the map or return a defined
+    error — this is the {e process-centric} spec a client application
+    programs against, describing how its view of virtual memory expands on
+    map and shrinks on unmap (paper Section 5, "High-level spec"). *)
+
+type mapping = {
+  frame : Bi_hw.Addr.paddr;
+  perm : Bi_hw.Pte.perm;
+  size : int64;  (** 4 KiB, 2 MiB or 1 GiB. *)
+}
+
+type state
+(** Finite map from page-aligned canonical virtual addresses to
+    mappings, with pairwise-disjoint ranges. *)
+
+type err =
+  | Already_mapped  (** The target range overlaps an existing mapping. *)
+  | Not_mapped
+  | Misaligned  (** Address or frame not aligned to the page size. *)
+  | Non_canonical
+  | Bad_size  (** Size not one of the three supported page sizes. *)
+
+type op =
+  | Map of { va : Bi_hw.Addr.vaddr; m : mapping }
+  | Unmap of { va : Bi_hw.Addr.vaddr }
+  | Resolve of { va : Bi_hw.Addr.vaddr }
+  | Protect of { va : Bi_hw.Addr.vaddr; perm : Bi_hw.Pte.perm }
+      (** Change the permissions of the mapping whose base is exactly
+          [va] (the mprotect extension; see [Pt_extensions]). *)
+
+type ret =
+  | Mapped
+  | Unmapped of Bi_hw.Addr.paddr  (** The frame that was freed. *)
+  | Resolved of Bi_hw.Addr.paddr * Bi_hw.Pte.perm
+  | Error of err
+
+val empty : state
+
+val mappings : state -> (Bi_hw.Addr.vaddr * mapping) list
+(** Sorted by virtual address. *)
+
+val of_mappings : (Bi_hw.Addr.vaddr * mapping) list -> state
+(** Build a state; raises [Invalid_argument] if entries are invalid or
+    overlap. *)
+
+val lookup : state -> Bi_hw.Addr.vaddr -> (Bi_hw.Addr.vaddr * mapping) option
+(** The mapping whose range covers the address, with its base. *)
+
+val translate : state -> Bi_hw.Addr.vaddr -> (Bi_hw.Addr.paddr * Bi_hw.Pte.perm) option
+(** Spec-level address translation: base frame plus in-page offset. *)
+
+val overlaps : state -> Bi_hw.Addr.vaddr -> int64 -> bool
+(** Does [[va, va+size)] intersect any mapped range? *)
+
+val step : state -> op -> (state * ret) option
+(** Total on well-formed ops: every [op] yields [Some]; errors are modelled
+    as [Error _] returns with the state unchanged.  This instantiates
+    {!Bi_core.State_machine.SPEC}. *)
+
+val valid_size : int64 -> bool
+
+val equal_state : state -> state -> bool
+val equal_ret : ret -> ret -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_ret : Format.formatter -> ret -> unit
+val pp_err : Format.formatter -> err -> unit

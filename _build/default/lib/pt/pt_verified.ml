@@ -1,0 +1,71 @@
+module Contract = Bi_core.Contract
+
+type t = { pt : Page_table.t; mutable ghost : Pt_spec.state }
+
+let create ~mem ~frames =
+  { pt = Page_table.create ~mem ~frames; ghost = Pt_spec.empty }
+
+let inner t = t.pt
+
+let ghost_state t =
+  match Contract.mode () with
+  | Contract.Checked -> t.ghost
+  | Contract.Erased -> Page_table.view t.pt
+
+(* Relate an implementation result to the spec's return value. *)
+let ret_of_map = function
+  | Ok () -> Pt_spec.Mapped
+  | Error e -> Pt_spec.Error e
+
+let ret_of_unmap = function
+  | Ok frame -> Pt_spec.Unmapped frame
+  | Error e -> Pt_spec.Error e
+
+let ret_of_resolve = function
+  | Ok (pa, perm) -> Pt_spec.Resolved (pa, perm)
+  | Error e -> Pt_spec.Error e
+
+(* Run [body], then (in Checked mode) step the ghost state through the spec
+   and require that the implementation's return value and memory view both
+   match.  This is the reproduction of the paper's refinement ensures
+   clause. *)
+let stepped t name op ~to_ret body =
+  match Contract.mode () with
+  | Contract.Erased -> body ()
+  | Contract.Checked -> (
+      let pre = t.ghost in
+      match Pt_spec.step pre op with
+      | None ->
+          raise
+            (Contract.Violation
+               { name; clause = "requires"; detail = "op disabled in spec" })
+      | Some (post, expected_ret) ->
+          let result = body () in
+          let got = to_ret result in
+          Contract.ensures ~name (Pt_spec.equal_ret got expected_ret);
+          t.ghost <- post;
+          Contract.check_invariant ~name (fun () ->
+              Pt_spec.equal_state t.ghost (Page_table.view t.pt));
+          Contract.check_invariant ~name (fun () ->
+              Page_table.well_formed t.pt);
+          result)
+
+let map t ~va ~frame ~size ~perm =
+  stepped t "pt_verified.map"
+    (Pt_spec.Map { va; m = { Pt_spec.frame; perm; size } })
+    ~to_ret:ret_of_map
+    (fun () -> Page_table.map t.pt ~va ~frame ~size ~perm)
+
+let unmap t ~va =
+  stepped t "pt_verified.unmap" (Pt_spec.Unmap { va }) ~to_ret:ret_of_unmap
+    (fun () -> Page_table.unmap t.pt ~va)
+
+let protect t ~va ~perm =
+  stepped t "pt_verified.protect" (Pt_spec.Protect { va; perm })
+    ~to_ret:ret_of_map
+    (fun () -> Page_table.protect t.pt ~va ~perm)
+
+let resolve t ~va =
+  stepped t "pt_verified.resolve" (Pt_spec.Resolve { va })
+    ~to_ret:ret_of_resolve
+    (fun () -> Page_table.resolve t.pt ~va)

@@ -1,0 +1,43 @@
+(** The "verified" page table: {!Page_table} wrapped in executable
+    contracts and ghost state.
+
+    In the paper, verification happens at compile time and the proofs are
+    erased, so the verified artifact runs the same instructions as the
+    unverified one (Figures 1b/1c show them matching).  Here the analogue
+    is a wrapper whose ghost abstract state and requires/ensures checks are
+    active under {!Bi_core.Contract.Checked} and compiled down to bare
+    delegation under [Erased].  [Erased] is "the verified page table as
+    shipped"; [Checked] is what runtime checking would cost instead of
+    proof — an ablation the benchmark reports. *)
+
+type t
+
+val create : mem:Bi_hw.Phys_mem.t -> frames:Bi_hw.Frame_alloc.t -> t
+
+val inner : t -> Page_table.t
+(** The underlying implementation (e.g. for handing CR3 to the MMU). *)
+
+val ghost_state : t -> Pt_spec.state
+(** The ghost abstract map.  Maintained only in [Checked] mode; in
+    [Erased] mode this recomputes the view from memory. *)
+
+val map :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  frame:Bi_hw.Addr.paddr ->
+  size:int64 ->
+  perm:Bi_hw.Pte.perm ->
+  (unit, Pt_spec.err) result
+(** As {!Page_table.map}; under [Checked] additionally verifies that the
+    result and the post-state agree with {!Pt_spec.step} on the ghost
+    state, and that the ghost state stays equal to the memory view. *)
+
+val unmap : t -> va:Bi_hw.Addr.vaddr -> (Bi_hw.Addr.paddr, Pt_spec.err) result
+
+val protect :
+  t -> va:Bi_hw.Addr.vaddr -> perm:Bi_hw.Pte.perm -> (unit, Pt_spec.err) result
+
+val resolve :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  (Bi_hw.Addr.paddr * Bi_hw.Pte.perm, Pt_spec.err) result

@@ -1,0 +1,1 @@
+lib/sim/contention.ml: List

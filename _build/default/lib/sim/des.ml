@@ -1,0 +1,55 @@
+type event_id = int
+
+module Key = struct
+  (* Order by time, then by sequence number for FIFO at equal times. *)
+  type t = { time : int; seq : int }
+
+  let compare a b =
+    match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+end
+
+module Pq = Map.Make (Key)
+
+type t = {
+  mutable queue : (event_id * (t -> unit)) Pq.t;
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable cancelled : event_id list;
+}
+
+let create () = { queue = Pq.empty; clock = 0; next_seq = 0; cancelled = [] }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Des.schedule: time in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.queue <- Pq.add { Key.time = at; seq } (seq, f) t.queue;
+  seq
+
+let after t ~delay f = schedule t ~at:(t.clock + delay) f
+
+let cancel t id = t.cancelled <- id :: t.cancelled
+
+let run ?until t =
+  let stop_at = match until with Some u -> u | None -> max_int in
+  let rec loop () =
+    match Pq.min_binding_opt t.queue with
+    | None -> ()
+    | Some (key, (id, f)) ->
+        if key.Key.time > stop_at then ()
+        else begin
+          t.queue <- Pq.remove key t.queue;
+          if List.mem id t.cancelled then
+            t.cancelled <- List.filter (( <> ) id) t.cancelled
+          else begin
+            t.clock <- key.Key.time;
+            f t
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+let pending t = Pq.cardinal t.queue

@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    The container has 2 CPUs, so the paper's 1–28-core scaling experiments
+    (Figures 1b, 1c) run on this deterministic engine: simulated cores are
+    processes that schedule events on a virtual clock whose increments come
+    from {!Bi_hw.Cost_model}.  Determinism makes every benchmark number
+    reproducible bit-for-bit. *)
+
+type t
+
+type event_id
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time (cycles). *)
+
+val schedule : t -> at:int -> (t -> unit) -> event_id
+(** Schedule a callback at an absolute virtual time (>= [now]).  Callbacks
+    at equal times fire in scheduling order. *)
+
+val after : t -> delay:int -> (t -> unit) -> event_id
+(** Schedule relative to [now]. *)
+
+val cancel : t -> event_id -> unit
+(** Remove a scheduled event; no-op if already fired. *)
+
+val run : ?until:int -> t -> unit
+(** Execute events in time order until the queue is empty or virtual time
+    would pass [until]. *)
+
+val pending : t -> int
+(** Number of scheduled events. *)

@@ -1,0 +1,1 @@
+lib/ulib/serde.ml: Buffer Bytes Char Int32 Int64 List String

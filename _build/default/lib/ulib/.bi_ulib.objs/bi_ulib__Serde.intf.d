@@ -1,0 +1,1 @@
+lib/ulib/serde.mli:

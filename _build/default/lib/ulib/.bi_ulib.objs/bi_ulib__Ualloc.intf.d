@@ -1,0 +1,1 @@
+lib/ulib/ualloc.mli:

@@ -1,0 +1,1 @@
+lib/ulib/ubarrier.ml: Bi_kernel Int64

@@ -1,0 +1,1 @@
+lib/ulib/ubarrier.mli: Bi_kernel

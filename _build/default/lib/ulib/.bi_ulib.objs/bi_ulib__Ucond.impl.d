@@ -1,0 +1,1 @@
+lib/ulib/ucond.ml: Bi_kernel Int64 Umutex

@@ -1,0 +1,1 @@
+lib/ulib/ucond.mli: Bi_kernel Umutex

@@ -1,0 +1,1 @@
+lib/ulib/umutex.ml: Bi_kernel Fun Int64

@@ -1,0 +1,1 @@
+lib/ulib/umutex.mli: Bi_kernel

@@ -1,0 +1,1 @@
+lib/ulib/urwlock.ml: Bi_kernel Fun Int64

@@ -1,0 +1,1 @@
+lib/ulib/urwlock.mli: Bi_kernel

@@ -1,0 +1,1 @@
+lib/ulib/usem.ml: Bi_kernel Int64

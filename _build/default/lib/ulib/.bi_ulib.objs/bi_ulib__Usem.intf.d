@@ -1,0 +1,1 @@
+lib/ulib/usem.mli: Bi_kernel

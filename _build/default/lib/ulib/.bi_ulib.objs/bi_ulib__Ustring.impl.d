@@ -1,0 +1,1 @@
+lib/ulib/ustring.ml: Bytes Char String

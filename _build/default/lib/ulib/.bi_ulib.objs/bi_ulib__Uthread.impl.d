@@ -1,0 +1,1 @@
+lib/ulib/uthread.ml: Effect Fun Obj Queue

@@ -1,0 +1,80 @@
+let granule = 16
+
+type t = {
+  size : int;
+  mutable free_list : (int * int) list; (* (offset, len), sorted by offset *)
+  live : (int, int) Hashtbl.t; (* offset -> len *)
+}
+
+let create ~size =
+  if size <= 0 || size mod granule <> 0 then
+    invalid_arg "Ualloc.create: size must be a positive multiple of 16";
+  { size; free_list = [ (0, size) ]; live = Hashtbl.create 16 }
+
+let round n = (n + granule - 1) / granule * granule
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Ualloc.alloc: n <= 0";
+  let need = round n in
+  let rec take = function
+    | [] -> None
+    | (off, len) :: rest when len >= need ->
+        let remainder =
+          if len = need then rest else (off + need, len - need) :: rest
+        in
+        Some (off, remainder)
+    | hole :: rest -> (
+        match take rest with
+        | None -> None
+        | Some (off, rest') -> Some (off, hole :: rest'))
+  in
+  match take t.free_list with
+  | None -> None
+  | Some (off, free_list') ->
+      t.free_list <- free_list';
+      Hashtbl.replace t.live off need;
+      Some off
+
+(* Insert a hole, keeping the list sorted and coalescing neighbours. *)
+let rec insert_hole holes (off, len) =
+  match holes with
+  | [] -> [ (off, len) ]
+  | (o, l) :: rest ->
+      if off + len < o then (off, len) :: holes
+      else if off + len = o then (off, len + l) :: rest
+      else if o + l = off then insert_hole rest (o, l + len)
+      else if o + l < off then (o, l) :: insert_hole rest (off, len)
+      else invalid_arg "Ualloc: overlapping free"
+
+let free t off =
+  match Hashtbl.find_opt t.live off with
+  | None -> invalid_arg "Ualloc.free: unknown or already-freed offset"
+  | Some len ->
+      Hashtbl.remove t.live off;
+      t.free_list <- insert_hole t.free_list (off, len)
+
+let allocated_bytes t = Hashtbl.fold (fun _ len acc -> acc + len) t.live 0
+let free_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 t.free_list
+let block_count t = Hashtbl.length t.live
+
+let check_invariants t =
+  let rec sorted_disjoint_coalesced = function
+    | [] | [ _ ] -> true
+    | (o1, l1) :: ((o2, _) :: _ as rest) ->
+        o1 + l1 < o2 && sorted_disjoint_coalesced rest
+  in
+  let in_range =
+    List.for_all (fun (o, l) -> o >= 0 && l > 0 && o + l <= t.size) t.free_list
+  in
+  let no_overlap_with_live =
+    Hashtbl.fold
+      (fun off len acc ->
+        acc
+        && List.for_all
+             (fun (o, l) -> off + len <= o || o + l <= off)
+             t.free_list)
+      t.live true
+  in
+  sorted_disjoint_coalesced t.free_list
+  && in_range && no_overlap_with_live
+  && allocated_bytes t + free_bytes t = t.size

@@ -1,0 +1,32 @@
+(** User-space memory allocator.
+
+    A first-fit free-list allocator with coalescing over a byte arena —
+    the "memory allocator" NrOS provides in user space (paper Section 4.1)
+    and a representative of the system-library layer of Table 2.  The
+    arena is abstract offsets, so the same allocator manages a process's
+    mmapped region or a plain test buffer; invariants (no overlap, full
+    coverage, coalesced freelist) are checked by the test suite. *)
+
+type t
+
+val create : size:int -> t
+(** Manage [size] bytes starting at offset 0. *)
+
+val alloc : t -> int -> int option
+(** [alloc t n] returns the offset of an [n]-byte block ([n > 0], rounded
+    up to 16-byte granules), or [None] when no block fits. *)
+
+val free : t -> int -> unit
+(** Return a block by its offset.  Raises [Invalid_argument] on a double
+    free or an unknown offset. *)
+
+val allocated_bytes : t -> int
+(** Sum of live block sizes (after rounding). *)
+
+val free_bytes : t -> int
+
+val block_count : t -> int
+(** Live allocations. *)
+
+val check_invariants : t -> bool
+(** Free list sorted, non-overlapping, coalesced; live + free = size. *)

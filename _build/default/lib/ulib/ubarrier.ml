@@ -1,0 +1,49 @@
+module U = Bi_kernel.Usys
+
+(* Two words in one page: [va] holds the arrival count for the current
+   round, [va+8] the round generation (the futex word waiters sleep on —
+   waiting on the generation avoids the classic reuse race when the
+   barrier cycles). *)
+type t = { va : int64; parties : int }
+
+let create sys ~parties =
+  if parties < 1 then invalid_arg "Ubarrier.create: parties < 1";
+  match U.mmap sys ~bytes:4096 with
+  | Ok va -> { va; parties }
+  | Error _ -> failwith "Ubarrier.create: mmap failed"
+
+let parties t = t.parties
+
+let load sys va =
+  match U.load sys ~va with
+  | Ok v -> v
+  | Error _ -> failwith "Ubarrier: fault"
+
+let store sys va v =
+  match U.store sys ~va v with
+  | Ok () -> ()
+  | Error _ -> failwith "Ubarrier: fault"
+
+let await sys t =
+  let gen_va = Int64.add t.va 8L in
+  let generation = load sys gen_va in
+  let arrived = Int64.to_int (load sys t.va) in
+  store sys t.va (Int64.of_int (arrived + 1));
+  if arrived + 1 = t.parties then begin
+    (* Last arriver: reset the count, bump the generation, release. *)
+    store sys t.va 0L;
+    store sys gen_va (Int64.add generation 1L);
+    ignore (U.futex_wake sys ~va:gen_va ~count:max_int : int);
+    arrived
+  end
+  else begin
+    let rec sleep () =
+      if load sys gen_va = generation then begin
+        (match U.futex_wait sys ~va:gen_va ~expected:generation with
+        | Ok () | Error _ -> ());
+        sleep ()
+      end
+    in
+    sleep ();
+    arrived
+  end

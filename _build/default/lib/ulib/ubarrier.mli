@@ -1,0 +1,14 @@
+(** Cyclic thread barrier over kernel futexes: [await] blocks until the
+    configured number of threads have arrived, then releases them all and
+    resets for the next round. *)
+
+type t
+
+val create : Bi_kernel.Usys.t -> parties:int -> t
+(** A barrier for [parties] threads ([>= 1]). *)
+
+val await : Bi_kernel.Usys.t -> t -> int
+(** Returns the arrival index within the round ([0] for the first
+    arriver, ..., [parties-1] for the one that releases everyone). *)
+
+val parties : t -> int

@@ -1,0 +1,32 @@
+type t = { va : int64 }
+
+let create sys =
+  match Bi_kernel.Usys.mmap sys ~bytes:4096 with
+  | Ok va -> { va }
+  | Error _ -> failwith "Ucond.create: mmap failed"
+
+let of_word va = { va }
+
+let load sys t =
+  match Bi_kernel.Usys.load sys ~va:t.va with
+  | Ok v -> v
+  | Error _ -> failwith "Ucond: fault on condvar word"
+
+let store sys t v =
+  match Bi_kernel.Usys.store sys ~va:t.va v with
+  | Ok () -> ()
+  | Error _ -> failwith "Ucond: fault on condvar word"
+
+let wait sys t mutex =
+  let seq = load sys t in
+  Umutex.unlock sys mutex;
+  (match Bi_kernel.Usys.futex_wait sys ~va:t.va ~expected:seq with
+  | Ok () | Error _ -> ());
+  Umutex.lock sys mutex
+
+let bump_and_wake sys t count =
+  store sys t (Int64.add (load sys t) 1L);
+  ignore (Bi_kernel.Usys.futex_wake sys ~va:t.va ~count : int)
+
+let signal sys t = bump_and_wake sys t 1
+let broadcast sys t = bump_and_wake sys t max_int

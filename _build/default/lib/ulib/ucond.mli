@@ -1,0 +1,20 @@
+(** Condition variable over kernel futexes, used with {!Umutex}.
+
+    Sequence-counter design: the futex word counts signals; a waiter reads
+    the counter, releases the mutex, and sleeps unless the counter moved —
+    closing the missed-wakeup window exactly as in futex-based pthreads. *)
+
+type t
+
+val create : Bi_kernel.Usys.t -> t
+val of_word : int64 -> t
+
+val wait : Bi_kernel.Usys.t -> t -> Umutex.t -> unit
+(** Atomically release the mutex and sleep; re-acquires before
+    returning.  Spurious wakeups are possible (as in pthreads) — always
+    re-check the predicate in a loop. *)
+
+val signal : Bi_kernel.Usys.t -> t -> unit
+(** Wake at least one waiter, if any. *)
+
+val broadcast : Bi_kernel.Usys.t -> t -> unit

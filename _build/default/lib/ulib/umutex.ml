@@ -1,0 +1,58 @@
+type t = { va : int64 }
+
+let create sys =
+  match Bi_kernel.Usys.mmap sys ~bytes:(Int64.to_int 4096L) with
+  | Ok va -> { va }
+  | Error _ -> failwith "Umutex.create: mmap failed"
+
+let of_word va = { va }
+let word t = t.va
+
+let load sys t =
+  match Bi_kernel.Usys.load sys ~va:t.va with
+  | Ok v -> v
+  | Error _ -> failwith "Umutex: fault on mutex word"
+
+let store sys t v =
+  match Bi_kernel.Usys.store sys ~va:t.va v with
+  | Ok () -> ()
+  | Error _ -> failwith "Umutex: fault on mutex word"
+
+(* 0 = unlocked, 1 = locked, 2 = locked with (possible) waiters.
+
+   The contended path must re-acquire with state 2, not 1: a woken waiter
+   cannot know whether more waiters sleep behind it, so it must keep the
+   waiter flag set or their wakeup is lost (Drepper's "futexes are
+   tricky" pitfall — caught here by the mutual-exclusion test before this
+   comment existed). *)
+let rec lock sys t =
+  let v = load sys t in
+  if v = 0L then store sys t 1L (* load+store is atomic: no syscall between *)
+  else lock_contended sys t
+
+and lock_contended sys t =
+  let v = load sys t in
+  if v = 0L then store sys t 2L (* acquired, conservatively keep the flag *)
+  else begin
+    if v = 1L then store sys t 2L;
+    (match Bi_kernel.Usys.futex_wait sys ~va:t.va ~expected:2L with
+    | Ok () | Error _ -> ());
+    lock_contended sys t
+  end
+
+let try_lock sys t =
+  let v = load sys t in
+  if v = 0L then begin
+    store sys t 1L;
+    true
+  end
+  else false
+
+let unlock sys t =
+  let v = load sys t in
+  store sys t 0L;
+  if v = 2L then ignore (Bi_kernel.Usys.futex_wake sys ~va:t.va ~count:1 : int)
+
+let with_lock sys t f =
+  lock sys t;
+  Fun.protect ~finally:(fun () -> unlock sys t) f

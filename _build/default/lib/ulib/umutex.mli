@@ -1,0 +1,32 @@
+(** User-space mutex over kernel futexes.
+
+    The paper's worked example of layering: "we might expose futexes from
+    the kernel and then verify a userspace mutex implementation on top"
+    (Section 3).  The protocol is the classic three-state futex mutex
+    (Drepper, "Futexes are tricky"): the word holds 0 (unlocked),
+    1 (locked) or 2 (locked with waiters).
+
+    Atomicity model: in this kernel, user threads are preempted only at
+    system calls, so a load-then-store sequence with no intervening
+    syscall is atomic — the cooperative analogue of the compare-and-swap
+    the real implementation uses.  The mutual-exclusion and wake-up
+    properties are checked by the test suite with adversarial thread
+    schedules. *)
+
+type t
+
+val create : Bi_kernel.Usys.t -> t
+(** Allocate a fresh mutex word in a private mmapped page. *)
+
+val of_word : int64 -> t
+(** Wrap an existing user word (e.g. several mutexes in one page). *)
+
+val word : t -> int64
+(** The futex word's virtual address. *)
+
+val lock : Bi_kernel.Usys.t -> t -> unit
+val unlock : Bi_kernel.Usys.t -> t -> unit
+(** Must be called by the lock holder. *)
+
+val try_lock : Bi_kernel.Usys.t -> t -> bool
+val with_lock : Bi_kernel.Usys.t -> t -> (unit -> 'a) -> 'a

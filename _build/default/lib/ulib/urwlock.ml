@@ -1,0 +1,61 @@
+module U = Bi_kernel.Usys
+
+type t = { va : int64 }
+
+let create sys =
+  match U.mmap sys ~bytes:4096 with
+  | Ok va -> { va }
+  | Error _ -> failwith "Urwlock.create: mmap failed"
+
+let of_word va = { va }
+
+let load sys t =
+  match U.load sys ~va:t.va with
+  | Ok v -> v
+  | Error _ -> failwith "Urwlock: fault on lock word"
+
+let store sys t v =
+  match U.store sys ~va:t.va v with
+  | Ok () -> ()
+  | Error _ -> failwith "Urwlock: fault on lock word"
+
+(* As with Umutex: threads are preempted only at syscalls, so a
+   load-then-store with no syscall between is atomic. *)
+
+let rec read_lock sys t =
+  let v = load sys t in
+  if v >= 0L then store sys t (Int64.add v 1L)
+  else begin
+    (match U.futex_wait sys ~va:t.va ~expected:v with Ok () | Error _ -> ());
+    read_lock sys t
+  end
+
+let read_unlock sys t =
+  let v = load sys t in
+  if v <= 0L then failwith "Urwlock.read_unlock: not read-locked";
+  store sys t (Int64.sub v 1L);
+  if v = 1L then ignore (U.futex_wake sys ~va:t.va ~count:max_int : int)
+
+let rec write_lock sys t =
+  let v = load sys t in
+  if v = 0L then store sys t (-1L)
+  else begin
+    (match U.futex_wait sys ~va:t.va ~expected:v with Ok () | Error _ -> ());
+    write_lock sys t
+  end
+
+let write_unlock sys t =
+  let v = load sys t in
+  if v <> -1L then failwith "Urwlock.write_unlock: not write-locked";
+  store sys t 0L;
+  ignore (U.futex_wake sys ~va:t.va ~count:max_int : int)
+
+let with_read sys t f =
+  read_lock sys t;
+  Fun.protect ~finally:(fun () -> read_unlock sys t) f
+
+let with_write sys t f =
+  write_lock sys t;
+  Fun.protect ~finally:(fun () -> write_unlock sys t) f
+
+let readers sys t = Int64.to_int (load sys t)

@@ -1,0 +1,25 @@
+(** User-space readers-writer lock over kernel futexes.
+
+    Completes the paper's synchronization-mechanisms list alongside
+    {!Umutex}, {!Usem} and {!Ucond}.  One futex word encodes the state:
+    0 free, [n > 0] means [n] readers, [-1] a writer.  Writers are not
+    prioritized (readers can starve a writer under a pathological
+    schedule; documented trade-off, as in many pthreads
+    implementations). *)
+
+type t
+
+val create : Bi_kernel.Usys.t -> t
+val of_word : int64 -> t
+
+val read_lock : Bi_kernel.Usys.t -> t -> unit
+val read_unlock : Bi_kernel.Usys.t -> t -> unit
+
+val write_lock : Bi_kernel.Usys.t -> t -> unit
+val write_unlock : Bi_kernel.Usys.t -> t -> unit
+
+val with_read : Bi_kernel.Usys.t -> t -> (unit -> 'a) -> 'a
+val with_write : Bi_kernel.Usys.t -> t -> (unit -> 'a) -> 'a
+
+val readers : Bi_kernel.Usys.t -> t -> int
+(** Instantaneous reader count (negative means a writer holds it). *)

@@ -1,0 +1,46 @@
+type t = { va : int64 }
+
+let load sys t =
+  match Bi_kernel.Usys.load sys ~va:t.va with
+  | Ok v -> v
+  | Error _ -> failwith "Usem: fault on semaphore word"
+
+let store sys t v =
+  match Bi_kernel.Usys.store sys ~va:t.va v with
+  | Ok () -> ()
+  | Error _ -> failwith "Usem: fault on semaphore word"
+
+let create sys count =
+  if count < 0 then invalid_arg "Usem.create: negative count";
+  match Bi_kernel.Usys.mmap sys ~bytes:4096 with
+  | Ok va ->
+      let t = { va } in
+      store sys t (Int64.of_int count);
+      t
+  | Error _ -> failwith "Usem.create: mmap failed"
+
+let of_word va = { va }
+
+let post sys t =
+  let v = load sys t in
+  store sys t (Int64.add v 1L);
+  ignore (Bi_kernel.Usys.futex_wake sys ~va:t.va ~count:1 : int)
+
+let rec wait sys t =
+  let v = load sys t in
+  if v > 0L then store sys t (Int64.sub v 1L)
+  else begin
+    (match Bi_kernel.Usys.futex_wait sys ~va:t.va ~expected:0L with
+    | Ok () | Error _ -> ());
+    wait sys t
+  end
+
+let try_wait sys t =
+  let v = load sys t in
+  if v > 0L then begin
+    store sys t (Int64.sub v 1L);
+    true
+  end
+  else false
+
+let value sys t = Int64.to_int (load sys t)

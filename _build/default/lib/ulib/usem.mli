@@ -1,0 +1,18 @@
+(** Counting semaphore over kernel futexes (the "semaphores" entry of the
+    paper's synchronization-mechanisms component list). *)
+
+type t
+
+val create : Bi_kernel.Usys.t -> int -> t
+(** Semaphore with an initial count (>= 0) in a fresh mmapped word. *)
+
+val of_word : int64 -> t
+
+val post : Bi_kernel.Usys.t -> t -> unit
+(** Increment; wakes one waiter if any. *)
+
+val wait : Bi_kernel.Usys.t -> t -> unit
+(** Block until the count is positive, then decrement. *)
+
+val try_wait : Bi_kernel.Usys.t -> t -> bool
+val value : Bi_kernel.Usys.t -> t -> int

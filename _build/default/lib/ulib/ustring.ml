@@ -1,0 +1,62 @@
+let check b off len name =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg name
+
+let overlaps a i b j len =
+  a == b && len > 0 && i < j + len && j < i + len
+
+let memcpy ~dst ~dst_off ~src ~src_off ~len =
+  check dst dst_off len "Ustring.memcpy: dst range";
+  check src src_off len "Ustring.memcpy: src range";
+  if overlaps dst dst_off src src_off len then
+    invalid_arg "Ustring.memcpy: overlapping ranges";
+  Bytes.blit src src_off dst dst_off len
+
+let memmove ~dst ~dst_off ~src ~src_off ~len =
+  check dst dst_off len "Ustring.memmove: dst range";
+  check src src_off len "Ustring.memmove: src range";
+  Bytes.blit src src_off dst dst_off len (* OCaml blit handles overlap *)
+
+let memset b ~off ~len c =
+  check b off len "Ustring.memset";
+  Bytes.fill b off len c
+
+let memcmp a i b j len =
+  check a i len "Ustring.memcmp: a range";
+  check b j len "Ustring.memcmp: b range";
+  let rec go k =
+    if k >= len then 0
+    else begin
+      let ca = Char.code (Bytes.get a (i + k)) in
+      let cb = Char.code (Bytes.get b (j + k)) in
+      if ca <> cb then ca - cb else go (k + 1)
+    end
+  in
+  go 0
+
+let strlen b ~off =
+  if off < 0 || off > Bytes.length b then invalid_arg "Ustring.strlen";
+  let rec go k =
+    if off + k >= Bytes.length b then raise Not_found
+    else if Bytes.get b (off + k) = '\000' then k
+    else go (k + 1)
+  in
+  go 0
+
+let strcpy ~dst ~dst_off s =
+  check dst dst_off (String.length s + 1) "Ustring.strcpy";
+  Bytes.blit_string s 0 dst dst_off (String.length s);
+  Bytes.set dst (dst_off + String.length s) '\000'
+
+let strcmp a i b j =
+  let la = strlen a ~off:i and lb = strlen b ~off:j in
+  let m = memcmp a i b j (min la lb) in
+  if m <> 0 then m else la - lb
+
+let strchr b ~off c =
+  let len = strlen b ~off in
+  let rec go k =
+    if k >= len then None
+    else if Bytes.get b (off + k) = c then Some (off + k)
+    else go (k + 1)
+  in
+  go 0

@@ -1,0 +1,31 @@
+(** libc-style memory and string routines over [bytes].
+
+    A slice of the "system libraries" row of the paper's Table 2: small,
+    specification-friendly primitives (each documented by the exact
+    property the test suite checks).  Offsets are validated — the OCaml
+    analogue of the memory-safety proofs these functions need in C. *)
+
+val memcpy : dst:bytes -> dst_off:int -> src:bytes -> src_off:int -> len:int -> unit
+(** Non-overlapping copy; raises [Invalid_argument] on out-of-range
+    spans or overlap. *)
+
+val memmove : dst:bytes -> dst_off:int -> src:bytes -> src_off:int -> len:int -> unit
+(** Copy tolerating overlap (as if through a temporary). *)
+
+val memset : bytes -> off:int -> len:int -> char -> unit
+
+val memcmp : bytes -> int -> bytes -> int -> int -> int
+(** [memcmp a i b j len] is negative/zero/positive like C's. *)
+
+val strlen : bytes -> off:int -> int
+(** Distance to the first NUL at or after [off]; raises [Not_found] if
+    none before the end. *)
+
+val strcpy : dst:bytes -> dst_off:int -> string -> unit
+(** Copy with terminating NUL. *)
+
+val strcmp : bytes -> int -> bytes -> int -> int
+(** NUL-terminated comparison. *)
+
+val strchr : bytes -> off:int -> char -> int option
+(** Index of the first occurrence before the terminating NUL. *)

@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Bi_app Bi_core Bi_fs Bi_hw Bi_kernel Bi_net Bytes Char Format List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bi_core Format Int Int64 List QCheck2 QCheck_alcotest String

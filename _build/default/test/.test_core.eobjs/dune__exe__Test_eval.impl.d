@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Bi_core Bi_eval Bi_pt Buffer Filename Format List String Sys

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bi_core Bi_fs Bi_hw Bytes List Printf QCheck2 QCheck_alcotest String

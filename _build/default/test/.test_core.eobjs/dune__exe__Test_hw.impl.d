@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bi_hw Bytes Int64 List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bi_core Bi_fs Bi_hw Bi_kernel Bi_net Bi_ulib Buffer Int64 List Printf QCheck2 QCheck_alcotest String

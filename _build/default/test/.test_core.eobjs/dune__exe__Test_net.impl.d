@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bi_core Bi_hw Bi_net Bytes Char List QCheck2 QCheck_alcotest String

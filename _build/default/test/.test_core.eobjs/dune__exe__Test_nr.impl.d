@@ -1,0 +1,1 @@
+test/test_nr.ml: Alcotest Array Atomic Bi_core Bi_kernel Bi_nr Domain Format Hashtbl Int List QCheck2 QCheck_alcotest

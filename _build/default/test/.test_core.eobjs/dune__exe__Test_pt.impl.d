@@ -1,0 +1,1 @@
+test/test_pt.ml: Alcotest Bi_core Bi_hw Bi_pt Int64 List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bi_nr Bi_sim List

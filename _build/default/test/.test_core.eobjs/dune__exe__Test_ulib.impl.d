@@ -1,0 +1,1 @@
+test/test_ulib.ml: Alcotest Bi_kernel Bi_ulib Buffer Bytes Int64 List QCheck2 QCheck_alcotest Queue String

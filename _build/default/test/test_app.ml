@@ -1,0 +1,354 @@
+(* Block-store tests: protocol codecs, CRC vectors, end-to-end
+   client/server refinement against the abstract store spec across two
+   simulated machines, and end-to-end corruption detection. *)
+
+module K = Bi_kernel.Kernel
+module U = Bi_kernel.Usys
+module P = Bi_app.Protocol
+module Client = Bi_app.Client
+module Store_spec = Bi_app.Store_spec
+
+let check = Alcotest.check
+
+let qtest name count gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let ip_server = Bi_net.Ip.addr_of_string "10.0.0.1"
+let ip_client = Bi_net.Ip.addr_of_string "10.0.0.2"
+
+(* Run [body] as a client program against a live storage node; returns the
+   server kernel for post-mortem inspection. *)
+let with_store body =
+  let server = K.create ~ip:ip_server () in
+  let client = K.create ~ip:ip_client () in
+  K.connect server client;
+  Bi_app.Storage_node.install server;
+  K.register_program client "cli" (fun s _ ->
+      match Client.connect s ~ip:ip_server with
+      | Error e -> Alcotest.failf "connect: %a" Client.pp_error e
+      | Ok c ->
+          body s c;
+          ignore (Client.shutdown c);
+          Client.close c);
+  (match K.spawn server ~prog:"storage_node" ~arg:"" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "server spawn");
+  (match K.spawn client ~prog:"cli" ~arg:"" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "client spawn");
+  K.run_pair server client;
+  server
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_crc32_vectors () =
+  (* Standard IEEE CRC-32 check value. *)
+  check Alcotest.int32 "123456789" 0xCBF43926l (P.crc32 "123456789");
+  check Alcotest.int32 "empty" 0l (P.crc32 "")
+
+let test_valid_key () =
+  check Alcotest.bool "simple" true (P.valid_key "block-01_a");
+  check Alcotest.bool "empty" false (P.valid_key "");
+  check Alcotest.bool "upper rejected" false (P.valid_key "Block");
+  check Alcotest.bool "slash rejected" false (P.valid_key "a/b");
+  check Alcotest.bool "too long" false (P.valid_key (String.make 25 'a'))
+
+let gen_key =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 24))
+
+let gen_req =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun key value -> P.Put { key; value; crc = P.crc32 value })
+          gen_key
+          (string_size ~gen:(char_range '\000' '\255') (int_range 0 200));
+        map (fun k -> P.Get k) gen_key;
+        map (fun k -> P.Delete k) gen_key;
+        return P.List;
+        return P.Ping;
+        return P.Shutdown;
+      ])
+
+let prop_req_frame_roundtrip =
+  qtest "request frames roundtrip" 300 gen_req (fun r ->
+      match P.decode_req (P.encode_req r) ~off:0 with
+      | Some (r', consumed) ->
+          r' = r && consumed = Bytes.length (P.encode_req r)
+      | None -> false)
+
+let gen_resp =
+  QCheck2.Gen.(
+    oneof
+      [
+        return P.Done;
+        map
+          (fun value -> P.Value { value; crc = P.crc32 value })
+          (string_size ~gen:(char_range '\000' '\255') (int_range 0 200));
+        return P.Missing;
+        map (fun ks -> P.Listing ks) (list_size (int_range 0 6) gen_key);
+        return P.Pong;
+        map (fun m -> P.Err m) (string_size ~gen:printable (int_range 0 30));
+      ])
+
+let prop_resp_frame_roundtrip =
+  qtest "response frames roundtrip" 300 gen_resp (fun r ->
+      match P.decode_resp (P.encode_resp r) ~off:0 with
+      | Some (r', consumed) ->
+          r' = r && consumed = Bytes.length (P.encode_resp r)
+      | None -> false)
+
+let test_partial_frame_incomplete () =
+  let b = P.encode_req (P.Get "somekey") in
+  let cut = Bytes.sub b 0 (Bytes.length b - 2) in
+  check Alcotest.bool "incomplete frame yields None" true
+    (P.decode_req cut ~off:0 = None)
+
+let test_two_frames_in_buffer () =
+  let b = Bytes.cat (P.encode_req P.Ping) (P.encode_req (P.Get "k")) in
+  match P.decode_req b ~off:0 with
+  | Some (P.Ping, next) -> (
+      match P.decode_req b ~off:next with
+      | Some (P.Get "k", _) -> ()
+      | _ -> Alcotest.fail "second frame")
+  | _ -> Alcotest.fail "first frame"
+
+(* ------------------------------------------------------------------ *)
+(* Store spec *)
+
+let test_store_spec_basics () =
+  let st, r = Store_spec.step Store_spec.empty (Store_spec.Put ("a", "1")) in
+  check Alcotest.bool "put" true (r = Store_spec.Done);
+  let st, r = Store_spec.step st (Store_spec.Get "a") in
+  check Alcotest.bool "get" true (r = Store_spec.Value (Some "1"));
+  let st, r = Store_spec.step st (Store_spec.Delete "a") in
+  check Alcotest.bool "delete" true (r = Store_spec.Deleted true);
+  let _, r = Store_spec.step st (Store_spec.Get "a") in
+  check Alcotest.bool "gone" true (r = Store_spec.Value None)
+
+let test_store_spec_rejects () =
+  let _, r = Store_spec.step Store_spec.empty (Store_spec.Put ("BAD KEY", "x")) in
+  check Alcotest.bool "invalid key rejected" true (r = Store_spec.Rejected)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end behaviour *)
+
+let test_e2e_basic_ops () =
+  ignore
+    (with_store (fun _s c ->
+         (match Client.put c ~key:"alpha" ~value:"one" with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "put: %a" Client.pp_error e);
+         (match Client.get c ~key:"alpha" with
+         | Ok (Some "one") -> ()
+         | _ -> Alcotest.fail "get");
+         (match Client.get c ~key:"absent" with
+         | Ok None -> ()
+         | _ -> Alcotest.fail "missing get");
+         (match Client.put c ~key:"alpha" ~value:"two" with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "overwrite: %a" Client.pp_error e);
+         (match Client.get c ~key:"alpha" with
+         | Ok (Some "two") -> ()
+         | _ -> Alcotest.fail "overwrite read");
+         (match Client.list c with
+         | Ok [ "alpha" ] -> ()
+         | Ok other -> Alcotest.failf "list: [%s]" (String.concat ";" other)
+         | Error e -> Alcotest.failf "list: %a" Client.pp_error e);
+         (match Client.delete c ~key:"alpha" with
+         | Ok true -> ()
+         | _ -> Alcotest.fail "delete");
+         match Client.delete c ~key:"alpha" with
+         | Ok false -> ()
+         | _ -> Alcotest.fail "double delete"))
+
+let test_e2e_large_value () =
+  let big = String.init 30_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  ignore
+    (with_store (fun _s c ->
+         (match Client.put c ~key:"big" ~value:big with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "put big: %a" Client.pp_error e);
+         match Client.get c ~key:"big" with
+         | Ok (Some v) ->
+             check Alcotest.int "length" (String.length big) (String.length v);
+             check Alcotest.bool "content" true (v = big)
+         | _ -> Alcotest.fail "get big"))
+
+let test_e2e_oversized_rejected () =
+  ignore
+    (with_store (fun _s c ->
+         match Client.put c ~key:"huge" ~value:(String.make 70_000 'x') with
+         | Error (Client.Remote _) -> ()
+         | _ -> Alcotest.fail "oversize must be rejected remotely"))
+
+let test_e2e_invalid_key_rejected () =
+  ignore
+    (with_store (fun _s c ->
+         match Client.put c ~key:"NOT VALID" ~value:"x" with
+         | Error (Client.Remote _) -> ()
+         | _ -> Alcotest.fail "invalid key must be rejected"))
+
+(* Random op sequence replayed against the abstract store spec. *)
+let test_e2e_refines_store_spec () =
+  let g = Bi_core.Gen.of_string "app/refinement" in
+  let keys = [ "k0"; "k1"; "k2" ] in
+  let ops =
+    List.init 30 (fun _ ->
+        match Bi_core.Gen.int g 10 with
+        | 0 | 1 | 2 | 3 ->
+            Store_spec.Put
+              ( Bi_core.Gen.oneof g keys,
+                String.make (1 + Bi_core.Gen.int g 2000)
+                  (Char.chr (97 + Bi_core.Gen.int g 26)) )
+        | 4 | 5 | 6 -> Store_spec.Get (Bi_core.Gen.oneof g keys)
+        | 7 | 8 -> Store_spec.Delete (Bi_core.Gen.oneof g keys)
+        | _ -> Store_spec.List)
+  in
+  ignore
+    (with_store (fun _s c ->
+         let spec = ref Store_spec.empty in
+         List.iter
+           (fun op ->
+             let spec', expected = Store_spec.step !spec op in
+             spec := spec';
+             let got =
+               match op with
+               | Store_spec.Put (key, value) -> (
+                   match Client.put c ~key ~value with
+                   | Ok () -> Store_spec.Done
+                   | Error _ -> Store_spec.Rejected)
+               | Store_spec.Get key -> (
+                   match Client.get c ~key with
+                   | Ok v -> Store_spec.Value v
+                   | Error _ -> Store_spec.Rejected)
+               | Store_spec.Delete key -> (
+                   match Client.delete c ~key with
+                   | Ok b -> Store_spec.Deleted b
+                   | Error _ -> Store_spec.Rejected)
+               | Store_spec.List -> (
+                   match Client.list c with
+                   | Ok ks -> Store_spec.Keys ks
+                   | Error _ -> Store_spec.Rejected)
+             in
+             if not (Store_spec.equal_ret got expected) then
+               Alcotest.failf "divergence on %a: node %a, spec %a"
+                 Store_spec.pp_op op Store_spec.pp_ret got Store_spec.pp_ret
+                 expected)
+           ops))
+
+let test_e2e_corruption_detected () =
+  (* Flip a byte in the stored file behind the node's back: the next GET
+     must report an integrity violation rather than serve bad data. *)
+  let server = K.create ~ip:ip_server () in
+  let client = K.create ~ip:ip_client () in
+  K.connect server client;
+  Bi_app.Storage_node.install server;
+  let outcome = ref "" in
+  K.register_program client "cli" (fun s _ ->
+      match Client.connect s ~ip:ip_server with
+      | Error _ -> ()
+      | Ok c ->
+          (match Client.put c ~key:"victim" ~value:"pristine data" with
+          | Ok () -> ()
+          | Error _ -> outcome := "put failed");
+          (* Corrupt the server's filesystem directly (simulating media
+             corruption below the filesystem). *)
+          let fs = K.fs server in
+          (match Bi_fs.Fs.resolve fs "/blocks/victim" with
+          | Ok ino ->
+              ignore
+                (Bi_fs.Fs.write_ino fs ~ino ~off:0 (Bytes.of_string "Xristine"))
+          | Error _ -> outcome := "corruption setup failed");
+          (match Client.get c ~key:"victim" with
+          | Error (Client.Remote msg) -> outcome := "detected: " ^ msg
+          | Ok (Some _) -> outcome := "served corrupt data"
+          | Ok None -> outcome := "missing"
+          | Error e -> outcome := Format.asprintf "%a" Client.pp_error e);
+          ignore (Client.shutdown c);
+          Client.close c);
+  ignore (K.spawn server ~prog:"storage_node" ~arg:"");
+  ignore (K.spawn client ~prog:"cli" ~arg:"");
+  K.run_pair server client;
+  check Alcotest.string "integrity violation surfaced"
+    "detected: integrity violation detected" !outcome
+
+let test_e2e_sequential_clients () =
+  (* The node serves connections back to back; a second client sees the
+     first one's data. *)
+  let server = K.create ~ip:ip_server () in
+  let client = K.create ~ip:ip_client () in
+  K.connect server client;
+  Bi_app.Storage_node.install server;
+  let second_saw = ref None in
+  K.register_program client "cli" (fun s _ ->
+      (match Client.connect s ~ip:ip_server with
+      | Ok c1 ->
+          ignore (Client.put c1 ~key:"shared" ~value:"across connections");
+          Client.close c1
+      | Error _ -> ());
+      U.sleep s 5;
+      match Client.connect s ~ip:ip_server with
+      | Ok c2 ->
+          (match Client.get c2 ~key:"shared" with
+          | Ok v -> second_saw := v
+          | Error _ -> ());
+          ignore (Client.shutdown c2);
+          Client.close c2
+      | Error _ -> ());
+  ignore (K.spawn server ~prog:"storage_node" ~arg:"");
+  ignore (K.spawn client ~prog:"cli" ~arg:"");
+  K.run_pair server client;
+  check (Alcotest.option Alcotest.string) "data visible across connections"
+    (Some "across connections") !second_saw
+
+let test_e2e_persistence_across_mount () =
+  (* Data written through the whole stack survives a filesystem remount
+     (server restart). *)
+  let server = with_store (fun _s c ->
+      match Client.put c ~key:"durable" ~value:"survives" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "put: %a" Client.pp_error e)
+  in
+  let disk = (K.machine server).Bi_hw.Machine.disk in
+  let fs2 = Bi_fs.Fs.mount (Bi_fs.Block_dev.of_disk disk) in
+  match Bi_fs.Fs.resolve fs2 "/blocks/durable" with
+  | Error _ -> Alcotest.fail "file lost"
+  | Ok ino -> (
+      match Bi_fs.Fs.read_ino fs2 ~ino ~off:0 ~len:100 with
+      | Ok b -> check Alcotest.string "content" "survives" (Bytes.to_string b)
+      | Error _ -> Alcotest.fail "read back")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_app"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "valid_key" `Quick test_valid_key;
+          prop_req_frame_roundtrip;
+          prop_resp_frame_roundtrip;
+          Alcotest.test_case "partial frame" `Quick test_partial_frame_incomplete;
+          Alcotest.test_case "two frames" `Quick test_two_frames_in_buffer;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "basics" `Quick test_store_spec_basics;
+          Alcotest.test_case "rejects" `Quick test_store_spec_rejects;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "basic ops" `Quick test_e2e_basic_ops;
+          Alcotest.test_case "large value" `Quick test_e2e_large_value;
+          Alcotest.test_case "oversize rejected" `Quick test_e2e_oversized_rejected;
+          Alcotest.test_case "invalid key rejected" `Quick test_e2e_invalid_key_rejected;
+          Alcotest.test_case "refines store spec" `Quick test_e2e_refines_store_spec;
+          Alcotest.test_case "corruption detected" `Quick test_e2e_corruption_detected;
+          Alcotest.test_case "sequential clients" `Quick test_e2e_sequential_clients;
+          Alcotest.test_case "persistence across mount" `Quick test_e2e_persistence_across_mount;
+        ] );
+    ]

@@ -1,0 +1,510 @@
+(* Tests for the verification framework itself: the framework must catch
+   bugs, not just bless correct code, so several tests plant defects and
+   require detection. *)
+
+module Gen = Bi_core.Gen
+module Stats = Bi_core.Stats
+module Vc = Bi_core.Vc
+module Verifier = Bi_core.Verifier
+module Contract = Bi_core.Contract
+module Interleave = Bi_core.Interleave
+
+let check = Alcotest.check
+let qtest name count gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+(* ------------------------------------------------------------------ *)
+(* Gen *)
+
+let test_gen_deterministic () =
+  let a = Gen.create 42L and b = Gen.create 42L in
+  let xs = Gen.sample a 32 Gen.next64 and ys = Gen.sample b 32 Gen.next64 in
+  check (Alcotest.list Alcotest.int64) "same seed, same stream" xs ys
+
+let test_gen_of_string_distinct () =
+  let a = Gen.of_string "vc/1" and b = Gen.of_string "vc/2" in
+  check Alcotest.bool "different ids diverge" true (Gen.next64 a <> Gen.next64 b)
+
+let test_gen_int_bounds () =
+  let g = Gen.create 7L in
+  for _ = 1 to 1000 do
+    let v = Gen.int g 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "Gen.int out of bounds"
+  done
+
+let test_gen_int_in () =
+  let g = Gen.create 9L in
+  for _ = 1 to 1000 do
+    let v = Gen.int_in g (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.fail "Gen.int_in out of bounds"
+  done
+
+let test_gen_shuffle_permutation () =
+  let g = Gen.create 11L in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let ys = Gen.shuffle g xs in
+  check
+    (Alcotest.list Alcotest.int)
+    "same multiset" (List.sort compare xs) (List.sort compare ys)
+
+let test_gen_oneof_member () =
+  let g = Gen.create 13L in
+  for _ = 1 to 100 do
+    let v = Gen.oneof g [ "a"; "b"; "c" ] in
+    if not (List.mem v [ "a"; "b"; "c" ]) then Alcotest.fail "oneof outside"
+  done
+
+let test_gen_bits_mask () =
+  let g = Gen.create 17L in
+  for _ = 1 to 200 do
+    let v = Gen.bits g 12 in
+    if Int64.logand v (Int64.lognot 0xFFFL) <> 0L then
+      Alcotest.fail "bits above mask"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check (Alcotest.float 1e-9) "empty mean" 0. (Stats.mean [])
+
+let test_stats_percentile () =
+  let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+  check (Alcotest.float 1e-9) "p50" 3. (Stats.percentile 0.5 xs);
+  check (Alcotest.float 1e-9) "p100" 5. (Stats.percentile 1.0 xs);
+  check (Alcotest.float 1e-9) "p0+" 1. (Stats.percentile 0.01 xs)
+
+let test_stats_cdf () =
+  let points = Stats.cdf [ 3.; 1.; 2.; 2. ] in
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "cdf points"
+    [ (1., 0.25); (2., 0.75); (3., 1.0) ]
+    points
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 1.; 9.; 10. ] in
+  check Alcotest.int "two bins" 2 (List.length h);
+  check Alcotest.int "total count" 4
+    (List.fold_left (fun a (_, c) -> a + c) 0 h)
+
+let prop_cdf_monotone =
+  qtest "cdf is monotone" 200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range 0. 100.))
+    (fun xs ->
+      let points = Stats.cdf xs in
+      let rec mono = function
+        | (x1, f1) :: ((x2, f2) :: _ as rest) ->
+            x1 < x2 && f1 < f2 && mono rest
+        | _ -> true
+      in
+      mono points
+      &&
+      match List.rev points with
+      | (_, f) :: _ -> abs_float (f -. 1.0) < 1e-9
+      | [] -> xs = [])
+
+let prop_percentile_member =
+  qtest "percentile returns a data point" 200
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 30) (float_range 0. 10.)) (float_range 0.01 1.0))
+    (fun (xs, p) -> List.mem (Stats.percentile p xs) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Vc and Verifier *)
+
+let test_vc_prop_proved () =
+  let vc = Vc.prop ~id:"t" ~category:"c" (fun () -> true) in
+  check Alcotest.bool "proved" true (Vc.catch vc.Vc.check = Vc.Proved)
+
+let test_vc_prop_falsified () =
+  let vc = Vc.prop ~id:"t" ~category:"c" (fun () -> false) in
+  check Alcotest.bool "falsified" true (Vc.catch vc.Vc.check <> Vc.Proved)
+
+let test_vc_catch_exception () =
+  let vc = Vc.make ~id:"t" ~category:"c" (fun () -> failwith "boom") in
+  match Vc.catch vc.Vc.check with
+  | Vc.Falsified msg ->
+      check Alcotest.bool "mentions exception" true
+        (String.length msg > 0)
+  | Vc.Proved -> Alcotest.fail "exception must falsify"
+
+let test_vc_forall_range () =
+  check Alcotest.bool "all in range" true
+    (Vc.forall_range ~lo:0 ~hi:10 (fun i -> i <= 10) ());
+  check Alcotest.bool "finds violation" false
+    (Vc.forall_range ~lo:0 ~hi:10 (fun i -> i < 10) ())
+
+let test_vc_forall_pairs () =
+  check Alcotest.bool "pairs" true
+    (Vc.forall_pairs [ 1; 2 ] [ 3; 4 ] (fun a b -> a < b) ())
+
+let test_verifier_reports () =
+  let vcs =
+    [
+      Vc.prop ~id:"ok" ~category:"a" (fun () -> true);
+      Vc.prop ~id:"bad" ~category:"b" (fun () -> false);
+    ]
+  in
+  let rep = Verifier.discharge vcs in
+  check Alcotest.int "one failure" 1 rep.Verifier.falsified;
+  check Alcotest.int "one success" 1 rep.Verifier.proved;
+  check Alcotest.bool "not all proved" false (Verifier.all_proved rep);
+  check Alcotest.int "failures listed" 1 (List.length (Verifier.failures rep))
+
+let test_verifier_categories () =
+  let vcs =
+    [
+      Vc.prop ~id:"1" ~category:"x" (fun () -> true);
+      Vc.prop ~id:"2" ~category:"y" (fun () -> true);
+      Vc.prop ~id:"3" ~category:"x" (fun () -> true);
+    ]
+  in
+  let rep = Verifier.discharge vcs in
+  let cats = Verifier.by_category rep in
+  check Alcotest.int "two categories" 2 (List.length cats);
+  check Alcotest.int "x has two" 2 (List.length (List.assoc "x" cats))
+
+(* ------------------------------------------------------------------ *)
+(* Contract *)
+
+let test_contract_checked_violation () =
+  Contract.with_mode Contract.Checked (fun () ->
+      match
+        Contract.apply ~name:"t" ~requires:(fun () -> false)
+          ~ensures:(fun _ -> true)
+          (fun () -> 1)
+      with
+      | exception Contract.Violation { clause = "requires"; _ } -> ()
+      | _ -> Alcotest.fail "requires must fire")
+
+let test_contract_ensures_violation () =
+  Contract.with_mode Contract.Checked (fun () ->
+      match
+        Contract.apply ~name:"t" ~requires:(fun () -> true)
+          ~ensures:(fun v -> v > 10)
+          (fun () -> 1)
+      with
+      | exception Contract.Violation { clause = "ensures"; _ } -> ()
+      | _ -> Alcotest.fail "ensures must fire")
+
+let test_contract_erased_skips () =
+  Contract.with_mode Contract.Erased (fun () ->
+      let v =
+        Contract.apply ~name:"t" ~requires:(fun () -> false)
+          ~ensures:(fun _ -> false)
+          (fun () -> 7)
+      in
+      check Alcotest.int "body still runs" 7 v)
+
+let test_contract_mode_restored () =
+  Contract.set_mode Contract.Checked;
+  (try Contract.with_mode Contract.Erased (fun () -> failwith "x")
+   with Failure _ -> ());
+  check Alcotest.bool "mode restored on exception" true
+    (Contract.mode () = Contract.Checked)
+
+let test_contract_ghost () =
+  let ran = ref false in
+  Contract.with_mode Contract.Erased (fun () -> Contract.ghost (fun () -> ran := true));
+  check Alcotest.bool "ghost skipped when erased" false !ran;
+  Contract.with_mode Contract.Checked (fun () -> Contract.ghost (fun () -> ran := true));
+  check Alcotest.bool "ghost runs when checked" true !ran
+
+(* ------------------------------------------------------------------ *)
+(* State machine + refinement on a toy system *)
+
+module Counter_spec = struct
+  type state = int
+  type op = Add of int | Get
+  type ret = Value of int | Unit
+
+  let step st = function
+    | Add n -> if n < 0 then None else Some (st + n, Unit)
+    | Get -> Some (st, Value st)
+
+  let equal_state = Int.equal
+  let equal_ret a b = a = b
+  let pp_state = Format.pp_print_int
+  let pp_op ppf = function
+    | Add n -> Format.fprintf ppf "add %d" n
+    | Get -> Format.fprintf ppf "get"
+  let pp_ret ppf = function
+    | Value v -> Format.fprintf ppf "value %d" v
+    | Unit -> Format.fprintf ppf "()"
+end
+
+module Counter_impl = struct
+  type t = { mutable v : int; buggy : bool }
+  type op = Counter_spec.op
+  type ret = Counter_spec.ret
+
+  let step t = function
+    | Counter_spec.Add n ->
+        (* The planted bug: loses increments of exactly 3. *)
+        if t.buggy && n = 3 then Counter_spec.Unit
+        else begin
+          t.v <- t.v + n;
+          Counter_spec.Unit
+        end
+    | Counter_spec.Get -> Counter_spec.Value t.v
+end
+
+module R = Bi_core.Refinement.Make (Counter_spec) (Counter_impl)
+
+let test_refinement_accepts_correct () =
+  let impl = { Counter_impl.v = 0; buggy = false } in
+  match
+    R.check_trace
+      ~view:(fun i -> i.Counter_impl.v)
+      ~impl ~init:0
+      [ Counter_spec.Add 1; Counter_spec.Get; Counter_spec.Add 3; Counter_spec.Get ]
+  with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "unexpected: %a" R.pp_failure f
+
+let test_refinement_catches_bug () =
+  let impl = { Counter_impl.v = 0; buggy = true } in
+  match
+    R.check_trace
+      ~view:(fun i -> i.Counter_impl.v)
+      ~impl ~init:0
+      [ Counter_spec.Add 3; Counter_spec.Get ]
+  with
+  | Ok () -> Alcotest.fail "planted bug must be caught"
+  | Error _ -> ()
+
+let test_refinement_skips_disabled () =
+  let impl = { Counter_impl.v = 0; buggy = false } in
+  (* Add (-1) is disabled in the spec; it must be skipped, not executed. *)
+  match
+    R.check_trace
+      ~view:(fun i -> i.Counter_impl.v)
+      ~impl ~init:0
+      [ Counter_spec.Add (-1); Counter_spec.Get ]
+  with
+  | Ok () -> check Alcotest.int "not executed" 0 impl.Counter_impl.v
+  | Error f -> Alcotest.failf "unexpected: %a" R.pp_failure f
+
+let test_refinement_random_catches_bug () =
+  let gen_op g _ =
+    if Gen.bool g then Counter_spec.Add (Gen.int g 6) else Counter_spec.Get
+  in
+  match
+    R.check_random
+      ~view:(fun i -> i.Counter_impl.v)
+      ~make_impl:(fun () -> { Counter_impl.v = 0; buggy = true })
+      ~init:0 ~gen_op ~seed:"catch" ~traces:4 ~steps:40
+  with
+  | Ok () -> Alcotest.fail "random traces must hit the planted bug"
+  | Error _ -> ()
+
+module Trace = Bi_core.State_machine.Trace (Counter_spec)
+
+let test_trace_run () =
+  match Trace.run 0 [ Counter_spec.Add 2; Counter_spec.Get ] with
+  | Some (st, rets) ->
+      check Alcotest.int "state" 2 st;
+      check Alcotest.int "two returns" 2 (List.length rets)
+  | None -> Alcotest.fail "trace enabled"
+
+let test_trace_disabled () =
+  check Alcotest.bool "disabled trace" true
+    (Trace.run 0 [ Counter_spec.Add (-2) ] = None)
+
+let test_trace_reachable () =
+  let states = Trace.reachable 0 ~ops:[ Counter_spec.Add 1 ] ~depth:3 in
+  check (Alcotest.list Alcotest.int) "reachable" [ 0; 1; 2; 3 ]
+    (List.sort compare states)
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability *)
+
+module Reg_spec = struct
+  type state = int
+  type op = Write of int | Read
+  type ret = int
+
+  let step st = function Write v -> (v, 0) | Read -> (st, st)
+  let equal_ret = Int.equal
+  let pp_op ppf = function
+    | Write v -> Format.fprintf ppf "w%d" v
+    | Read -> Format.fprintf ppf "r"
+  let pp_ret = Format.pp_print_int
+end
+
+module Lin = Bi_core.Linearizability.Make (Reg_spec)
+
+let test_lin_accepts_sequential () =
+  let history =
+    [
+      { Lin.proc = 0; op = Reg_spec.Write 1; ret = 0; inv = 0; res = 1 };
+      { Lin.proc = 0; op = Reg_spec.Read; ret = 1; inv = 2; res = 3 };
+    ]
+  in
+  check Alcotest.bool "sequential history ok" true (Lin.check ~init:0 history)
+
+let test_lin_accepts_concurrent_reorder () =
+  (* Overlapping write/read: read may see either value. *)
+  let history v =
+    [
+      { Lin.proc = 0; op = Reg_spec.Write 5; ret = 0; inv = 0; res = 10 };
+      { Lin.proc = 1; op = Reg_spec.Read; ret = v; inv = 1; res = 9 };
+    ]
+  in
+  check Alcotest.bool "read old" true (Lin.check ~init:0 (history 0));
+  check Alcotest.bool "read new" true (Lin.check ~init:0 (history 5))
+
+let test_lin_rejects_stale_read () =
+  (* Write completes strictly before the read starts; reading the old
+     value is not linearizable. *)
+  let history =
+    [
+      { Lin.proc = 0; op = Reg_spec.Write 5; ret = 0; inv = 0; res = 1 };
+      { Lin.proc = 1; op = Reg_spec.Read; ret = 0; inv = 2; res = 3 };
+    ]
+  in
+  check Alcotest.bool "stale read rejected" false (Lin.check ~init:0 history);
+  check Alcotest.bool "counterexample produced" true
+    (Lin.counterexample ~init:0 history <> None)
+
+let test_lin_rejects_phantom_value () =
+  let history =
+    [ { Lin.proc = 0; op = Reg_spec.Read; ret = 9; inv = 0; res = 1 } ]
+  in
+  check Alcotest.bool "phantom read rejected" false (Lin.check ~init:0 history)
+
+(* ------------------------------------------------------------------ *)
+(* Interleave *)
+
+let test_merges_count () =
+  let ms = Interleave.merges [ [ 1; 2 ]; [ 3 ] ] in
+  check Alcotest.int "3 merges" 3 (List.length ms);
+  check Alcotest.int "count matches" (List.length ms)
+    (Interleave.count_merges [ [ 1; 2 ]; [ 3 ] ])
+
+let test_merges_order_preserved () =
+  let ms = Interleave.merges [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let ordered l =
+    let pos x = ref (List.mapi (fun i y -> (y, i)) l |> List.assoc x) in
+    !(pos 1) < !(pos 2) && !(pos 3) < !(pos 4)
+  in
+  check Alcotest.bool "per-thread order kept" true (List.for_all ordered ms)
+
+let test_count_merges_multinomial () =
+  check Alcotest.int "C(4,2)" 6 (Interleave.count_merges [ [ 1; 2 ]; [ 3; 4 ] ]);
+  check Alcotest.int "trivial" 1 (Interleave.count_merges [ [ 1; 2; 3 ] ])
+
+let test_exhaustive_finds_race () =
+  (* Two non-atomic increments: read, then write.  Some interleavings lose
+     an update; the explorer must find a final state of 1. *)
+  let read v (st : int * int option * int option) =
+    let a, t0, t1 = st in
+    if v = 0 then (a, Some a, t1) else (a, t0, Some a)
+  in
+  let write v (st : int * int option * int option) =
+    let _, t0, t1 = st in
+    match if v = 0 then t0 else t1 with
+    | Some tmp -> (tmp + 1, t0, t1)
+    | None -> st
+  in
+  let finals =
+    Interleave.final_states ~init:(0, None, None)
+      ~threads:[ [ read 0; write 0 ]; [ read 1; write 1 ] ]
+      ()
+  in
+  let results = List.map (fun (a, _, _) -> a) finals in
+  check Alcotest.bool "race found (lost update)" true (List.mem 1 results);
+  check Alcotest.bool "correct case found" true (List.mem 2 results)
+
+let test_exhaustive_invariant_failure_reported () =
+  match
+    Interleave.exhaustive ~init:0
+      ~threads:[ [ (fun x -> x + 1) ]; [ (fun x -> x + 1) ] ]
+      ~check:(fun x -> x < 2)
+      ()
+  with
+  | Ok () -> Alcotest.fail "invariant violation must be reported"
+  | Error msg -> check Alcotest.bool "schedule named" true (String.length msg > 0)
+
+let test_exhaustive_limit () =
+  let thread = List.init 10 (fun _ x -> x) in
+  match
+    Interleave.exhaustive ~limit:5 ~init:0
+      ~threads:[ thread; thread; thread ]
+      ~check:(fun _ -> true)
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | Ok () | Error _ -> Alcotest.fail "limit must trip"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_core"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "of_string distinct" `Quick test_gen_of_string_distinct;
+          Alcotest.test_case "int bounds" `Quick test_gen_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_gen_int_in;
+          Alcotest.test_case "shuffle permutation" `Quick test_gen_shuffle_permutation;
+          Alcotest.test_case "oneof member" `Quick test_gen_oneof_member;
+          Alcotest.test_case "bits mask" `Quick test_gen_bits_mask;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          prop_cdf_monotone;
+          prop_percentile_member;
+        ] );
+      ( "vc",
+        [
+          Alcotest.test_case "prop proved" `Quick test_vc_prop_proved;
+          Alcotest.test_case "prop falsified" `Quick test_vc_prop_falsified;
+          Alcotest.test_case "catch exception" `Quick test_vc_catch_exception;
+          Alcotest.test_case "forall_range" `Quick test_vc_forall_range;
+          Alcotest.test_case "forall_pairs" `Quick test_vc_forall_pairs;
+          Alcotest.test_case "verifier reports" `Quick test_verifier_reports;
+          Alcotest.test_case "verifier categories" `Quick test_verifier_categories;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "requires violation" `Quick test_contract_checked_violation;
+          Alcotest.test_case "ensures violation" `Quick test_contract_ensures_violation;
+          Alcotest.test_case "erased skips checks" `Quick test_contract_erased_skips;
+          Alcotest.test_case "mode restored" `Quick test_contract_mode_restored;
+          Alcotest.test_case "ghost code gating" `Quick test_contract_ghost;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "accepts correct impl" `Quick test_refinement_accepts_correct;
+          Alcotest.test_case "catches planted bug" `Quick test_refinement_catches_bug;
+          Alcotest.test_case "skips disabled ops" `Quick test_refinement_skips_disabled;
+          Alcotest.test_case "random traces catch bug" `Quick test_refinement_random_catches_bug;
+          Alcotest.test_case "trace run" `Quick test_trace_run;
+          Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "trace reachable" `Quick test_trace_reachable;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "accepts sequential" `Quick test_lin_accepts_sequential;
+          Alcotest.test_case "accepts concurrent reorder" `Quick test_lin_accepts_concurrent_reorder;
+          Alcotest.test_case "rejects stale read" `Quick test_lin_rejects_stale_read;
+          Alcotest.test_case "rejects phantom value" `Quick test_lin_rejects_phantom_value;
+        ] );
+      ( "interleave",
+        [
+          Alcotest.test_case "merge count" `Quick test_merges_count;
+          Alcotest.test_case "order preserved" `Quick test_merges_order_preserved;
+          Alcotest.test_case "multinomial count" `Quick test_count_merges_multinomial;
+          Alcotest.test_case "finds lost update" `Quick test_exhaustive_finds_race;
+          Alcotest.test_case "reports violating schedule" `Quick test_exhaustive_invariant_failure_reported;
+          Alcotest.test_case "limit trips" `Quick test_exhaustive_limit;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Evaluation-harness tests: every claimed cell of Tables 1 and 2 must be
+   backed by a passing probe, the LoC accounting must be sane, charts must
+   render, and the figure sweeps must exhibit the shapes the paper's
+   claims rest on. *)
+
+module Matrix = Bi_eval.Matrix
+module Coverage = Bi_eval.Coverage
+module Loc_count = Bi_eval.Loc_count
+module Chart = Bi_eval.Chart
+module Report = Bi_eval.Report
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Matrices *)
+
+let assert_probes table =
+  List.iter
+    (fun (label, ok) ->
+      if not ok then Alcotest.failf "probe failed for %S" label)
+    (Matrix.validate table)
+
+let test_table1_probes () = assert_probes (Matrix.table1 ())
+let test_table2_probes () = assert_probes (Matrix.table2 ())
+
+let test_table_shapes () =
+  let t1 = Matrix.table1 () and t2 = Matrix.table2 () in
+  check Alcotest.int "table1 rows (paper)" 5 (List.length t1.Matrix.rows);
+  check Alcotest.int "table2 rows (paper)" 8 (List.length t2.Matrix.rows);
+  check Alcotest.int "six columns" 6 (List.length t1.Matrix.columns);
+  List.iter
+    (fun (row : Matrix.row) ->
+      check Alcotest.int
+        ("five paper systems in " ^ row.Matrix.label)
+        5
+        (List.length row.Matrix.cells))
+    (t1.Matrix.rows @ t2.Matrix.rows)
+
+let test_yes_cells_have_probes () =
+  List.iter
+    (fun (row : Matrix.row) ->
+      if row.Matrix.ours <> Matrix.No && row.Matrix.probe = None then
+        Alcotest.failf "claimed cell %S lacks a probe" row.Matrix.label)
+    ((Matrix.table1 ()).Matrix.rows @ (Matrix.table2 ()).Matrix.rows)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_render_runs () =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Matrix.render ppf (Matrix.table1 ());
+  Format.pp_print_flush ppf ();
+  check Alcotest.bool "rendered something" true (Buffer.length buf > 100);
+  check Alcotest.bool "no failed probe marker" true
+    (not (contains ~sub:"!!" (Buffer.contents buf)))
+
+(* ------------------------------------------------------------------ *)
+(* LoC accounting *)
+
+(* Tests run from _build/default/test; the copied sources live one level
+   up.  Search upward like Report does. *)
+let repo_root () =
+  match
+    List.find_opt
+      (fun c -> Sys.file_exists (Filename.concat c "lib/pt/page_table.ml"))
+      [ "."; ".."; "../.."; "../../.." ]
+  with
+  | Some r -> r
+  | None -> Alcotest.fail "repo sources not reachable from test cwd"
+
+let test_loc_classification () =
+  match Loc_count.page_table_ratio ~root:(repo_root ()) with
+  | None -> Alcotest.fail "repo sources must be reachable from the test cwd"
+  | Some (ratio, counts) ->
+      check Alcotest.bool "proof lines counted" true (counts.Loc_count.proof_lines > 300);
+      check Alcotest.bool "impl lines counted" true (counts.Loc_count.impl_lines > 100);
+      check Alcotest.bool "ratio above 1" true (ratio > 1.0)
+
+let test_loc_whole_repo () =
+  match Loc_count.whole_repo ~root:(repo_root ()) with
+  | None -> Alcotest.fail "repo must be reachable"
+  | Some c ->
+      check Alcotest.bool "substantial implementation" true
+        (c.Loc_count.impl_lines > 3000);
+      check Alcotest.bool "substantial proof side" true
+        (c.Loc_count.proof_lines > 1500);
+      check Alcotest.bool "tests counted" true (c.Loc_count.test_lines > 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Charts *)
+
+let render_to_string f =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_chart_cdf () =
+  let s =
+    render_to_string (fun ppf ->
+        Chart.cdf ppf ~title:"t" ~xlabel:"x" [ (1., 0.5); (2., 1.0) ])
+  in
+  check Alcotest.bool "plot body present" true (String.length s > 200)
+
+let test_chart_series_two () =
+  let s =
+    render_to_string (fun ppf ->
+        Chart.series ppf ~title:"t" ~xlabel:"x" ~ylabel:"y"
+          [ ("a", [ (1., 1.); (2., 2.) ]); ("b", [ (1., 2.); (2., 4.) ]) ])
+  in
+  check Alcotest.bool "legend for both" true
+    (String.length s > 200)
+
+let test_chart_empty_data () =
+  let s = render_to_string (fun ppf -> Chart.cdf ppf ~title:"t" ~xlabel:"x" []) in
+  check Alcotest.bool "graceful on empty" true (String.length s > 0)
+
+let test_chart_table_alignment () =
+  let s =
+    render_to_string (fun ppf ->
+        Chart.table ppf ~header:[ "col"; "value" ]
+          [ [ "a"; "1" ]; [ "longer"; "22" ] ])
+  in
+  check Alcotest.bool "has separator row" true (String.length s > 30)
+
+(* ------------------------------------------------------------------ *)
+(* Figure shape properties (cheap configurations) *)
+
+let test_fig1b_shape () =
+  let points = Report.map_latency () in
+  check Alcotest.int "full core sweep" 9 (List.length points);
+  let first = List.hd points and last = List.hd (List.rev points) in
+  check Alcotest.bool "grows with cores" true
+    (last.Report.unverified_us > (5. *. first.Report.unverified_us));
+  List.iter
+    (fun (p : Report.latency_point) ->
+      let delta = abs_float (p.Report.verified_us -. p.Report.unverified_us) in
+      check Alcotest.bool "verified within 15% of unverified" true
+        (delta /. p.Report.unverified_us < 0.15))
+    points
+
+let test_fig1c_shape () =
+  let points = Report.unmap_latency () in
+  let first = List.hd points and last = List.hd (List.rev points) in
+  check Alcotest.bool "grows with cores" true
+    (last.Report.unverified_us > (5. *. first.Report.unverified_us))
+
+let test_measured_apply_cycles_sane () =
+  let unver = Report.measured_apply_cycles ~verified:false in
+  let ver = Report.measured_apply_cycles ~verified:true in
+  check Alcotest.bool "positive" true (unver > 0 && ver > 0);
+  (* Erased verification must not change the memory-access footprint by
+     more than a trivial amount — the paper's zero-cost claim. *)
+  let delta = abs (ver - unver) in
+  check Alcotest.bool "erased footprint matches unverified" true
+    (float_of_int delta /. float_of_int unver < 0.05)
+
+let test_fig1a_report_proves_everything () =
+  let rep = Bi_core.Verifier.discharge (Bi_pt.Pt_refinement.all ()) in
+  check Alcotest.bool "all 220 proved" true (Bi_core.Verifier.all_proved rep);
+  check Alcotest.int "220 results" 220 (List.length rep.Bi_core.Verifier.results);
+  let cdf = Bi_core.Verifier.cdf rep in
+  check Alcotest.bool "cdf non-empty" true (cdf <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_eval"
+    [
+      ( "matrices",
+        [
+          Alcotest.test_case "table1 probes" `Quick test_table1_probes;
+          Alcotest.test_case "table2 probes" `Quick test_table2_probes;
+          Alcotest.test_case "paper shapes" `Quick test_table_shapes;
+          Alcotest.test_case "claims need probes" `Quick test_yes_cells_have_probes;
+          Alcotest.test_case "render runs" `Quick test_render_runs;
+        ] );
+      ( "loc",
+        [
+          Alcotest.test_case "page-table ratio" `Quick test_loc_classification;
+          Alcotest.test_case "whole repo" `Quick test_loc_whole_repo;
+        ] );
+      ( "charts",
+        [
+          Alcotest.test_case "cdf" `Quick test_chart_cdf;
+          Alcotest.test_case "two series" `Quick test_chart_series_two;
+          Alcotest.test_case "empty data" `Quick test_chart_empty_data;
+          Alcotest.test_case "table" `Quick test_chart_table_alignment;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig1b shape" `Quick test_fig1b_shape;
+          Alcotest.test_case "fig1c shape" `Quick test_fig1c_shape;
+          Alcotest.test_case "apply cycles sane" `Quick test_measured_apply_cycles_sane;
+          Alcotest.test_case "fig1a proves all" `Quick test_fig1a_report_proves_everything;
+        ] );
+    ]

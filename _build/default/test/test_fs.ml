@@ -1,0 +1,331 @@
+(* Filesystem tests: the refinement/crash VC suite plus unit and property
+   tests of the WAL and the on-disk structures. *)
+
+module Disk = Bi_hw.Device.Disk
+module Block_dev = Bi_fs.Block_dev
+module Wal = Bi_fs.Wal
+module Fs = Bi_fs.Fs
+module Fs_spec = Bi_fs.Fs_spec
+module Fs_refinement = Bi_fs.Fs_refinement
+module Path = Bi_fs.Path
+
+let check = Alcotest.check
+
+let qtest name count gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let fresh_dev () = Block_dev.of_disk (Disk.create ~sectors:2048 ())
+let fresh_fs () = Fs.mkfs (fresh_dev ())
+
+let write_file fs path data =
+  (match Fs.create fs path with Ok () | Error _ -> ());
+  match Fs.resolve fs path with
+  | Ok ino -> Fs.write_ino fs ~ino ~off:0 (Bytes.of_string data)
+  | Error e -> Error e
+
+let read_file fs path =
+  match Fs.stat fs path with
+  | Ok { Fs.size; ino; _ } -> (
+      match Fs.read_ino fs ~ino ~off:0 ~len:size with
+      | Ok b -> Some (Bytes.to_string b)
+      | Error _ -> None)
+  | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* VC suite *)
+
+let vc_cases () =
+  let vcs = Fs_refinement.vcs () in
+  List.map
+    (fun (vc : Bi_core.Vc.t) ->
+      Alcotest.test_case vc.Bi_core.Vc.id `Quick (fun () ->
+          match Bi_core.Vc.catch vc.Bi_core.Vc.check with
+          | Bi_core.Vc.Proved -> ()
+          | Bi_core.Vc.Falsified msg -> Alcotest.fail msg))
+    vcs
+
+(* ------------------------------------------------------------------ *)
+(* Path *)
+
+let test_path_split () =
+  check Alcotest.bool "root" true (Path.split "/" = Ok []);
+  check Alcotest.bool "two components" true (Path.split "/a/b" = Ok [ "a"; "b" ]);
+  check Alcotest.bool "relative rejected" true (Path.split "a/b" = Error ());
+  check Alcotest.bool "empty component rejected" true (Path.split "/a//b" = Error ());
+  check Alcotest.bool "dot rejected" true (Path.split "/a/./b" = Error ());
+  check Alcotest.bool "too long rejected" true
+    (Path.split ("/" ^ String.make 28 'x') = Error ())
+
+let test_path_dirname_basename () =
+  check Alcotest.bool "nested" true
+    (Path.dirname_basename "/a/b/c" = Ok ([ "a"; "b" ], "c"));
+  check Alcotest.bool "top" true (Path.dirname_basename "/a" = Ok ([], "a"));
+  check Alcotest.bool "root has no basename" true
+    (Path.dirname_basename "/" = Error ())
+
+let prop_path_join_split =
+  qtest "join inverts split" 200
+    QCheck2.Gen.(
+      list_size (int_range 0 4)
+        (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)))
+    (fun parts -> Path.split (Path.join parts) = Ok parts)
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let test_wal_commit_applies () =
+  let dev = fresh_dev () in
+  let wal = Wal.create dev ~header_block:1 in
+  ignore (Wal.recover wal);
+  let txn = Wal.begin_txn wal in
+  let b = Bytes.make Block_dev.block_size 'A' in
+  Wal.txn_write txn 100 b;
+  Wal.txn_write txn 101 b;
+  Wal.commit txn;
+  check Alcotest.bool "installed" true (Block_dev.read dev 100 = b);
+  check Alcotest.bool "installed 2" true (Block_dev.read dev 101 = b)
+
+let test_wal_txn_reads_own_writes () =
+  let dev = fresh_dev () in
+  let wal = Wal.create dev ~header_block:1 in
+  ignore (Wal.recover wal);
+  let txn = Wal.begin_txn wal in
+  let b = Bytes.make Block_dev.block_size 'B' in
+  Wal.txn_write txn 50 b;
+  check Alcotest.bool "sees own write" true (Wal.txn_read txn 50 = b);
+  Wal.abort txn;
+  check Alcotest.bool "abort discards" false (Block_dev.read dev 50 = b)
+
+let test_wal_last_write_wins () =
+  let dev = fresh_dev () in
+  let wal = Wal.create dev ~header_block:1 in
+  ignore (Wal.recover wal);
+  let txn = Wal.begin_txn wal in
+  Wal.txn_write txn 60 (Bytes.make Block_dev.block_size 'x');
+  Wal.txn_write txn 60 (Bytes.make Block_dev.block_size 'y');
+  Wal.commit txn;
+  check Alcotest.bool "second write wins" true
+    (Bytes.get (Block_dev.read dev 60) 0 = 'y')
+
+let test_wal_size_limit () =
+  let dev = fresh_dev () in
+  let wal = Wal.create dev ~header_block:1 in
+  ignore (Wal.recover wal);
+  let txn = Wal.begin_txn wal in
+  match
+    for i = 0 to Wal.max_records do
+      Wal.txn_write txn (100 + i) (Bytes.make Block_dev.block_size 'z')
+    done
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "record budget must be enforced"
+
+(* Crash before the commit header lands: recovery discards; crash after:
+   recovery installs. *)
+let test_wal_crash_before_commit_point () =
+  let disk = Disk.create ~sectors:2048 () in
+  let dev = Block_dev.of_disk disk in
+  let wal = Wal.create dev ~header_block:1 in
+  ignore (Wal.recover wal);
+  Block_dev.flush dev;
+  let txn = Wal.begin_txn wal in
+  Wal.txn_write txn 200 (Bytes.make Block_dev.block_size 'C');
+  Wal.commit txn;
+  (* Re-run the same scenario but cut the disk just after the record
+     writes (2 writes: meta + data), before the header write. *)
+  let disk2 = Disk.create ~sectors:2048 () in
+  let dev2 = Block_dev.of_disk disk2 in
+  let wal2 = Wal.create dev2 ~header_block:1 in
+  ignore (Wal.recover wal2);
+  Block_dev.flush dev2;
+  let txn2 = Wal.begin_txn wal2 in
+  Wal.txn_write txn2 200 (Bytes.make Block_dev.block_size 'C');
+  (* Manually perform only the first phase of commit by crashing with the
+     record writes applied but nothing else: commit then cut at 2. *)
+  Wal.commit txn2;
+  let crashed = Block_dev.crash_with dev2 ~keep_unflushed:0 in
+  let wal3 = Wal.create crashed ~header_block:1 in
+  let replayed = Wal.recover wal3 in
+  ignore replayed;
+  (* Either the txn committed fully (header flushed) or not at all. *)
+  let cell = Bytes.get (Block_dev.read crashed 200) 0 in
+  check Alcotest.bool "all-or-nothing" true (cell = 'C' || cell = '\000')
+
+let test_wal_recover_idempotent () =
+  let dev = fresh_dev () in
+  let wal = Wal.create dev ~header_block:1 in
+  ignore (Wal.recover wal);
+  let txn = Wal.begin_txn wal in
+  Wal.txn_write txn 70 (Bytes.make Block_dev.block_size 'R');
+  Wal.commit txn;
+  check Alcotest.int "nothing to replay" 0 (Wal.recover wal);
+  check Alcotest.int "still nothing" 0 (Wal.recover wal)
+
+(* ------------------------------------------------------------------ *)
+(* Fs units *)
+
+let test_fs_mkfs_mount () =
+  let dev = fresh_dev () in
+  let fs = Fs.mkfs dev in
+  (match write_file fs "/boot" "persisted" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %a" Fs.pp_error e);
+  let fs2 = Fs.mount dev in
+  check (Alcotest.option Alcotest.string) "survives remount" (Some "persisted")
+    (read_file fs2 "/boot")
+
+let test_fs_mount_bad_superblock () =
+  let dev = fresh_dev () in
+  match Fs.mount dev with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unformatted device must be rejected"
+
+let test_fs_max_file_size () =
+  let fs = fresh_fs () in
+  (match Fs.create fs "/big" with Ok () -> () | Error _ -> Alcotest.fail "create");
+  match Fs.resolve fs "/big" with
+  | Error _ -> Alcotest.fail "resolve"
+  | Ok ino -> (
+      (match Fs.write_ino fs ~ino ~off:(Fs.max_file_size - 8) (Bytes.make 8 'e') with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "boundary write: %a" Fs.pp_error e);
+      match Fs.write_ino fs ~ino ~off:(Fs.max_file_size - 4) (Bytes.make 8 'x') with
+      | Error Fs.Too_large -> ()
+      | Ok () | Error _ -> Alcotest.fail "past max must fail")
+
+let test_fs_deep_paths () =
+  let fs = fresh_fs () in
+  let rec mk depth path =
+    if depth = 0 then ()
+    else begin
+      let p = path ^ "/d" in
+      (match Fs.mkdir fs p with Ok () -> () | Error e -> Alcotest.failf "mkdir %s: %a" p Fs.pp_error e);
+      mk (depth - 1) p
+    end
+  in
+  mk 6 "";
+  (match Fs.create fs "/d/d/d/d/d/d/leaf" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "deep create: %a" Fs.pp_error e);
+  match Fs.readdir fs "/d/d/d/d/d/d" with
+  | Ok names -> check (Alcotest.list Alcotest.string) "leaf listed" [ "leaf" ] names
+  | Error e -> Alcotest.failf "readdir: %a" Fs.pp_error e
+
+let test_fs_many_files_in_dir () =
+  let fs = fresh_fs () in
+  let names = List.init 40 (fun i -> Printf.sprintf "f%02d" i) in
+  List.iter
+    (fun n ->
+      match Fs.create fs ("/" ^ n) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "create %s: %a" n Fs.pp_error e)
+    names;
+  (match Fs.readdir fs "/" with
+  | Ok listed -> check (Alcotest.list Alcotest.string) "all listed" names listed
+  | Error _ -> Alcotest.fail "readdir");
+  (* Remove some; slots must be reusable. *)
+  List.iteri
+    (fun i n -> if i mod 2 = 0 then ignore (Fs.unlink fs ("/" ^ n)))
+    names;
+  (match Fs.create fs "/reused" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reuse slot: %a" Fs.pp_error e);
+  match Fs.readdir fs "/" with
+  | Ok listed -> check Alcotest.int "count after churn" 21 (List.length listed)
+  | Error _ -> Alcotest.fail "readdir 2"
+
+let test_fs_inode_reuse_no_leak () =
+  let fs = fresh_fs () in
+  (* Create/destroy repeatedly; inode table must not run out. *)
+  for i = 0 to 300 do
+    let p = Printf.sprintf "/cycle%d" (i mod 3) in
+    (match Fs.create fs p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "create %d: %a" i Fs.pp_error e);
+    match Fs.unlink fs p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "unlink %d: %a" i Fs.pp_error e
+  done
+
+let test_fs_sparse_read_zeros () =
+  let fs = fresh_fs () in
+  (match write_file fs "/sparse" "" with Ok () -> () | Error _ -> ());
+  match Fs.resolve fs "/sparse" with
+  | Error _ -> Alcotest.fail "resolve"
+  | Ok ino -> (
+      (match Fs.write_ino fs ~ino ~off:5000 (Bytes.of_string "tail") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "sparse write: %a" Fs.pp_error e);
+      match Fs.read_ino fs ~ino ~off:1000 ~len:8 with
+      | Ok b ->
+          check Alcotest.string "hole reads zeros" (String.make 8 '\000')
+            (Bytes.to_string b)
+      | Error e -> Alcotest.failf "hole read: %a" Fs.pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Random crash-recovery property over multi-op histories *)
+
+let prop_crash_recovery_consistent =
+  qtest "crash during random history recovers to a consistent tree" 25
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 0 10))
+    (fun (cut, nops) ->
+      let disk = Disk.create ~sectors:2048 () in
+      let dev = Block_dev.of_disk disk in
+      let fs = Fs.mkfs dev in
+      for i = 0 to nops do
+        let p = Printf.sprintf "/f%d" (i mod 4) in
+        match i mod 3 with
+        | 0 -> ignore (Fs.create fs p)
+        | 1 -> ignore (write_file fs p (String.make (100 * i) 'w'))
+        | _ -> ignore (Fs.unlink fs p)
+      done;
+      let crashed = Block_dev.crash_with dev ~keep_unflushed:cut in
+      let fs2 = Fs.mount crashed in
+      (* Consistency: the tree walks without errors and every file's stat
+         size equals its readable length. *)
+      match Fs.readdir fs2 "/" with
+      | Error _ -> false
+      | Ok names ->
+          List.for_all
+            (fun n ->
+              match Fs.stat fs2 ("/" ^ n) with
+              | Error _ -> false
+              | Ok { Fs.size; ino; _ } -> (
+                  match Fs.read_ino fs2 ~ino ~off:0 ~len:size with
+                  | Ok b -> Bytes.length b = size
+                  | Error _ -> false))
+            names)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_fs"
+    [
+      ("vc-suite", vc_cases ());
+      ( "path",
+        [
+          Alcotest.test_case "split" `Quick test_path_split;
+          Alcotest.test_case "dirname/basename" `Quick test_path_dirname_basename;
+          prop_path_join_split;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "commit applies" `Quick test_wal_commit_applies;
+          Alcotest.test_case "txn reads own writes" `Quick test_wal_txn_reads_own_writes;
+          Alcotest.test_case "last write wins" `Quick test_wal_last_write_wins;
+          Alcotest.test_case "size limit" `Quick test_wal_size_limit;
+          Alcotest.test_case "all-or-nothing" `Quick test_wal_crash_before_commit_point;
+          Alcotest.test_case "recover idempotent" `Quick test_wal_recover_idempotent;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "mkfs/mount" `Quick test_fs_mkfs_mount;
+          Alcotest.test_case "bad superblock" `Quick test_fs_mount_bad_superblock;
+          Alcotest.test_case "max file size" `Quick test_fs_max_file_size;
+          Alcotest.test_case "deep paths" `Quick test_fs_deep_paths;
+          Alcotest.test_case "many files + slot reuse" `Quick test_fs_many_files_in_dir;
+          Alcotest.test_case "inode reuse" `Quick test_fs_inode_reuse_no_leak;
+          Alcotest.test_case "sparse zeros" `Quick test_fs_sparse_read_zeros;
+        ] );
+      ("crash", [ prop_crash_recovery_consistent ]);
+    ]

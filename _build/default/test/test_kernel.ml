@@ -1,0 +1,888 @@
+(* Kernel tests: the syscall ABI marshalling VCs, process/thread/futex
+   semantics, fd behaviour against the paper's read_spec, memory syscalls
+   through the verified page table, the Sys_spec contract replay, and the
+   data-race-freedom argument for fd state. *)
+
+module K = Bi_kernel.Kernel
+module U = Bi_kernel.Usys
+module Sysabi = Bi_kernel.Sysabi
+module Sys_spec = Bi_kernel.Sys_spec
+module Scheduler = Bi_kernel.Scheduler
+module Futex = Bi_kernel.Futex
+
+let check = Alcotest.check
+
+let qtest name count gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let err = Alcotest.testable Sysabi.pp_err ( = )
+
+(* Run a single program to completion and return the kernel. *)
+let run_one body =
+  let k = K.create () in
+  K.register_program k "main" (fun s _ -> body k s);
+  (match K.spawn k ~prog:"main" ~arg:"" with
+  | Ok _ -> K.run k
+  | Error _ -> Alcotest.fail "spawn failed");
+  k
+
+let abi_vc_cases () =
+  List.map
+    (fun (vc : Bi_core.Vc.t) ->
+      Alcotest.test_case vc.Bi_core.Vc.id `Quick (fun () ->
+          match Bi_core.Vc.catch vc.Bi_core.Vc.check with
+          | Bi_core.Vc.Proved -> ()
+          | Bi_core.Vc.Falsified msg -> Alcotest.fail msg))
+    (Sysabi.vcs ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler / futex units *)
+
+let test_scheduler_fifo () =
+  let s = Scheduler.create () in
+  Scheduler.enqueue s 1;
+  Scheduler.enqueue s 2;
+  Scheduler.enqueue s 3;
+  Scheduler.remove s 2;
+  check (Alcotest.option Alcotest.int) "first" (Some 1) (Scheduler.dequeue s);
+  check (Alcotest.option Alcotest.int) "removed skipped" (Some 3) (Scheduler.dequeue s);
+  check (Alcotest.option Alcotest.int) "empty" None (Scheduler.dequeue s)
+
+let test_scheduler_as_seq_ds () =
+  let s = Scheduler.create () in
+  check Alcotest.bool "enqueue op" true (Scheduler.apply s (Scheduler.Enqueue 9) = Scheduler.Unit);
+  check Alcotest.bool "length is read-only" true (Scheduler.is_read_only Scheduler.Length);
+  check Alcotest.bool "dequeue mutates" false (Scheduler.is_read_only Scheduler.Dequeue);
+  check Alcotest.bool "length op" true (Scheduler.apply s Scheduler.Length = Scheduler.Len 1)
+
+let test_futex_fifo_wake () =
+  let f = Futex.create () in
+  Futex.enqueue f ~pid:1 ~va:0x100L ~tid:10;
+  Futex.enqueue f ~pid:1 ~va:0x100L ~tid:11;
+  Futex.enqueue f ~pid:1 ~va:0x100L ~tid:12;
+  check (Alcotest.list Alcotest.int) "fifo order, bounded count" [ 10; 11 ]
+    (Futex.wake f ~pid:1 ~va:0x100L ~count:2);
+  check Alcotest.int "one left" 1 (Futex.waiters f ~pid:1 ~va:0x100L)
+
+let test_futex_keys_isolated () =
+  let f = Futex.create () in
+  Futex.enqueue f ~pid:1 ~va:0x100L ~tid:10;
+  Futex.enqueue f ~pid:2 ~va:0x100L ~tid:20;
+  check (Alcotest.list Alcotest.int) "pid isolates queues" [ 10 ]
+    (Futex.wake f ~pid:1 ~va:0x100L ~count:8);
+  check Alcotest.int "other pid untouched" 1 (Futex.waiters f ~pid:2 ~va:0x100L)
+
+let test_futex_remove_thread () =
+  let f = Futex.create () in
+  Futex.enqueue f ~pid:1 ~va:0x100L ~tid:10;
+  Futex.enqueue f ~pid:1 ~va:0x100L ~tid:11;
+  Futex.remove_thread f ~tid:10;
+  check (Alcotest.list Alcotest.int) "removed not woken" [ 11 ]
+    (Futex.wake f ~pid:1 ~va:0x100L ~count:8)
+
+(* ------------------------------------------------------------------ *)
+(* Process lifecycle *)
+
+let test_exit_code_via_wait () =
+  let observed = ref (-1) in
+  let k = K.create () in
+  K.register_program k "child" (fun s _ -> U.exit s 33);
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"child" ~arg:"" with
+      | Ok pid -> (
+          match U.wait s pid with Ok c -> observed := c | Error _ -> ())
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.int "exit code delivered" 33 !observed
+
+let test_wait_before_exit_blocks () =
+  (* Parent waits while the child still sleeps: must block then resume. *)
+  let observed = ref (-1) in
+  let k = K.create () in
+  K.register_program k "slow" (fun s _ ->
+      U.sleep s 5;
+      U.exit s 9);
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"slow" ~arg:"" with
+      | Ok pid -> (
+          match U.wait s pid with Ok c -> observed := c | Error _ -> ())
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.int "blocked wait resumed" 9 !observed
+
+let test_wait_not_child () =
+  let result = ref (Ok 0) in
+  let k = K.create () in
+  K.register_program k "bystander" (fun s _ -> U.sleep s 2);
+  K.register_program k "main" (fun s _ -> result := U.wait s 999);
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.bool "ECHILD" true (!result = Error Sysabi.E_child)
+
+let test_kill_terminates () =
+  let after_kill = ref (Ok 0) in
+  let k = K.create () in
+  K.register_program k "victim" (fun s _ ->
+      U.sleep s 10_000;
+      U.log s "victim survived?!");
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"victim" ~arg:"" with
+      | Ok pid ->
+          (match U.kill s ~pid ~signal:9 with Ok () | Error _ -> ());
+          after_kill := U.wait s pid
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.bool "victim killed, code 128+9" true
+    (!after_kill = Ok 137);
+  check Alcotest.bool "no survivor output" true
+    (not
+       (String.length (K.serial_output k) > 0
+       && String.length (K.serial_output k) >= 7
+       && String.sub (K.serial_output k) 0 6 = "victim"))
+
+let test_kill_signal_zero_probes () =
+  let alive = ref (Error Sysabi.E_inval) in
+  let dead = ref (Ok ()) in
+  let k = K.create () in
+  K.register_program k "target" (fun s _ -> U.sleep s 3);
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"target" ~arg:"" with
+      | Ok pid ->
+          alive := U.kill s ~pid ~signal:0;
+          ignore (U.wait s pid);
+          dead := U.kill s ~pid ~signal:0
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.bool "existence check ok" true (!alive = Ok ());
+  check Alcotest.bool "reaped process gone" true (!dead = Error Sysabi.E_srch)
+
+let test_spawn_unknown_program () =
+  let r = ref (Ok 0) in
+  ignore (run_one (fun _ s -> r := U.spawn s ~prog:"nope" ~arg:""));
+  check Alcotest.bool "ENOENT" true (!r = Error Sysabi.E_noent)
+
+let test_deadlock_detected () =
+  let k = K.create () in
+  K.register_program k "stuck" (fun s _ ->
+      (* futex_wait on a word nobody will ever wake *)
+      match U.mmap s ~bytes:4096 with
+      | Ok va -> ignore (U.futex_wait s ~va ~expected:0L)
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"stuck" ~arg:"");
+  match K.run k with
+  | exception K.Deadlock _ -> ()
+  | () -> Alcotest.fail "deadlock must be detected"
+
+(* ------------------------------------------------------------------ *)
+(* File descriptors: the read_spec semantics *)
+
+let test_fd_read_spec_semantics () =
+  (* The paper's read_spec: read_len = min(len, size - offset); data is
+     contents[offset .. offset+read_len); offset advances by read_len. *)
+  ignore
+    (run_one (fun _ s ->
+         match U.openf s ~create:true "/f" with
+         | Error _ -> Alcotest.fail "open"
+         | Ok fd -> (
+             ignore (U.write s ~fd "0123456789");
+             ignore (U.seek s ~fd ~off:7);
+             (match U.read s ~fd ~len:5 with
+             | Ok d -> check Alcotest.string "short read at eof" "789" d
+             | Error _ -> Alcotest.fail "read 1");
+             (match U.read s ~fd ~len:5 with
+             | Ok d -> check Alcotest.string "offset advanced to eof" "" d
+             | Error _ -> Alcotest.fail "read 2");
+             ignore (U.seek s ~fd ~off:2);
+             match U.read s ~fd ~len:3 with
+             | Ok d -> check Alcotest.string "mid-file read" "234" d
+             | Error _ -> Alcotest.fail "read 3")))
+
+let test_fd_isolation_between_processes () =
+  (* fds are per-process: a child's fd table starts empty. *)
+  let child_err = ref (Ok "") in
+  let k = K.create () in
+  K.register_program k "child" (fun s _ -> child_err := U.read s ~fd:3 ~len:1);
+  K.register_program k "main" (fun s _ ->
+      (match U.openf s ~create:true "/x" with
+      | Ok fd -> check Alcotest.int "first fd is 3" 3 fd
+      | Error _ -> Alcotest.fail "open");
+      match U.spawn s ~prog:"child" ~arg:"" with
+      | Ok pid -> ignore (U.wait s pid)
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.bool "child sees EBADF" true (!child_err = Error Sysabi.E_badf)
+
+let test_fd_badf_cases () =
+  ignore
+    (run_one (fun _ s ->
+         check (Alcotest.result Alcotest.string err) "read" (Error Sysabi.E_badf)
+           (U.read s ~fd:42 ~len:1);
+         check (Alcotest.result Alcotest.int err) "write" (Error Sysabi.E_badf)
+           (U.write s ~fd:42 "x");
+         check (Alcotest.result Alcotest.unit err) "close" (Error Sysabi.E_badf)
+           (U.close s 42);
+         match U.openf s ~create:true "/y" with
+         | Ok fd ->
+             ignore (U.close s fd);
+             check (Alcotest.result Alcotest.string err) "use after close"
+               (Error Sysabi.E_badf) (U.read s ~fd ~len:1)
+         | Error _ -> Alcotest.fail "open"))
+
+let test_two_fds_independent_offsets () =
+  ignore
+    (run_one (fun _ s ->
+         (match U.openf s ~create:true "/shared" with
+         | Ok fd -> ignore (U.write s ~fd "abcdef"); ignore (U.close s fd)
+         | Error _ -> Alcotest.fail "setup");
+         match (U.openf s "/shared", U.openf s "/shared") with
+         | Ok fd1, Ok fd2 ->
+             ignore (U.read s ~fd:fd1 ~len:2);
+             (match U.read s ~fd:fd2 ~len:3 with
+             | Ok d -> check Alcotest.string "fd2 from start" "abc" d
+             | Error _ -> Alcotest.fail "read fd2");
+             (match U.read s ~fd:fd1 ~len:2 with
+             | Ok d -> check Alcotest.string "fd1 continues" "cd" d
+             | Error _ -> Alcotest.fail "read fd1")
+         | _ -> Alcotest.fail "opens"))
+
+(* ------------------------------------------------------------------ *)
+(* Memory syscalls *)
+
+let test_mmap_through_verified_pt () =
+  ignore
+    (run_one (fun k s ->
+         match U.mmap s ~bytes:8192 with
+         | Error _ -> Alcotest.fail "mmap"
+         | Ok va ->
+             check Alcotest.bool "user-range va" true
+               (va >= Bi_kernel.Address_space.user_base);
+             (* Both pages mapped and zeroed. *)
+             (match U.load s ~va with
+             | Ok 0L -> ()
+             | _ -> Alcotest.fail "page 1 not zeroed");
+             (match U.load s ~va:(Int64.add va 4096L) with
+             | Ok 0L -> ()
+             | _ -> Alcotest.fail "page 2 not zeroed");
+             (* Mresolve gives a physical address inside machine memory. *)
+             (match U.mresolve s ~va with
+             | Ok pa ->
+                 check Alcotest.bool "pa in ram" true
+                   (Int64.to_int pa
+                   < Bi_hw.Phys_mem.size (K.machine k).Bi_hw.Machine.mem)
+             | Error _ -> Alcotest.fail "mresolve");
+             (match U.munmap s ~va with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "munmap");
+             (* After munmap, access faults. *)
+             (match U.load s ~va with
+             | Error Sysabi.E_fault -> ()
+             | _ -> Alcotest.fail "unmapped access must fault");
+             match U.mresolve s ~va with
+             | Error Sysabi.E_fault -> ()
+             | _ -> Alcotest.fail "resolve after munmap"))
+
+let test_mmap_rejects_bad_args () =
+  ignore
+    (run_one (fun _ s ->
+         check (Alcotest.result Alcotest.int64 err) "zero bytes"
+           (Error Sysabi.E_inval) (U.mmap s ~bytes:0);
+         check (Alcotest.result Alcotest.unit err) "bogus munmap"
+           (Error Sysabi.E_inval) (U.munmap s ~va:0x123456L)))
+
+let test_address_spaces_isolated () =
+  (* Two processes writing the same virtual address must not interfere. *)
+  let k = K.create () in
+  let results = ref [] in
+  K.register_program k "writer" (fun s arg ->
+      match U.mmap s ~bytes:4096 with
+      | Ok va ->
+          ignore (U.store s ~va (Int64.of_string arg));
+          U.yield s;
+          (match U.load s ~va with
+          | Ok v -> results := (arg, v) :: !results
+          | Error _ -> ());
+          U.exit s 0
+      | Error _ -> ());
+  ignore (K.spawn k ~prog:"writer" ~arg:"111");
+  ignore (K.spawn k ~prog:"writer" ~arg:"222");
+  K.run k;
+  let sorted = List.sort compare !results in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "each process sees its own value"
+    [ ("111", 111L); ("222", 222L) ]
+    sorted
+
+(* ------------------------------------------------------------------ *)
+(* Threads and futexes in the kernel *)
+
+let test_thread_join_and_shared_memory () =
+  ignore
+    (run_one (fun _ s ->
+         match U.mmap s ~bytes:4096 with
+         | Error _ -> Alcotest.fail "mmap"
+         | Ok va ->
+             let tid =
+               U.thread_create s (fun s2 ->
+                   match U.load s2 ~va with
+                   | Ok v -> ignore (U.store s2 ~va (Int64.add v 40L))
+                   | Error _ -> ())
+             in
+             ignore (U.store s ~va 2L);
+             (match U.thread_join s tid with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "join");
+             match U.load s ~va with
+             | Ok v -> check Alcotest.int64 "threads share the AS" 42L v
+             | Error _ -> Alcotest.fail "load"))
+
+let test_futex_wait_value_mismatch () =
+  ignore
+    (run_one (fun _ s ->
+         match U.mmap s ~bytes:4096 with
+         | Error _ -> Alcotest.fail "mmap"
+         | Ok va ->
+             ignore (U.store s ~va 5L);
+             check (Alcotest.result Alcotest.unit err) "EAGAIN on stale value"
+               (Error Sysabi.E_again)
+               (U.futex_wait s ~va ~expected:0L)))
+
+let test_futex_wake_count () =
+  ignore
+    (run_one (fun _ s ->
+         match U.mmap s ~bytes:4096 with
+         | Error _ -> Alcotest.fail "mmap"
+         | Ok va ->
+             let woken_total = ref 0 in
+             let waiter s2 =
+               match U.futex_wait s2 ~va ~expected:0L with
+               | Ok () | Error _ -> ()
+             in
+             let t1 = U.thread_create s waiter in
+             let t2 = U.thread_create s waiter in
+             let t3 = U.thread_create s waiter in
+             U.yield s;
+             (* let waiters park *)
+             U.yield s;
+             woken_total := U.futex_wake s ~va ~count:2;
+             check Alcotest.int "exactly two woken" 2 !woken_total;
+             check Alcotest.int "third still parked" 1
+               (U.futex_wake s ~va ~count:10);
+             List.iter (fun t -> ignore (U.thread_join s t)) [ t1; t2; t3 ]))
+
+let test_futex_fault_on_unmapped () =
+  ignore
+    (run_one (fun _ s ->
+         check (Alcotest.result Alcotest.unit err) "EFAULT"
+           (Error Sysabi.E_fault)
+           (U.futex_wait s ~va:0xDEAD000L ~expected:0L)))
+
+(* ------------------------------------------------------------------ *)
+(* Pipes, mprotect, rename (extensions) *)
+
+let test_pipe_transfer () =
+  ignore
+    (run_one (fun _ s ->
+         match U.pipe s with
+         | Error _ -> Alcotest.fail "pipe"
+         | Ok (rfd, wfd) ->
+             check Alcotest.bool "distinct fds" true (rfd <> wfd);
+             (* Writer thread feeds the pipe while the main thread blocks
+                reading. *)
+             let t =
+               U.thread_create s (fun s2 ->
+                   ignore (U.write s2 ~fd:wfd "first ");
+                   U.yield s2;
+                   ignore (U.write s2 ~fd:wfd "second");
+                   ignore (U.close s2 wfd))
+             in
+             let rec drain acc =
+               match U.read s ~fd:rfd ~len:64 with
+               | Ok "" -> acc (* EOF *)
+               | Ok chunk -> drain (acc ^ chunk)
+               | Error _ -> Alcotest.fail "pipe read"
+             in
+             let all = drain "" in
+             ignore (U.thread_join s t);
+             check Alcotest.string "stream complete" "first second" all))
+
+let test_pipe_epipe () =
+  ignore
+    (run_one (fun _ s ->
+         match U.pipe s with
+         | Error _ -> Alcotest.fail "pipe"
+         | Ok (rfd, wfd) ->
+             ignore (U.close s rfd);
+             check (Alcotest.result Alcotest.int err) "EPIPE analogue"
+               (Error Sysabi.E_conn) (U.write s ~fd:wfd "lost")))
+
+let test_pipe_eof_on_writer_exit () =
+  (* A blocked reader must see EOF when the writing thread's process keeps
+     the fd but closes it explicitly. *)
+  ignore
+    (run_one (fun _ s ->
+         match U.pipe s with
+         | Error _ -> Alcotest.fail "pipe"
+         | Ok (rfd, wfd) ->
+             let t =
+               U.thread_create s (fun s2 ->
+                   U.sleep s2 3;
+                   ignore (U.close s2 wfd))
+             in
+             (match U.read s ~fd:rfd ~len:8 with
+             | Ok "" -> ()
+             | Ok _ -> Alcotest.fail "no data was written"
+             | Error _ -> Alcotest.fail "read");
+             ignore (U.thread_join s t)))
+
+let test_pipe_seek_rejected () =
+  ignore
+    (run_one (fun _ s ->
+         match U.pipe s with
+         | Error _ -> Alcotest.fail "pipe"
+         | Ok (rfd, _) ->
+             check (Alcotest.result Alcotest.int err) "pipes don't seek"
+               (Error Sysabi.E_inval) (U.seek s ~fd:rfd ~off:0)))
+
+let test_mprotect_denies_writes () =
+  ignore
+    (run_one (fun _ s ->
+         match U.mmap s ~bytes:8192 with
+         | Error _ -> Alcotest.fail "mmap"
+         | Ok va ->
+             (match U.store s ~va 7L with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "initial store");
+             (match U.mprotect s ~va ~writable:false ~executable:false with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "mprotect");
+             (* Reads still work, writes fault — on every page. *)
+             (match U.load s ~va with
+             | Ok 7L -> ()
+             | _ -> Alcotest.fail "read after mprotect");
+             (match U.store s ~va 8L with
+             | Error Sysabi.E_fault -> ()
+             | _ -> Alcotest.fail "write must fault");
+             (match U.store s ~va:(Int64.add va 4096L) 8L with
+             | Error Sysabi.E_fault -> ()
+             | _ -> Alcotest.fail "second page must fault too");
+             (* And back. *)
+             (match U.mprotect s ~va ~writable:true ~executable:false with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "mprotect back");
+             match U.store s ~va 9L with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "write after re-enable"))
+
+let test_mprotect_bad_region () =
+  ignore
+    (run_one (fun _ s ->
+         check (Alcotest.result Alcotest.unit err) "unknown region"
+           (Error Sysabi.E_inval)
+           (U.mprotect s ~va:0x999000L ~writable:false ~executable:false)))
+
+let test_pipe_closed_on_process_death () =
+  (* A reader blocked on a pipe whose writing *process* is killed must see
+     EOF (process teardown closes fds). *)
+  let got = ref "pending" in
+  let k = K.create () in
+  K.register_program k "writer" (fun s arg ->
+      (* The parent passes the write fd number via arg; same process tree
+         cannot share fds here, so instead the writer holds its own pipe
+         and the reader thread lives in the same process: kill the whole
+         process from outside and ensure nothing hangs. *)
+      ignore arg;
+      match U.pipe s with
+      | Ok (rfd, _wfd) ->
+          (* This read can never be satisfied inside this process... *)
+          ignore (U.read s ~fd:rfd ~len:8)
+      | Error _ -> ());
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"writer" ~arg:"" with
+      | Ok pid ->
+          U.sleep s 2;
+          (* The child is blocked forever on its own pipe; killing it must
+             clean it up and unblock the wait below. *)
+          (match U.kill s ~pid ~signal:9 with Ok () | Error _ -> ());
+          (match U.wait s pid with
+          | Ok 137 -> got := "reaped"
+          | Ok n -> got := Printf.sprintf "code %d" n
+          | Error _ -> got := "wait failed")
+      | Error _ -> got := "spawn failed");
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check Alcotest.string "blocked-on-pipe process killable" "reaped" !got
+
+let test_rename_syscall () =
+  ignore
+    (run_one (fun _ s ->
+         (match U.openf s ~create:true "/a" with
+         | Ok fd ->
+             ignore (U.write s ~fd "moved data");
+             ignore (U.close s fd)
+         | Error _ -> Alcotest.fail "setup");
+         (match U.rename s ~src:"/a" ~dst:"/b" with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "rename");
+         (match U.openf s "/a" with
+         | Error Sysabi.E_noent -> ()
+         | _ -> Alcotest.fail "old name must be gone");
+         match U.openf s "/b" with
+         | Ok fd -> (
+             match U.read s ~fd ~len:64 with
+             | Ok d -> check Alcotest.string "contents moved" "moved data" d
+             | Error _ -> Alcotest.fail "read")
+         | Error _ -> Alcotest.fail "new name missing"))
+
+(* ------------------------------------------------------------------ *)
+(* The client application contract: trace replay *)
+
+let test_sys_spec_trace_replay () =
+  let k = K.create () in
+  K.set_trace k true;
+  K.register_program k "app" (fun s _ ->
+      (match U.openf s ~create:true "/log" with
+      | Ok fd ->
+          ignore (U.write s ~fd "event one;");
+          ignore (U.write s ~fd "event two;");
+          ignore (U.seek s ~fd ~off:0);
+          ignore (U.read s ~fd ~len:100);
+          ignore (U.fstat s ~fd);
+          ignore (U.close s fd)
+      | Error _ -> ());
+      ignore (U.mkdir s "/data");
+      ignore (U.mkdir s "/data");
+      (* EEXIST *)
+      ignore (U.readdir s "/");
+      (match U.mmap s ~bytes:12288 with
+      | Ok va -> ignore (U.munmap s ~va)
+      | Error _ -> ());
+      ignore (U.unlink s "/log");
+      ignore (U.getpid s));
+  ignore (K.spawn k ~prog:"app" ~arg:"");
+  K.run k;
+  match Sys_spec.check_trace ~next_pid:2 (K.trace k) with
+  | Ok (checked, unchecked) ->
+      check Alcotest.bool "most events value-checked" true (checked >= 12);
+      check Alcotest.int "no unchecked in this trace" 0 unchecked
+  | Error msg -> Alcotest.fail msg
+
+let test_sys_spec_catches_divergence () =
+  (* Corrupt a recorded response: the replay must flag it. *)
+  let k = K.create () in
+  K.set_trace k true;
+  K.register_program k "app" (fun s _ -> ignore (U.getpid s));
+  ignore (K.spawn k ~prog:"app" ~arg:"");
+  K.run k;
+  let corrupted =
+    List.map
+      (fun (pid, req, resp) ->
+        match resp with
+        | Sysabi.R_int v -> (pid, req, Sysabi.R_int (v + 1))
+        | other -> (pid, req, other))
+      (K.trace k)
+  in
+  match Sys_spec.check_trace ~next_pid:2 corrupted with
+  | Ok _ -> Alcotest.fail "corrupted trace must be rejected"
+  | Error _ -> ()
+
+(* Randomized programs: generate a random deterministic syscall script,
+   run it in a fresh kernel, and replay the recorded trace against the
+   contract — the strongest form of the Section 3 check. *)
+let prop_random_programs_satisfy_contract =
+  let gen_script =
+    let open QCheck2.Gen in
+    let path = map (fun i -> Printf.sprintf "/f%d" i) (int_bound 3) in
+    let dirp = map (fun i -> Printf.sprintf "/d%d" i) (int_bound 2) in
+    list_size (int_range 1 25)
+      (oneof
+         [
+           map (fun p -> `Open p) path;
+           map (fun p -> `Create p) path;
+           map2 (fun fd data -> `Write (fd, data)) (int_range 3 8)
+             (string_size ~gen:(char_range 'a' 'z') (int_range 0 600));
+           map2 (fun fd len -> `Read (fd, len)) (int_range 3 8) (int_bound 700);
+           map2 (fun fd off -> `Seek (fd, off)) (int_range 3 8) (int_bound 900);
+           map (fun fd -> `Close fd) (int_range 3 8);
+           map (fun fd -> `Fstat fd) (int_range 3 8);
+           map (fun p -> `Mkdir p) dirp;
+           map (fun p -> `Unlink p) path;
+           map (fun p -> `Rmdir p) dirp;
+           map2 (fun a b -> `Rename (a, b)) path path;
+           map (fun n -> `Mmap (1 + n)) (int_bound 20000);
+           return `Readdir;
+           return `Getpid;
+         ])
+  in
+  qtest "random programs satisfy the contract" 40 gen_script (fun script ->
+      let k = K.create () in
+      K.set_trace k true;
+      K.register_program k "rand" (fun s _ ->
+          List.iter
+            (fun step ->
+              match step with
+              | `Open p -> ignore (U.openf s p)
+              | `Create p -> ignore (U.openf s ~create:true p)
+              | `Write (fd, data) -> ignore (U.write s ~fd data)
+              | `Read (fd, len) -> ignore (U.read s ~fd ~len)
+              | `Seek (fd, off) -> ignore (U.seek s ~fd ~off)
+              | `Close fd -> ignore (U.close s fd)
+              | `Fstat fd -> ignore (U.fstat s ~fd)
+              | `Mkdir p -> ignore (U.mkdir s p)
+              | `Unlink p -> ignore (U.unlink s p)
+              | `Rmdir p -> ignore (U.rmdir s p)
+              | `Rename (a, b) -> ignore (U.rename s ~src:a ~dst:b)
+              | `Mmap n -> ignore (U.mmap s ~bytes:n)
+              | `Readdir -> ignore (U.readdir s "/")
+              | `Getpid -> ignore (U.getpid s))
+            script);
+      (match K.spawn k ~prog:"rand" ~arg:"" with
+      | Ok _ -> K.run k
+      | Error _ -> ());
+      match Sys_spec.check_trace ~next_pid:2 (K.trace k) with
+      | Ok _ -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
+(* ------------------------------------------------------------------ *)
+(* Data-race freedom of syscall state (the paper's third obligation):
+   the fd offset protocol is equivalent under every interleaving of two
+   whole (atomic) syscalls — here modelled at syscall granularity since
+   the kernel never preempts inside one. *)
+
+let test_fd_offset_drf_at_syscall_granularity () =
+  let read_n n (contents, off, acc) =
+    let len = min n (String.length contents - off) in
+    (contents, off + len, acc ^ String.sub contents off len)
+  in
+  let finals =
+    Bi_core.Interleave.final_states ~init:("abcdef", 0, "")
+      ~threads:[ [ read_n 2 ]; [ read_n 2 ] ]
+      ()
+  in
+  (* Whole-syscall atomicity: every interleaving yields the same bytes. *)
+  check Alcotest.bool "all interleavings read abcd" true
+    (List.for_all (fun (_, off, acc) -> off = 4 && acc = "abcd") finals)
+
+(* Whole-kernel stress: several processes, each multi-threaded, hammering
+   the filesystem, memory and pipes concurrently; the run must terminate,
+   every process must be reapable, and the filesystem must stay
+   consistent. *)
+let test_kernel_stress () =
+  let k = K.create ~mem_bytes:(64 * 1024 * 1024) () in
+  K.register_program k "stressor" (fun s arg ->
+      let my_dir = "/p" ^ arg in
+      ignore (U.mkdir s my_dir);
+      let m = Bi_ulib.Umutex.create s in
+      let written = ref 0 in
+      let worker i s2 =
+        let path = Printf.sprintf "%s/t%d" my_dir i in
+        match U.openf s2 ~create:true path with
+        | Error _ -> ()
+        | Ok fd ->
+            for round = 1 to 5 do
+              ignore (U.write s2 ~fd (String.make (100 * round) 'w'));
+              Bi_ulib.Umutex.with_lock s2 m (fun () ->
+                  let v = !written in
+                  U.yield s2;
+                  written := v + 1);
+              U.yield s2
+            done;
+            ignore (U.close s2 fd)
+      in
+      let tids = List.init 3 (fun i -> U.thread_create s (worker i)) in
+      (match U.mmap s ~bytes:32768 with
+      | Ok va ->
+          for p = 0 to 7 do
+            ignore (U.store s ~va:(Int64.add va (Int64.of_int (p * 4096))) (Int64.of_int p))
+          done;
+          ignore (U.munmap s ~va)
+      | Error _ -> ());
+      List.iter (fun t -> ignore (U.thread_join s t)) tids;
+      U.exit s !written);
+  K.register_program k "main" (fun s _ ->
+      let pids =
+        List.filter_map
+          (fun i ->
+            match U.spawn s ~prog:"stressor" ~arg:(string_of_int i) with
+            | Ok pid -> Some pid
+            | Error _ -> None)
+          [ 0; 1; 2; 3 ]
+      in
+      List.iter
+        (fun pid ->
+          match U.wait s pid with
+          | Ok 15 -> () (* 3 threads x 5 rounds *)
+          | Ok n -> Alcotest.failf "stressor returned %d, expected 15" n
+          | Error _ -> Alcotest.fail "wait failed")
+        pids);
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  (* Post-mortem: the filesystem survived and holds what was written. *)
+  let fs = K.fs k in
+  List.iter
+    (fun i ->
+      let dir = Printf.sprintf "/p%d" i in
+      match Bi_fs.Fs.readdir fs dir with
+      | Ok entries -> check Alcotest.int (dir ^ " populated") 3 (List.length entries)
+      | Error _ -> Alcotest.failf "%s missing" dir)
+    [ 0; 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-kernel networking via syscalls *)
+
+let test_udp_between_kernels () =
+  let got = ref "" in
+  let a = K.create ~ip:(Bi_net.Ip.addr_of_string "10.0.0.1") () in
+  let b = K.create ~ip:(Bi_net.Ip.addr_of_string "10.0.0.2") () in
+  K.connect a b;
+  K.register_program a "rx" (fun s _ ->
+      ignore (U.udp_bind s 53);
+      match U.udp_recv s 53 with
+      | Ok (_, _, data) -> got := data
+      | Error _ -> ());
+  K.register_program b "tx" (fun s _ ->
+      U.sleep s 2;
+      ignore
+        (U.udp_send s ~dst_ip:(Bi_net.Ip.addr_of_string "10.0.0.1")
+           ~dst_port:53 ~src_port:1000 "query"));
+  ignore (K.spawn a ~prog:"rx" ~arg:"");
+  ignore (K.spawn b ~prog:"tx" ~arg:"");
+  K.run_pair a b;
+  check Alcotest.string "datagram crossed kernels" "query" !got
+
+let test_nonblocking_recv_eagain () =
+  ignore
+    (run_one (fun _ s ->
+         ignore (U.udp_bind s 99);
+         check
+           (Alcotest.result
+              (Alcotest.triple Alcotest.int32 Alcotest.int Alcotest.string)
+              err)
+           "EAGAIN when empty" (Error Sysabi.E_again)
+           (U.udp_recv s ~blocking:false 99)))
+
+(* ------------------------------------------------------------------ *)
+(* Misc syscalls *)
+
+let test_log_and_time () =
+  let k =
+    run_one (fun _ s ->
+        U.log s "first";
+        let t0 = U.now s in
+        U.sleep s 5;
+        let t1 = U.now s in
+        check Alcotest.bool "time advanced by sleep" true
+          (Int64.sub t1 t0 >= 5L);
+        U.log s "second")
+  in
+  check Alcotest.string "serial log" "first\nsecond\n" (K.serial_output k)
+
+let test_yield_fairness () =
+  (* Two threads alternating via yield interleave their writes. *)
+  let k = K.create () in
+  let order = Buffer.create 16 in
+  K.register_program k "main" (fun s _ ->
+      let t =
+        U.thread_create s (fun s2 ->
+            for _ = 1 to 3 do
+              Buffer.add_char order 'b';
+              U.yield s2
+            done)
+      in
+      for _ = 1 to 3 do
+        Buffer.add_char order 'a';
+        U.yield s
+      done;
+      ignore (U.thread_join s t));
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  (* Round-robin guarantees strict alternation; which thread leads depends
+     on queue position after thread_create. *)
+  let got = Buffer.contents order in
+  check Alcotest.bool
+    (Printf.sprintf "strict alternation (got %S)" got)
+    true
+    (got = "ababab" || got = "bababa")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_kernel"
+    [
+      ("abi", abi_vc_cases ());
+      ( "scheduler-futex",
+        [
+          Alcotest.test_case "scheduler fifo" `Quick test_scheduler_fifo;
+          Alcotest.test_case "scheduler as seq-ds" `Quick test_scheduler_as_seq_ds;
+          Alcotest.test_case "futex fifo wake" `Quick test_futex_fifo_wake;
+          Alcotest.test_case "futex key isolation" `Quick test_futex_keys_isolated;
+          Alcotest.test_case "futex remove thread" `Quick test_futex_remove_thread;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "exit code via wait" `Quick test_exit_code_via_wait;
+          Alcotest.test_case "wait blocks then resumes" `Quick test_wait_before_exit_blocks;
+          Alcotest.test_case "wait non-child" `Quick test_wait_not_child;
+          Alcotest.test_case "kill terminates" `Quick test_kill_terminates;
+          Alcotest.test_case "kill signal 0 probes" `Quick test_kill_signal_zero_probes;
+          Alcotest.test_case "spawn unknown" `Quick test_spawn_unknown_program;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+        ] );
+      ( "fd",
+        [
+          Alcotest.test_case "read_spec semantics" `Quick test_fd_read_spec_semantics;
+          Alcotest.test_case "fd isolation" `Quick test_fd_isolation_between_processes;
+          Alcotest.test_case "EBADF cases" `Quick test_fd_badf_cases;
+          Alcotest.test_case "independent offsets" `Quick test_two_fds_independent_offsets;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "mmap through verified pt" `Quick test_mmap_through_verified_pt;
+          Alcotest.test_case "bad args" `Quick test_mmap_rejects_bad_args;
+          Alcotest.test_case "address-space isolation" `Quick test_address_spaces_isolated;
+        ] );
+      ( "threads",
+        [
+          Alcotest.test_case "join + shared memory" `Quick test_thread_join_and_shared_memory;
+          Alcotest.test_case "futex value mismatch" `Quick test_futex_wait_value_mismatch;
+          Alcotest.test_case "futex wake count" `Quick test_futex_wake_count;
+          Alcotest.test_case "futex fault" `Quick test_futex_fault_on_unmapped;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "pipe transfer" `Quick test_pipe_transfer;
+          Alcotest.test_case "pipe EPIPE" `Quick test_pipe_epipe;
+          Alcotest.test_case "pipe EOF" `Quick test_pipe_eof_on_writer_exit;
+          Alcotest.test_case "pipe seek rejected" `Quick test_pipe_seek_rejected;
+          Alcotest.test_case "mprotect denies writes" `Quick test_mprotect_denies_writes;
+          Alcotest.test_case "mprotect bad region" `Quick test_mprotect_bad_region;
+          Alcotest.test_case "kill unblocks pipe reader" `Quick
+            test_pipe_closed_on_process_death;
+          Alcotest.test_case "rename syscall" `Quick test_rename_syscall;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "trace replay" `Quick test_sys_spec_trace_replay;
+          Alcotest.test_case "divergence caught" `Quick test_sys_spec_catches_divergence;
+          prop_random_programs_satisfy_contract;
+          Alcotest.test_case "fd offset DRF" `Quick test_fd_offset_drf_at_syscall_granularity;
+        ] );
+      ( "net-syscalls",
+        [
+          Alcotest.test_case "udp across kernels" `Quick test_udp_between_kernels;
+          Alcotest.test_case "nonblocking EAGAIN" `Quick test_nonblocking_recv_eagain;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "log and time" `Quick test_log_and_time;
+          Alcotest.test_case "yield fairness" `Quick test_yield_fairness;
+          Alcotest.test_case "whole-kernel stress" `Quick test_kernel_stress;
+        ] );
+    ]
+
+

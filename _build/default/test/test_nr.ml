@@ -1,0 +1,366 @@
+(* Node-replication tests: the log, the readers-writer lock, sequential
+   equivalence of the replicated structure, replica convergence, and the
+   linearizability of real concurrent (two-domain) histories — the
+   executable analogue of the IronSync NR proof the paper builds on. *)
+
+module Log = Bi_nr.Log
+module Rwlock = Bi_nr.Rwlock
+
+let check = Alcotest.check
+
+let qtest name count gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let test_log_append_get () =
+  let log = Log.create ~capacity:16 in
+  let e op = { Log.op; replica = 0; slot = 0 } in
+  let start = Log.append log [ e "a"; e "b" ] in
+  check Alcotest.int "starts at 0" 0 start;
+  check Alcotest.int "tail" 2 (Log.tail log);
+  check Alcotest.string "entry 0" "a" (Log.get log 0).Log.op;
+  check Alcotest.string "entry 1" "b" (Log.get log 1).Log.op
+
+let test_log_append_empty () =
+  let log = Log.create ~capacity:4 in
+  ignore (Log.append log []);
+  check Alcotest.int "empty append no-op" 0 (Log.tail log)
+
+let test_log_full () =
+  let log = Log.create ~capacity:2 in
+  let e = { Log.op = 0; replica = 0; slot = 0 } in
+  ignore (Log.append log [ e; e ]);
+  match Log.append log [ e ] with
+  | exception Log.Full -> ()
+  | _ -> Alcotest.fail "capacity must be enforced"
+
+let test_log_get_bounds () =
+  let log = Log.create ~capacity:4 in
+  match Log.get log 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "get past tail must fail"
+
+let test_log_concurrent_append () =
+  (* Two domains appending concurrently: all entries present, none lost. *)
+  let log = Log.create ~capacity:10_000 in
+  let append_many replica () =
+    for i = 0 to 999 do
+      ignore (Log.append log [ { Log.op = (replica * 1000) + i; replica; slot = 0 } ])
+    done
+  in
+  let d1 = Domain.spawn (append_many 0) in
+  let d2 = Domain.spawn (append_many 1) in
+  Domain.join d1;
+  Domain.join d2;
+  check Alcotest.int "all entries reserved" 2000 (Log.tail log);
+  let seen = Hashtbl.create 2000 in
+  for i = 0 to 1999 do
+    Hashtbl.replace seen (Log.get log i).Log.op ()
+  done;
+  check Alcotest.int "no entry lost or duplicated" 2000 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock *)
+
+let test_rwlock_basic () =
+  let l = Rwlock.create () in
+  Rwlock.acquire_read l;
+  Rwlock.acquire_read l;
+  check Alcotest.int "two readers" 2 (Rwlock.readers l);
+  check Alcotest.bool "writer blocked by readers" false (Rwlock.try_acquire_write l);
+  Rwlock.release_read l;
+  Rwlock.release_read l;
+  check Alcotest.bool "writer after release" true (Rwlock.try_acquire_write l);
+  check Alcotest.bool "second writer blocked" false (Rwlock.try_acquire_write l);
+  Rwlock.release_write l
+
+let test_rwlock_bracket () =
+  let l = Rwlock.create () in
+  (try Rwlock.with_write l (fun () -> failwith "boom") with Failure _ -> ());
+  check Alcotest.bool "released after exception" true (Rwlock.try_acquire_write l);
+  Rwlock.release_write l
+
+let test_rwlock_mutual_exclusion_domains () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let writer () =
+    for _ = 1 to 5000 do
+      Rwlock.acquire_write l;
+      (* Non-atomic read-modify-write: only safe under the lock. *)
+      let v = !counter in
+      counter := v + 1;
+      Rwlock.release_write l
+    done
+  in
+  let d1 = Domain.spawn writer and d2 = Domain.spawn writer in
+  Domain.join d1;
+  Domain.join d2;
+  check Alcotest.int "no lost updates" 10_000 !counter
+
+(* ------------------------------------------------------------------ *)
+(* NR over a KV map, sequential equivalence                            *)
+
+module Kv = struct
+  type t = (int, int) Hashtbl.t
+  type op = Put of int * int | Get of int | Delete of int | Size
+  type ret = Unit | Found of int option | Count of int
+
+  let create () = Hashtbl.create 16
+
+  let apply t = function
+    | Put (k, v) ->
+        Hashtbl.replace t k v;
+        Unit
+    | Get k -> Found (Hashtbl.find_opt t k)
+    | Delete k ->
+        Hashtbl.remove t k;
+        Unit
+    | Size -> Count (Hashtbl.length t)
+
+  let is_read_only = function
+    | Get _ | Size -> true
+    | Put _ | Delete _ -> false
+end
+
+module Nr_kv = Bi_nr.Nr.Make (Kv)
+
+let gen_kv_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun k v -> Kv.Put (k, v)) (int_bound 20) (int_bound 1000);
+        map (fun k -> Kv.Get k) (int_bound 20);
+        map (fun k -> Kv.Delete k) (int_bound 20);
+        return Kv.Size;
+      ])
+
+let prop_nr_sequential_equivalence =
+  qtest "NR behaves like the plain sequential structure" 60
+    QCheck2.Gen.(list_size (int_range 1 120) gen_kv_op)
+    (fun ops ->
+      let nr = Nr_kv.create ~replicas:2 ~threads_per_replica:2 () in
+      let plain = Kv.create () in
+      List.for_all
+        (fun op -> Nr_kv.execute nr ~thread:0 op = Kv.apply plain op)
+        ops)
+
+let prop_nr_replicas_converge =
+  qtest "replicas converge after sync_all" 40
+    QCheck2.Gen.(list_size (int_range 1 80) gen_kv_op)
+    (fun ops ->
+      let nr = Nr_kv.create ~replicas:3 ~threads_per_replica:2 () in
+      List.iteri
+        (fun i op -> ignore (Nr_kv.execute nr ~thread:(i mod 6) op))
+        ops;
+      Nr_kv.sync_all nr;
+      let dump r =
+        Nr_kv.peek nr ~replica:r (fun t ->
+            List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []))
+      in
+      dump 0 = dump 1 && dump 0 = dump 2)
+
+let test_nr_read_ops_skip_log () =
+  let nr = Nr_kv.create () in
+  ignore (Nr_kv.execute nr ~thread:0 (Kv.Put (1, 10)));
+  let entries_before = Nr_kv.log_entries nr in
+  ignore (Nr_kv.execute nr ~thread:0 (Kv.Get 1));
+  ignore (Nr_kv.execute nr ~thread:0 Kv.Size);
+  check Alcotest.int "reads not logged" entries_before (Nr_kv.log_entries nr)
+
+let test_nr_read_sees_own_writes () =
+  let nr = Nr_kv.create ~replicas:2 ~threads_per_replica:2 () in
+  ignore (Nr_kv.execute nr ~thread:0 (Kv.Put (7, 70)));
+  (* A thread on the *other* replica must observe the write. *)
+  check Alcotest.bool "cross-replica visibility" true
+    (Nr_kv.execute nr ~thread:2 (Kv.Get 7) = Kv.Found (Some 70))
+
+let test_nr_bad_thread_rejected () =
+  let nr = Nr_kv.create ~replicas:1 ~threads_per_replica:1 () in
+  match Nr_kv.execute nr ~thread:5 Kv.Size with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "thread id must be validated"
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent linearizability of real histories                        *)
+
+module Counter = struct
+  type t = int ref
+  type op = Incr | Read
+  type ret = int
+
+  let create () = ref 0
+
+  let apply t = function
+    | Incr ->
+        incr t;
+        !t
+    | Read -> !t
+
+  let is_read_only = function Read -> true | Incr -> false
+end
+
+module Nr_counter = Bi_nr.Nr.Make (Counter)
+
+(* The linearizability checker needs a *pure* sequential spec (it
+   backtracks), unlike the mutable structure NR replicates. *)
+module Counter_pure = struct
+  type state = int
+  type op = Counter.op
+  type ret = int
+
+  let step st = function
+    | Counter.Incr -> (st + 1, st + 1)
+    | Counter.Read -> (st, st)
+
+  let equal_ret = Int.equal
+
+  let pp_op ppf = function
+    | Counter.Incr -> Format.pp_print_string ppf "incr"
+    | Counter.Read -> Format.pp_print_string ppf "read"
+
+  let pp_ret = Format.pp_print_int
+end
+
+module Lin = Bi_core.Linearizability.Make (Counter_pure)
+
+let test_nr_concurrent_linearizable () =
+  (* Drive NR from two domains, recording timed call events, then search
+     for a sequential witness. *)
+  let nr = Nr_counter.create ~replicas:2 ~threads_per_replica:2 () in
+  let clock = Atomic.make 0 in
+  let events = Array.make 2 [] in
+  let worker idx thread () =
+    let local = ref [] in
+    for i = 0 to 39 do
+      let op = if i mod 4 = 3 then Counter.Read else Counter.Incr in
+      let inv = Atomic.fetch_and_add clock 1 in
+      let ret = Nr_counter.execute nr ~thread op in
+      let res = Atomic.fetch_and_add clock 1 in
+      local := { Lin.proc = thread; op; ret; inv; res } :: !local
+    done;
+    events.(idx) <- !local
+  in
+  let d1 = Domain.spawn (worker 0 0) in
+  let d2 = Domain.spawn (worker 1 2) in
+  Domain.join d1;
+  Domain.join d2;
+  let history = events.(0) @ events.(1) in
+  check Alcotest.int "all events recorded" 80 (List.length history);
+  check Alcotest.bool "history linearizable" true (Lin.check ~init:0 history)
+
+let test_nr_concurrent_total () =
+  let nr = Nr_counter.create ~replicas:2 ~threads_per_replica:4 () in
+  let n_domains = 2 and per = 500 in
+  let worker thread () =
+    for _ = 1 to per do
+      ignore (Nr_counter.execute nr ~thread Counter.Incr : int)
+    done
+  in
+  let domains = List.init n_domains (fun i -> Domain.spawn (worker (i * 4))) in
+  List.iter Domain.join domains;
+  Nr_counter.sync_all nr;
+  check Alcotest.int "no increment lost" (n_domains * per)
+    (Nr_counter.peek nr ~replica:0 (fun c -> !c));
+  check Alcotest.int "log holds every update" (n_domains * per)
+    (Nr_counter.log_entries nr)
+
+let test_nr_combines_batch () =
+  let nr = Nr_counter.create ~replicas:1 ~threads_per_replica:2 () in
+  for _ = 1 to 100 do
+    ignore (Nr_counter.execute nr ~thread:0 Counter.Incr : int)
+  done;
+  check Alcotest.bool "combiner invoked" true (Nr_counter.combines nr > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's kernel design point (Section 4.1): kernel state like the
+   scheduler is written sequentially and made multicore by NR.  Our
+   kernel's run queue satisfies Seq_ds.S as-is — replicate it and drive
+   it from two domains. *)
+
+module Nr_sched = Bi_nr.Nr.Make (Bi_kernel.Scheduler)
+
+let test_scheduler_under_nr () =
+  let nr = Nr_sched.create ~replicas:2 ~threads_per_replica:2 () in
+  let dequeued = Array.make 2 [] in
+  let worker idx thread () =
+    let got = ref [] in
+    for i = 0 to 199 do
+      ignore
+        (Nr_sched.execute nr ~thread
+           (Bi_kernel.Scheduler.Enqueue ((thread * 1000) + i)));
+      if i mod 2 = 1 then begin
+        match Nr_sched.execute nr ~thread Bi_kernel.Scheduler.Dequeue with
+        | Bi_kernel.Scheduler.Tid (Some tid) -> got := tid :: !got
+        | Bi_kernel.Scheduler.Tid None -> ()
+        | Bi_kernel.Scheduler.Unit | Bi_kernel.Scheduler.Len _ -> ()
+      end
+    done;
+    dequeued.(idx) <- !got
+  in
+  let d1 = Domain.spawn (worker 0 0) in
+  let d2 = Domain.spawn (worker 1 2) in
+  Domain.join d1;
+  Domain.join d2;
+  Nr_sched.sync_all nr;
+  (* Conservation: every enqueued tid is either dequeued exactly once or
+     still queued; replicas agree on the remainder. *)
+  let drained = dequeued.(0) @ dequeued.(1) in
+  let remaining r = Nr_sched.peek nr ~replica:r Bi_kernel.Scheduler.to_list in
+  check (Alcotest.list Alcotest.int) "replicas agree" (remaining 0) (remaining 1);
+  let all = List.sort compare (drained @ remaining 0) in
+  check Alcotest.int "nothing lost or duplicated" 400 (List.length all);
+  check Alcotest.int "distinct tids" 400
+    (List.length (List.sort_uniq compare all))
+
+let () =
+  Alcotest.run "bi_nr"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append/get" `Quick test_log_append_get;
+          Alcotest.test_case "empty append" `Quick test_log_append_empty;
+          Alcotest.test_case "full" `Quick test_log_full;
+          Alcotest.test_case "get bounds" `Quick test_log_get_bounds;
+          Alcotest.test_case "concurrent append" `Quick test_log_concurrent_append;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "basic semantics" `Quick test_rwlock_basic;
+          Alcotest.test_case "bracket releases" `Quick test_rwlock_bracket;
+          Alcotest.test_case "mutual exclusion (domains)" `Quick
+            test_rwlock_mutual_exclusion_domains;
+        ] );
+      ( "nr",
+        [
+          prop_nr_sequential_equivalence;
+          prop_nr_replicas_converge;
+          Alcotest.test_case "reads skip log" `Quick test_nr_read_ops_skip_log;
+          Alcotest.test_case "cross-replica visibility" `Quick
+            test_nr_read_sees_own_writes;
+          Alcotest.test_case "bad thread rejected" `Quick test_nr_bad_thread_rejected;
+        ] );
+      ( "kernel-state",
+        [
+          Alcotest.test_case "kernel scheduler replicates with NR" `Quick
+            test_scheduler_under_nr;
+        ] );
+      ( "vc-suite",
+        [
+          Alcotest.test_case "NR VC suite proves" `Quick (fun () ->
+              let rep = Bi_core.Verifier.discharge (Bi_nr.Nr_check.vcs ()) in
+              if not (Bi_core.Verifier.all_proved rep) then
+                Alcotest.failf "%a"
+                  (fun ppf () -> Bi_core.Verifier.pp_failures ppf rep)
+                  ());
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "two-domain history linearizable" `Quick
+            test_nr_concurrent_linearizable;
+          Alcotest.test_case "no lost updates across domains" `Quick
+            test_nr_concurrent_total;
+          Alcotest.test_case "combiner batches" `Quick test_nr_combines_batch;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Page-table tests: the full 220-VC refinement suite, family by family,
+   plus property tests and checks the VC suite does not itself cover. *)
+
+module Addr = Bi_hw.Addr
+module Pte = Bi_hw.Pte
+module Phys_mem = Bi_hw.Phys_mem
+module Frame_alloc = Bi_hw.Frame_alloc
+module Pt = Bi_pt.Page_table
+module Pv = Bi_pt.Pt_verified
+module Spec = Bi_pt.Pt_spec
+module Refinement = Bi_pt.Pt_refinement
+module Contract = Bi_core.Contract
+
+let check = Alcotest.check
+
+let qtest name count gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let fresh_pt () =
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  let frames =
+    Frame_alloc.create ~mem ~base:0x40000L ~frames:((2 * 1024 * 1024 / 4096) - 64)
+  in
+  Pt.create ~mem ~frames
+
+(* ------------------------------------------------------------------ *)
+(* The paper's 220 VCs, one alcotest case per family *)
+
+let vc_family_cases () =
+  let vcs = Refinement.all () in
+  let families = Refinement.families () in
+  let case (family, expected_count) =
+    Alcotest.test_case family `Quick (fun () ->
+        let members =
+          List.filter (fun (vc : Bi_core.Vc.t) -> vc.Bi_core.Vc.category = family) vcs
+        in
+        check Alcotest.int "family size" expected_count (List.length members);
+        let rep = Bi_core.Verifier.discharge members in
+        if not (Bi_core.Verifier.all_proved rep) then
+          Alcotest.failf "%a"
+            (fun ppf () -> Bi_core.Verifier.pp_failures ppf rep)
+            ())
+  in
+  List.map case families
+
+let test_vc_count_is_220 () =
+  check Alcotest.int "paper's VC count" 220 (List.length (Refinement.all ()))
+
+let test_extension_vcs_prove () =
+  let rep = Bi_core.Verifier.discharge (Bi_pt.Pt_extensions.vcs ()) in
+  if not (Bi_core.Verifier.all_proved rep) then
+    Alcotest.failf "%a" (fun ppf () -> Bi_core.Verifier.pp_failures ppf rep) ()
+
+let test_protect_not_in_core_suite () =
+  (* The paper's number is 220; extensions must not inflate it. *)
+  check Alcotest.bool "no ext category in core suite" true
+    (List.for_all
+       (fun (cat, _) -> not (String.length cat >= 3 && String.sub cat 0 3 = "ext"))
+       (Refinement.families ()))
+
+let test_vc_ids_unique () =
+  let ids = List.map (fun (vc : Bi_core.Vc.t) -> vc.Bi_core.Vc.id) (Refinement.all ()) in
+  check Alcotest.int "no duplicate VC ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Spec unit tests *)
+
+let m4k frame = { Spec.frame; perm = Pte.user_rw; size = Addr.page_size }
+
+let test_spec_map_then_resolve () =
+  match Spec.step Spec.empty (Spec.Map { va = 0x1000L; m = m4k 0x5000L }) with
+  | Some (st, Spec.Mapped) -> (
+      match Spec.step st (Spec.Resolve { va = 0x1234L }) with
+      | Some (_, Spec.Resolved (pa, _)) ->
+          check Alcotest.int64 "offset preserved" 0x5234L pa
+      | _ -> Alcotest.fail "resolve")
+  | _ -> Alcotest.fail "map"
+
+let test_spec_overlap_detection () =
+  let big = { Spec.frame = 0L; perm = Pte.rw; size = Addr.large_page_size } in
+  match Spec.step Spec.empty (Spec.Map { va = 0L; m = big }) with
+  | Some (st, Spec.Mapped) ->
+      check Alcotest.bool "covers interior" true (Spec.overlaps st 0x1000L 4096L);
+      check Alcotest.bool "adjacent is free" false
+        (Spec.overlaps st Addr.large_page_size 4096L)
+  | _ -> Alcotest.fail "setup"
+
+let test_spec_of_mappings_rejects_overlap () =
+  match
+    Spec.of_mappings [ (0L, m4k 0x1000L); (0L, m4k 0x2000L) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlap must be rejected"
+
+let test_spec_total_on_errors () =
+  (* Every op yields Some, errors as values. *)
+  let bad = Spec.Map { va = 5L; m = m4k 0x1000L } in
+  match Spec.step Spec.empty bad with
+  | Some (_, Spec.Error Spec.Misaligned) -> ()
+  | _ -> Alcotest.fail "misaligned must be a defined error"
+
+(* ------------------------------------------------------------------ *)
+(* Implementation properties beyond the VC scenarios *)
+
+let gen_op =
+  QCheck2.Gen.(
+    let l2 = int_bound 2 and l1 = int_bound 3 in
+    let va =
+      map2 (fun l2 l1 -> Addr.of_indices ~l4:0 ~l3:0 ~l2 ~l1 ~offset:0L) l2 l1
+    in
+    oneof
+      [
+        map2
+          (fun va f ->
+            Spec.Map
+              {
+                va;
+                m =
+                  {
+                    Spec.frame = Int64.mul (Int64.of_int (f + 1)) Addr.page_size;
+                    perm = Pte.user_rw;
+                    size = Addr.page_size;
+                  };
+              })
+          va (int_bound 7);
+        map (fun va -> Spec.Unmap { va }) va;
+        map (fun va -> Spec.Resolve { va }) va;
+      ])
+
+let run_impl pt op =
+  match op with
+  | Spec.Map { va; m } ->
+      ignore (Pt.map pt ~va ~frame:m.Spec.frame ~size:m.Spec.size ~perm:m.Spec.perm)
+  | Spec.Unmap { va } -> ignore (Pt.unmap pt ~va)
+  | Spec.Resolve { va } -> ignore (Pt.resolve pt ~va)
+  | Spec.Protect { va; perm } -> ignore (Pt.protect pt ~va ~perm)
+
+let prop_always_well_formed =
+  qtest "well-formed after any op sequence" 60
+    QCheck2.Gen.(list_size (int_range 1 60) gen_op)
+    (fun ops ->
+      let pt = fresh_pt () in
+      List.for_all
+        (fun op ->
+          run_impl pt op;
+          Pt.well_formed pt)
+        ops)
+
+let prop_view_matches_spec =
+  qtest "view commutes with spec over random sequences" 60
+    QCheck2.Gen.(list_size (int_range 1 60) gen_op)
+    (fun ops ->
+      let pt = fresh_pt () in
+      let spec = ref Spec.empty in
+      List.for_all
+        (fun op ->
+          run_impl pt op;
+          (match Spec.step !spec op with
+          | Some (st, _) -> spec := st
+          | None -> ());
+          Spec.equal_state (Pt.view pt) !spec)
+        ops)
+
+let prop_frames_balanced =
+  qtest "table frames return to baseline after full teardown" 40
+    QCheck2.Gen.(list_size (int_range 1 24) (pair (int_bound 2) (int_bound 3)))
+    (fun sites ->
+      let pt = fresh_pt () in
+      let sites = List.sort_uniq compare sites in
+      let vas =
+        List.map (fun (l2, l1) -> Addr.of_indices ~l4:0 ~l3:0 ~l2 ~l1 ~offset:0L) sites
+      in
+      List.iter
+        (fun va ->
+          ignore
+            (Pt.map pt ~va ~frame:Addr.huge_page_size ~size:Addr.page_size
+               ~perm:Pte.user_rw))
+        vas;
+      List.iter (fun va -> ignore (Pt.unmap pt ~va)) vas;
+      Pt.table_frames pt = 1 && Spec.equal_state (Pt.view pt) Spec.empty)
+
+let test_root_stable () =
+  let pt = fresh_pt () in
+  let r0 = Pt.root pt in
+  ignore (Pt.map pt ~va:0x4000L ~frame:0x10_0000L ~size:Addr.page_size ~perm:Pte.rw);
+  ignore (Pt.unmap pt ~va:0x4000L);
+  check Alcotest.int64 "CR3 never changes" r0 (Pt.root pt)
+
+let test_out_of_frames_surfaces () =
+  (* A tiny allocator cannot hold the intermediate tables. *)
+  let mem = Phys_mem.create ~size:(8 * 4096) in
+  let frames = Frame_alloc.create ~mem ~base:4096L ~frames:2 in
+  let pt = Pt.create ~mem ~frames in
+  match
+    Pt.map pt ~va:0x1000L ~frame:0x10_0000L ~size:Addr.page_size ~perm:Pte.rw
+  with
+  | exception Frame_alloc.Out_of_frames -> ()
+  | Ok () -> Alcotest.fail "cannot have succeeded"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Verified wrapper *)
+
+let fresh_pv () =
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  let frames =
+    Frame_alloc.create ~mem ~base:0x40000L ~frames:((2 * 1024 * 1024 / 4096) - 64)
+  in
+  Pv.create ~mem ~frames
+
+let test_verified_erased_no_ghost_cost () =
+  Contract.with_mode Contract.Erased (fun () ->
+      let v = fresh_pv () in
+      check Alcotest.bool "map ok" true
+        (Pv.map v ~va:0x1000L ~frame:0x10_0000L ~size:Addr.page_size
+           ~perm:Pte.user_rw
+        = Ok ());
+      (* ghost_state recomputes from memory when erased *)
+      check Alcotest.int "one mapping visible" 1
+        (List.length (Spec.mappings (Pv.ghost_state v))))
+
+let test_verified_checked_tracks_ghost () =
+  Contract.with_mode Contract.Checked (fun () ->
+      let v = fresh_pv () in
+      ignore (Pv.map v ~va:0x1000L ~frame:0x10_0000L ~size:Addr.page_size ~perm:Pte.rw);
+      ignore (Pv.map v ~va:0x2000L ~frame:0x20_0000L ~size:Addr.page_size ~perm:Pte.rw);
+      ignore (Pv.unmap v ~va:0x1000L);
+      check Alcotest.int "ghost follows ops" 1
+        (List.length (Spec.mappings (Pv.ghost_state v))))
+
+let test_verified_inner_round_trips () =
+  Contract.with_mode Contract.Erased (fun () ->
+      let v = fresh_pv () in
+      ignore (Pv.map v ~va:0x3000L ~frame:0x30_0000L ~size:Addr.page_size ~perm:Pte.user_rw);
+      match Pt.resolve (Pv.inner v) ~va:0x3008L with
+      | Ok (pa, _) -> check Alcotest.int64 "inner agrees" 0x30_0008L pa
+      | Error _ -> Alcotest.fail "inner resolve")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_pt"
+    [
+      ( "vc-suite",
+        Alcotest.test_case "exactly 220 VCs" `Quick test_vc_count_is_220
+        :: Alcotest.test_case "VC ids unique" `Quick test_vc_ids_unique
+        :: Alcotest.test_case "protect extension proves" `Quick
+             test_extension_vcs_prove
+        :: Alcotest.test_case "extensions outside the 220" `Quick
+             test_protect_not_in_core_suite
+        :: vc_family_cases () );
+      ( "spec",
+        [
+          Alcotest.test_case "map then resolve" `Quick test_spec_map_then_resolve;
+          Alcotest.test_case "overlap detection" `Quick test_spec_overlap_detection;
+          Alcotest.test_case "of_mappings overlap" `Quick
+            test_spec_of_mappings_rejects_overlap;
+          Alcotest.test_case "errors are defined" `Quick test_spec_total_on_errors;
+        ] );
+      ( "impl-properties",
+        [
+          prop_always_well_formed;
+          prop_view_matches_spec;
+          prop_frames_balanced;
+          Alcotest.test_case "root stable" `Quick test_root_stable;
+          Alcotest.test_case "out of frames" `Quick test_out_of_frames_surfaces;
+        ] );
+      ( "verified",
+        [
+          Alcotest.test_case "erased mode" `Quick test_verified_erased_no_ghost_cost;
+          Alcotest.test_case "checked ghost" `Quick test_verified_checked_tracks_ghost;
+          Alcotest.test_case "inner consistency" `Quick test_verified_inner_round_trips;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Discrete-event engine and contention-model tests, plus shape properties
+   of the NR latency simulator (the machinery behind Figures 1b/1c). *)
+
+module Des = Bi_sim.Des
+module Contention = Bi_sim.Contention
+module Nr_sim = Bi_nr.Nr_sim
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Des *)
+
+let test_des_time_order () =
+  let des = Des.create () in
+  let log = ref [] in
+  ignore (Des.schedule des ~at:30 (fun _ -> log := 30 :: !log));
+  ignore (Des.schedule des ~at:10 (fun _ -> log := 10 :: !log));
+  ignore (Des.schedule des ~at:20 (fun _ -> log := 20 :: !log));
+  Des.run des;
+  check (Alcotest.list Alcotest.int) "time order" [ 10; 20; 30 ] (List.rev !log)
+
+let test_des_fifo_at_equal_times () =
+  let des = Des.create () in
+  let log = ref [] in
+  ignore (Des.schedule des ~at:5 (fun _ -> log := "a" :: !log));
+  ignore (Des.schedule des ~at:5 (fun _ -> log := "b" :: !log));
+  Des.run des;
+  check (Alcotest.list Alcotest.string) "fifo ties" [ "a"; "b" ] (List.rev !log)
+
+let test_des_now_advances () =
+  let des = Des.create () in
+  let seen = ref (-1) in
+  ignore (Des.schedule des ~at:42 (fun d -> seen := Des.now d));
+  Des.run des;
+  check Alcotest.int "clock at event time" 42 !seen
+
+let test_des_nested_scheduling () =
+  let des = Des.create () in
+  let log = ref [] in
+  ignore
+    (Des.schedule des ~at:1 (fun d ->
+         log := 1 :: !log;
+         ignore (Des.after d ~delay:5 (fun _ -> log := 6 :: !log))));
+  ignore (Des.schedule des ~at:3 (fun _ -> log := 3 :: !log));
+  Des.run des;
+  check (Alcotest.list Alcotest.int) "interleaved" [ 1; 3; 6 ] (List.rev !log)
+
+let test_des_cancel () =
+  let des = Des.create () in
+  let fired = ref false in
+  let id = Des.schedule des ~at:10 (fun _ -> fired := true) in
+  Des.cancel des id;
+  Des.run des;
+  check Alcotest.bool "cancelled" false !fired
+
+let test_des_until () =
+  let des = Des.create () in
+  let log = ref [] in
+  ignore (Des.schedule des ~at:10 (fun _ -> log := 10 :: !log));
+  ignore (Des.schedule des ~at:90 (fun _ -> log := 90 :: !log));
+  Des.run ~until:50 des;
+  check (Alcotest.list Alcotest.int) "only early events" [ 10 ] (List.rev !log);
+  check Alcotest.int "late event still queued" 1 (Des.pending des)
+
+let test_des_past_rejected () =
+  let des = Des.create () in
+  ignore (Des.schedule des ~at:10 (fun d ->
+      match Des.schedule d ~at:5 (fun _ -> ()) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "scheduling in the past must fail"));
+  Des.run des
+
+(* ------------------------------------------------------------------ *)
+(* Contention *)
+
+let test_busy_resource_serializes () =
+  let r = Contention.Busy_resource.create () in
+  let e1 = Contention.Busy_resource.acquire r ~now:0 ~hold_for:10 in
+  check Alcotest.int "first ends at 10" 10 e1;
+  let e2 = Contention.Busy_resource.acquire r ~now:3 ~hold_for:10 in
+  check Alcotest.int "second queued behind first" 20 e2;
+  let e3 = Contention.Busy_resource.acquire r ~now:50 ~hold_for:5 in
+  check Alcotest.int "idle gap honoured" 55 e3
+
+let test_busy_resource_is_busy () =
+  let r = Contention.Busy_resource.create () in
+  ignore (Contention.Busy_resource.acquire r ~now:0 ~hold_for:10);
+  check Alcotest.bool "busy inside hold" true
+    (Contention.Busy_resource.is_busy r ~now:5);
+  check Alcotest.bool "free after hold" false
+    (Contention.Busy_resource.is_busy r ~now:10)
+
+let test_batcher () =
+  let b = Contention.Batcher.create () in
+  check Alcotest.int "positions" 0 (Contention.Batcher.join b "a");
+  check Alcotest.int "positions" 1 (Contention.Batcher.join b "b");
+  check Alcotest.int "size" 2 (Contention.Batcher.size b);
+  check (Alcotest.list Alcotest.string) "drain order" [ "a"; "b" ]
+    (Contention.Batcher.drain b);
+  check Alcotest.int "empty after drain" 0 (Contention.Batcher.size b)
+
+(* ------------------------------------------------------------------ *)
+(* Nr_sim shape properties *)
+
+let quick_cfg =
+  { Nr_sim.default_config with Nr_sim.ops_per_core = 100; apply_cycles = 2000 }
+
+let test_nr_sim_monotone_in_cores () =
+  let results = Nr_sim.sweep quick_cfg ~cores:[ 1; 4; 8; 16 ] in
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        a.Nr_sim.mean_latency_us <= b.Nr_sim.mean_latency_us *. 1.05
+        && mono rest
+    | _ -> true
+  in
+  check Alcotest.bool "latency grows with cores" true (mono results)
+
+let test_nr_sim_deterministic () =
+  let a = Nr_sim.run quick_cfg and b = Nr_sim.run quick_cfg in
+  check (Alcotest.float 1e-9) "same seed same result" a.Nr_sim.mean_latency_us
+    b.Nr_sim.mean_latency_us
+
+let test_nr_sim_seed_changes_jitter () =
+  let a = Nr_sim.run { quick_cfg with Nr_sim.seed = "s1" } in
+  let b = Nr_sim.run { quick_cfg with Nr_sim.seed = "s2" } in
+  check Alcotest.bool "different seeds differ slightly" true
+    (a.Nr_sim.mean_latency_us <> b.Nr_sim.mean_latency_us)
+
+let test_nr_sim_shootdown_costs () =
+  let base = Nr_sim.run { quick_cfg with Nr_sim.cores = 8 } in
+  let shot =
+    Nr_sim.run { quick_cfg with Nr_sim.cores = 8; shootdown = true }
+  in
+  check Alcotest.bool "shootdown adds latency" true
+    (shot.Nr_sim.mean_latency_us > base.Nr_sim.mean_latency_us)
+
+let test_nr_sim_apply_cost_scales () =
+  let cheap = Nr_sim.run { quick_cfg with Nr_sim.apply_cycles = 500 } in
+  let dear = Nr_sim.run { quick_cfg with Nr_sim.apply_cycles = 5000 } in
+  check Alcotest.bool "apply cost dominates" true
+    (dear.Nr_sim.mean_latency_us > (2. *. cheap.Nr_sim.mean_latency_us))
+
+let test_nr_sim_all_ops_complete () =
+  let r = Nr_sim.run { quick_cfg with Nr_sim.cores = 4; ops_per_core = 50 } in
+  check Alcotest.bool "throughput positive" true (r.Nr_sim.throughput_mops > 0.);
+  check Alcotest.bool "p99 >= p50" true (r.Nr_sim.p99_us >= r.Nr_sim.p50_us);
+  check Alcotest.bool "batching observed" true (r.Nr_sim.mean_batch >= 1.
+
+  )
+
+let test_nr_sim_batch_grows_with_cores () =
+  let small = Nr_sim.run { quick_cfg with Nr_sim.cores = 1 } in
+  let big = Nr_sim.run { quick_cfg with Nr_sim.cores = 16 } in
+  check Alcotest.bool "bigger batches under load" true
+    (big.Nr_sim.mean_batch > small.Nr_sim.mean_batch)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "bi_sim"
+    [
+      ( "des",
+        [
+          Alcotest.test_case "time order" `Quick test_des_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_des_fifo_at_equal_times;
+          Alcotest.test_case "now advances" `Quick test_des_now_advances;
+          Alcotest.test_case "nested scheduling" `Quick test_des_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_des_cancel;
+          Alcotest.test_case "until" `Quick test_des_until;
+          Alcotest.test_case "past rejected" `Quick test_des_past_rejected;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "busy resource serializes" `Quick test_busy_resource_serializes;
+          Alcotest.test_case "is_busy" `Quick test_busy_resource_is_busy;
+          Alcotest.test_case "batcher" `Quick test_batcher;
+        ] );
+      ( "nr_sim",
+        [
+          Alcotest.test_case "monotone in cores" `Quick test_nr_sim_monotone_in_cores;
+          Alcotest.test_case "deterministic" `Quick test_nr_sim_deterministic;
+          Alcotest.test_case "seed changes jitter" `Quick test_nr_sim_seed_changes_jitter;
+          Alcotest.test_case "shootdown costs" `Quick test_nr_sim_shootdown_costs;
+          Alcotest.test_case "apply cost scales" `Quick test_nr_sim_apply_cost_scales;
+          Alcotest.test_case "ops complete" `Quick test_nr_sim_all_ops_complete;
+          Alcotest.test_case "batch grows with cores" `Quick test_nr_sim_batch_grows_with_cores;
+        ] );
+    ]
