@@ -1,0 +1,26 @@
+# Convenience targets; `make verify` is the tier-1 gate plus a full
+# discharge of every VC suite over the host's domains.
+
+JOBS ?= $(shell nproc 2>/dev/null || echo 1)
+
+.PHONY: all build test verify bench discharge clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+verify:
+	dune build && dune runtest && dune exec bin/verify.exe -- --jobs $(JOBS)
+
+bench:
+	dune exec bench/main.exe
+
+discharge:
+	dune exec bench/main.exe -- discharge
+
+clean:
+	dune clean

@@ -182,6 +182,39 @@ let run_micro () =
   List.iter print_one tests
 
 (* ------------------------------------------------------------------ *)
+(* Parallel VC discharge: sequential vs. domain-pool wall time on the
+   pt suite (the paper's 220 obligations).                              *)
+
+let run_discharge_bench () =
+  Format.fprintf ppf
+    "VC discharge: sequential vs parallel (pt suite, %d domains \
+     recommended by host)@."
+    (Domain.recommended_domain_count ());
+  let vcs = Bi_pt.Pt_refinement.all () in
+  let seq = Bi_core.Verifier.discharge ~jobs:1 vcs in
+  let par = Bi_core.Verifier.discharge ~jobs:4 vcs in
+  Format.fprintf ppf "    sequential: wall %7.3f s (cpu %7.3f s)@."
+    seq.Bi_core.Verifier.wall_time_s seq.Bi_core.Verifier.total_time_s;
+  Format.fprintf ppf
+    "    4 domains:  wall %7.3f s (cpu %7.3f s) — %.2fx speedup over \
+     sequential wall@."
+    par.Bi_core.Verifier.wall_time_s par.Bi_core.Verifier.total_time_s
+    (seq.Bi_core.Verifier.wall_time_s
+    /. Float.max 1e-9 par.Bi_core.Verifier.wall_time_s);
+  if Domain.recommended_domain_count () < 4 then
+    Format.fprintf ppf
+      "    (host exposes fewer than 4 cores; speedup is bounded by real \
+       parallelism)@.";
+  let identical =
+    List.for_all2
+      (fun (a : Bi_core.Verifier.result) (b : Bi_core.Verifier.result) ->
+        a.Bi_core.Verifier.vc.Bi_core.Vc.id = b.Bi_core.Verifier.vc.Bi_core.Vc.id
+        && a.Bi_core.Verifier.outcome = b.Bi_core.Verifier.outcome)
+      seq.Bi_core.Verifier.results par.Bi_core.Verifier.results
+  in
+  Format.fprintf ppf "    outcomes identical and in order: %b@." identical
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out, quantified.      *)
 
 let ablation_replicas () =
@@ -356,8 +389,11 @@ let () =
     | "ratio" -> Bi_eval.Report.ratio ppf
     | "micro" -> run_micro ()
     | "ablations" -> run_ablations ()
+    | "discharge" -> run_discharge_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
+        Format.fprintf ppf "@.";
+        run_discharge_bench ();
         Format.fprintf ppf "@.";
         run_ablations ();
         Format.fprintf ppf "@.";
@@ -365,7 +401,7 @@ let () =
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|ablations|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|micro|all)@."
           other;
         exit 2
   in

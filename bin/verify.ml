@@ -3,9 +3,12 @@
    to "running the proofs".
 
    Usage:
-     verify            all suites
-     verify pt fs      selected suites
-     verify --list     show suite names *)
+     verify              all suites
+     verify pt fs        selected suites
+     verify --jobs 4     discharge VCs over 4 domains (default: the
+                         host's recommended domain count)
+     verify --timeout 5  per-VC time budget in seconds
+     verify --list       show suite names *)
 
 let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
   [
@@ -17,8 +20,8 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ("abi", "syscall ABI marshalling obligations", Bi_kernel.Sysabi.vcs);
   ]
 
-let run_suite verbose (name, descr, vcs) =
-  let rep = Bi_core.Verifier.discharge (vcs ()) in
+let run_suite ~jobs ?timeout_s verbose (name, descr, vcs) =
+  let rep = Bi_core.Verifier.discharge ~jobs ?timeout_s (vcs ()) in
   Format.printf "%-5s %-48s %a@." name descr Bi_core.Verifier.pp_summary rep;
   if verbose then
     List.iter
@@ -31,12 +34,13 @@ let run_suite verbose (name, descr, vcs) =
   end
   else true
 
-let main list_only verbose names =
+let main list_only verbose jobs timeout_s names =
   if list_only then begin
     List.iter (fun (n, d, _) -> Format.printf "%-5s %s@." n d) suites;
     0
   end
   else begin
+    let jobs = max 1 jobs in
     let selected =
       match names with
       | [] -> suites
@@ -49,8 +53,12 @@ let main list_only verbose names =
         2
     | _ ->
         let t0 = Unix.gettimeofday () in
-        let ok = List.for_all (run_suite verbose) selected in
-        Format.printf "total wall time: %.2f s@." (Unix.gettimeofday () -. t0);
+        let ok =
+          List.for_all (run_suite ~jobs ?timeout_s verbose) selected
+        in
+        Format.printf "total wall time: %.2f s (%d domains per suite)@."
+          (Unix.gettimeofday () -. t0)
+          jobs;
         if ok then begin
           Format.printf "all verification conditions proved@.";
           0
@@ -69,6 +77,24 @@ let list_flag =
 let verbose_flag =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show per-category VC counts.")
 
+let jobs_flag =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Discharge each suite's VCs over $(docv) domains (default: the \
+           host's recommended domain count). 1 runs sequentially.")
+
+let timeout_flag =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-VC time budget; a check that exceeds it is reported as a \
+           timeout instead of hanging the suite.")
+
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"SUITE" ~doc:"Suites to run (default: all).")
 
@@ -76,6 +102,8 @@ let cmd =
   let doc = "discharge the verification-condition suites" in
   Cmd.v
     (Cmd.info "verify" ~doc)
-    Term.(const main $ list_flag $ verbose_flag $ names_arg)
+    Term.(
+      const main $ list_flag $ verbose_flag $ jobs_flag $ timeout_flag
+      $ names_arg)
 
 let () = exit (Cmd.eval' cmd)

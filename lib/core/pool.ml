@@ -1,0 +1,99 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopped do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+      (* Stopped and drained. *)
+      Mutex.unlock pool.mutex
+  | Some job ->
+      Mutex.unlock pool.mutex;
+      job ();
+      worker_loop pool
+
+let create ?domains () =
+  let size = match domains with Some n -> n | None -> default_domains () in
+  if size <= 0 then invalid_arg "Pool.create: domains <= 0";
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = t.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let first = not pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  if first then List.iter Domain.join pool.workers
+
+let run pool thunks =
+  match thunks with
+  | [] -> []
+  | _ ->
+      let n = List.length thunks in
+      let results = Array.make n None in
+      let remaining = ref n in
+      (* Per-batch condition so concurrent [run] callers don't wake each
+         other; all conditions share the pool mutex. *)
+      let batch_done = Condition.create () in
+      Mutex.lock pool.mutex;
+      if pool.stopped then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      List.iteri
+        (fun i thunk ->
+          Queue.add
+            (fun () ->
+              let r =
+                match thunk () with
+                | v -> Ok v
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              Mutex.lock pool.mutex;
+              results.(i) <- Some r;
+              decr remaining;
+              if !remaining = 0 then Condition.broadcast batch_done;
+              Mutex.unlock pool.mutex)
+            pool.queue)
+        thunks;
+      Condition.broadcast pool.work_available;
+      while !remaining > 0 do
+        Condition.wait batch_done pool.mutex
+      done;
+      Mutex.unlock pool.mutex;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+
+let map pool f xs = run pool (List.map (fun x () -> f x) xs)
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

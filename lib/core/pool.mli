@@ -1,0 +1,40 @@
+(** Fixed-size domain pool.
+
+    The VC suites are embarrassingly parallel — every {!Vc.t} is an
+    independent, deterministic, pure check — so {!Verifier.discharge} fans
+    them out over a pool of OCaml 5 domains.  The pool is general-purpose
+    infrastructure: workers pull thunks from one shared queue (cheap
+    work-stealing for coarse tasks like VCs), and {!run} returns results in
+    submission order regardless of completion order, so callers stay
+    deterministic. *)
+
+type t
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: the host's useful parallelism. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains] worker domains (default
+    {!default_domains}).  Raises [Invalid_argument] if [domains <= 0]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run pool thunks] executes every thunk on the pool and returns their
+    values in the order the thunks were given.  Blocks until the whole
+    batch is done.  If a thunk raised, the first such exception (in
+    submission order) is re-raised after the batch completes, with its
+    backtrace.  Safe to call from several domains at once; each batch is
+    tracked independently.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [run pool] over [fun () -> f x]; order-preserving
+    parallel [List.map]. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join them.  Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** Bracket: create, run, and always shut down (even on exceptions). *)

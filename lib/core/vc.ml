@@ -1,4 +1,4 @@
-type outcome = Proved | Falsified of string
+type outcome = Proved | Falsified of string | Timeout of float
 
 type t = { id : string; category : string; check : unit -> outcome }
 
@@ -16,22 +16,84 @@ let equal_by ~id ~category ~pp ~eq f =
   in
   make ~id ~category check
 
+(* ------------------------------------------------------------------ *)
+(* Per-VC time budget.
+
+   A budget is a (deadline, budget) pair in domain-local storage: each
+   pool worker runs its own VCs against its own deadline.  The quantifier
+   combinators below poll [checkpoint] every few iterations, so a
+   divergent or pathologically slow check aborts cooperatively at the
+   next checkpoint instead of hanging its worker forever.  The poll reads
+   the clock only when a budget is actually armed, so unbudgeted runs pay
+   one DLS read per stride and nothing else. *)
+
+exception Timed_out of float
+
+let budget_key = Domain.DLS.new_key (fun () -> (infinity, 0.))
+
+let with_budget ~budget_s f =
+  let saved = Domain.DLS.get budget_key in
+  Domain.DLS.set budget_key (Unix_time.now () +. budget_s, budget_s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set budget_key saved) f
+
+let checkpoint () =
+  let deadline, budget = Domain.DLS.get budget_key in
+  if deadline < infinity && Unix_time.now () > deadline then
+    raise (Timed_out budget)
+
+(* How many quantifier iterations run between clock polls. *)
+let stride = 1024
+
 let forall_range ~lo ~hi p () =
-  let rec loop i = if i > hi then true else p i && loop (i + 1) in
+  let rec loop i =
+    if i > hi then true
+    else begin
+      if (i - lo) land (stride - 1) = 0 then checkpoint ();
+      p i && loop (i + 1)
+    end
+  in
   loop lo
 
-let forall_list xs p () = List.for_all p xs
+let for_all_checked p xs =
+  let i = ref 0 in
+  List.for_all
+    (fun x ->
+      if !i land (stride - 1) = 0 then checkpoint ();
+      incr i;
+      p x)
+    xs
 
-let forall_pairs xs ys p () = List.for_all (fun x -> List.for_all (p x) ys) xs
+let forall_list xs p () = for_all_checked p xs
+
+let forall_pairs xs ys p () =
+  for_all_checked (fun x -> List.for_all (p x) ys) xs
 
 let forall_sampled ~id ~n gen p () =
   let g = Gen.of_string id in
-  let rec loop i = if i >= n then true else p (gen g) && loop (i + 1) in
+  let rec loop i =
+    if i >= n then true
+    else begin
+      if i land 15 = 0 then checkpoint ();
+      p (gen g) && loop (i + 1)
+    end
+  in
   loop 0
 
-let all checks () = List.for_all (fun c -> c ()) checks
+let all checks () =
+  List.for_all
+    (fun c ->
+      checkpoint ();
+      c ())
+    checks
 
 let catch f =
   match f () with
   | outcome -> outcome
+  | exception Timed_out budget -> Timeout budget
   | exception e -> Falsified ("exception: " ^ Printexc.to_string e)
+
+let pp_outcome ppf = function
+  | Proved -> Format.pp_print_string ppf "proved"
+  | Falsified msg -> Format.fprintf ppf "falsified: %s" msg
+  | Timeout budget ->
+      Format.fprintf ppf "timeout after %gs budget" budget

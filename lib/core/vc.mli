@@ -12,6 +12,10 @@ type outcome =
   | Proved
   | Falsified of string
       (** Counterexample description; renders in the verification report. *)
+  | Timeout of float
+      (** The check exceeded its per-VC time budget (the budget, in
+          seconds).  Produced by {!catch} when the check runs under
+          {!with_budget} and trips a {!checkpoint}. *)
 
 type t = private {
   id : string;  (** Unique identifier, e.g. ["pt/map/4k/sim/rw"]. *)
@@ -54,5 +58,25 @@ val all : (unit -> bool) list -> unit -> bool
 val outcome_of_bool : bool -> outcome
 (** [Proved] on [true]. *)
 
+exception Timed_out of float
+(** Raised by {!checkpoint} past the armed deadline; carries the budget. *)
+
+val with_budget : budget_s:float -> (unit -> 'a) -> 'a
+(** [with_budget ~budget_s f] runs [f] with a per-domain deadline of
+    [budget_s] seconds from now.  The quantifier combinators above poll
+    the deadline every few iterations and raise {!Timed_out} once it
+    passes, so a divergent check aborts cooperatively instead of hanging
+    its worker.  The previous budget (if any) is restored on exit.
+    Checks that never enter a combinator cannot be interrupted — the
+    budget is cooperative, not preemptive. *)
+
+val checkpoint : unit -> unit
+(** Poll the current domain's deadline; raises {!Timed_out} past it.
+    No-op (and no clock read) when no budget is armed.  Long-running
+    hand-written checks can call this from their own loops. *)
+
 val catch : (unit -> outcome) -> outcome
-(** Turn an escaping exception into a [Falsified] with the exception text. *)
+(** Turn an escaping exception into a terminal outcome: {!Timed_out}
+    becomes [Timeout], any other exception [Falsified] with its text. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

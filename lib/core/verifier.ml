@@ -3,38 +3,63 @@ type result = { vc : Vc.t; time_s : float; outcome : Vc.outcome }
 type report = {
   results : result list;
   total_time_s : float;
+  wall_time_s : float;
   max_time_s : float;
+  jobs : int;
   proved : int;
   falsified : int;
+  timed_out : int;
 }
 
-let run_one (vc : Vc.t) =
+let run_one ?timeout_s (vc : Vc.t) =
   let t0 = Unix_time.now () in
-  let outcome = Vc.catch vc.Vc.check in
+  let outcome =
+    match timeout_s with
+    | None -> Vc.catch vc.Vc.check
+    | Some budget_s ->
+        Vc.catch (fun () -> Vc.with_budget ~budget_s vc.Vc.check)
+  in
   let t1 = Unix_time.now () in
   { vc; time_s = t1 -. t0; outcome }
 
-let discharge vcs =
-  let results = List.map run_one vcs in
+let discharge ?(jobs = 1) ?timeout_s vcs =
+  let t0 = Unix_time.now () in
+  let results =
+    if jobs <= 1 then List.map (run_one ?timeout_s) vcs
+    else
+      (* The pool returns results in submission order, so the report is
+         deterministic no matter how the domains interleave. *)
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Pool.run pool (List.map (fun vc () -> run_one ?timeout_s vc) vcs))
+  in
+  let wall_time_s = Unix_time.now () -. t0 in
   let times = List.map (fun r -> r.time_s) results in
-  let proved =
-    List.length (List.filter (fun r -> r.outcome = Vc.Proved) results)
+  let count p = List.length (List.filter p results) in
+  let proved = count (fun r -> r.outcome = Vc.Proved) in
+  let timed_out =
+    count (fun r -> match r.outcome with Vc.Timeout _ -> true | _ -> false)
   in
   {
     results;
     total_time_s = Stats.sum times;
+    wall_time_s;
     max_time_s = List.fold_left max 0. times;
+    jobs = max 1 jobs;
     proved;
-    falsified = List.length results - proved;
+    falsified = List.length results - proved - timed_out;
+    timed_out;
   }
 
-let all_proved rep = rep.falsified = 0
+let all_proved rep = rep.falsified = 0 && rep.timed_out = 0
 
 let failures rep = List.filter (fun r -> r.outcome <> Vc.Proved) rep.results
 
 let times rep = List.map (fun r -> r.time_s) rep.results
 
 let cdf rep = Stats.cdf (times rep)
+
+let speedup rep =
+  if rep.wall_time_s > 0. then rep.total_time_s /. rep.wall_time_s else 1.
 
 let by_category rep =
   let order = ref [] in
@@ -52,8 +77,17 @@ let by_category rep =
 
 let pp_summary ppf rep =
   Format.fprintf ppf
-    "%d verification conditions: %d proved, %d falsified; total %.3f s, max %.3f s"
-    (List.length rep.results) rep.proved rep.falsified rep.total_time_s
+    "%d verification conditions: %d proved, %d falsified%t; cpu %.3f s, \
+     wall %.3f s%t, max %.3f s"
+    (List.length rep.results) rep.proved rep.falsified
+    (fun ppf ->
+      if rep.timed_out > 0 then
+        Format.fprintf ppf ", %d timed out" rep.timed_out)
+    rep.total_time_s rep.wall_time_s
+    (fun ppf ->
+      if rep.jobs > 1 then
+        Format.fprintf ppf " (%d domains, %.1fx speedup)" rep.jobs
+          (speedup rep))
     rep.max_time_s
 
 let pp_failures ppf rep =
@@ -63,5 +97,8 @@ let pp_failures ppf rep =
     | Vc.Falsified msg ->
         Format.fprintf ppf "FALSIFIED %s [%s]: %s@." r.vc.Vc.id r.vc.Vc.category
           msg
+    | Vc.Timeout budget ->
+        Format.fprintf ppf "TIMEOUT %s [%s]: exceeded per-VC budget of %gs@."
+          r.vc.Vc.id r.vc.Vc.category budget
   in
   List.iter pp_one rep.results

@@ -3,26 +3,43 @@
     Runs suites of {!Vc.t}, records per-VC wall-clock time, and produces
     the aggregate views the paper evaluates: the verification-time CDF
     (Figure 1a), the total verification time and the single-slowest VC
-    (both quoted in Section 5 of the paper). *)
+    (both quoted in Section 5 of the paper).
+
+    VCs are independent pure checks, so discharge parallelises over a
+    {!Pool} of OCaml 5 domains ([?jobs]); results keep the input order and
+    are bit-for-bit identical to a sequential run.  A per-VC time budget
+    ([?timeout_s]) turns a divergent check into a {!Vc.Timeout} outcome
+    instead of a hung suite. *)
 
 type result = { vc : Vc.t; time_s : float; outcome : Vc.outcome }
 
 type report = {
-  results : result list;
+  results : result list;  (** In input order, regardless of [jobs]. *)
   total_time_s : float;
-  max_time_s : float;
+      (** Aggregate verification work: sum of per-VC times across all
+          domains (the paper's "total verification time"). *)
+  wall_time_s : float;
+      (** End-to-end elapsed time of the discharge call; equals
+          [total_time_s] (plus scheduling noise) when [jobs = 1], smaller
+          under parallel discharge. *)
+  max_time_s : float;  (** Slowest single VC. *)
+  jobs : int;  (** Domains the suite was discharged with. *)
   proved : int;
   falsified : int;
+  timed_out : int;  (** VCs that exhausted their [timeout_s] budget. *)
 }
 
-val discharge : Vc.t list -> report
-(** Run every VC, timing each one individually. *)
+val discharge : ?jobs:int -> ?timeout_s:float -> Vc.t list -> report
+(** Run every VC, timing each one individually.  [jobs] (default [1])
+    sets the number of worker domains; any [jobs <= 1] runs sequentially
+    on the calling domain.  [timeout_s] arms a cooperative per-VC budget
+    (see {!Vc.with_budget}); omitted means no budget. *)
 
 val all_proved : report -> bool
-(** [true] iff no VC was falsified. *)
+(** [true] iff no VC was falsified or timed out. *)
 
 val failures : report -> result list
-(** The falsified results, if any. *)
+(** The falsified and timed-out results, if any. *)
 
 val times : report -> float list
 (** Per-VC times in seconds, in discharge order. *)
@@ -30,11 +47,16 @@ val times : report -> float list
 val cdf : report -> (float * float) list
 (** CDF points of per-VC verification times (Figure 1a). *)
 
+val speedup : report -> float
+(** [total_time_s /. wall_time_s]: the parallel speedup actually realised
+    (~1.0 for sequential runs). *)
+
 val by_category : report -> (string * result list) list
 (** Results grouped by VC category, categories in first-seen order. *)
 
 val pp_summary : Format.formatter -> report -> unit
-(** One-paragraph summary: counts, total and max times. *)
+(** One-paragraph summary: counts, cpu vs. wall time, speedup when
+    parallel, max time. *)
 
 val pp_failures : Format.formatter -> report -> unit
-(** Detailed listing of falsified VCs with counterexamples. *)
+(** Detailed listing of falsified and timed-out VCs. *)

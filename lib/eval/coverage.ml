@@ -33,6 +33,24 @@ let spec_refinement () =
       in
       Bi_core.Verifier.all_proved (Bi_core.Verifier.discharge sample))
 
+let parallel_discharge () =
+  catching (fun () ->
+      (* The verifier itself is a multicore subsystem: a parallel
+         discharge must prove the same sample with identical per-VC
+         outcomes in the same order as the sequential path. *)
+      let sample =
+        List.filteri (fun i _ -> i mod 20 = 0) (Bi_pt.Pt_refinement.all ())
+      in
+      let seq = Bi_core.Verifier.discharge ~jobs:1 sample in
+      let par = Bi_core.Verifier.discharge ~jobs:2 sample in
+      Bi_core.Verifier.all_proved par
+      && List.for_all2
+           (fun (a : Bi_core.Verifier.result) (b : Bi_core.Verifier.result) ->
+             a.Bi_core.Verifier.vc.Bi_core.Vc.id
+             = b.Bi_core.Verifier.vc.Bi_core.Vc.id
+             && a.Bi_core.Verifier.outcome = b.Bi_core.Verifier.outcome)
+           seq.Bi_core.Verifier.results par.Bi_core.Verifier.results)
+
 module Counter = struct
   type t = int ref
   type op = Incr | Read

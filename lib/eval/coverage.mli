@@ -16,6 +16,11 @@ val multiprocessor : unit -> bool
 (** NR executes concurrently from two domains and the result is
     linearizable. *)
 
+val parallel_discharge : unit -> bool
+(** Discharging a sample of the page-table suite over two domains proves
+    it with per-VC outcomes identical, and identically ordered, to the
+    sequential path. *)
+
 val process_centric_spec : unit -> bool
 (** A kernel syscall trace replays against {!Bi_kernel.Sys_spec}. *)
 

@@ -47,9 +47,14 @@ let table1 () =
         {
           label = "Multi-processor support";
           cells = [ No; No; No; Yes; Yes ];
-          (* Real-domain NR plus the simulated multicore for scaling. *)
+          (* Real-domain NR plus the simulated multicore for scaling; the
+             probe also requires the domain-parallel VC discharge path to
+             agree with the sequential one. *)
           ours = Partial;
-          probe = Some Coverage.multiprocessor;
+          probe =
+            Some
+              (fun () ->
+                Coverage.multiprocessor () && Coverage.parallel_discharge ());
         };
         {
           label = "Process-centric spec";

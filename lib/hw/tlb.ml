@@ -38,10 +38,16 @@ let rec evict_one t =
 
 let insert t va e =
   let key = Addr.vpage_4k va in
-  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
-  then evict_one t;
-  Hashtbl.replace t.table key e;
-  Queue.push key t.order
+  if Hashtbl.mem t.table key then
+    (* Already cached: refresh the translation in place.  Re-enqueueing
+       the key would grow the FIFO without bound for hot pages and make
+       them occupy several eviction slots. *)
+    Hashtbl.replace t.table key e
+  else begin
+    if Hashtbl.length t.table >= t.capacity then evict_one t;
+    Hashtbl.replace t.table key e;
+    Queue.push key t.order
+  end
 
 let invlpg t va = Hashtbl.remove t.table (Addr.vpage_4k va)
 
@@ -50,6 +56,7 @@ let flush t =
   Queue.clear t.order
 
 let entry_count t = Hashtbl.length t.table
+let queue_length t = Queue.length t.order
 let hits t = t.hits
 let misses t = t.misses
 

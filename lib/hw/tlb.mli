@@ -18,7 +18,9 @@ val lookup : t -> Addr.vaddr -> entry option
 (** Lookup by the enclosing 4 KiB virtual page. *)
 
 val insert : t -> Addr.vaddr -> entry -> unit
-(** Cache a translation for the enclosing 4 KiB virtual page. *)
+(** Cache a translation for the enclosing 4 KiB virtual page.  Inserting
+    a page that is already cached refreshes the entry in place without
+    affecting its FIFO eviction position. *)
 
 val invlpg : t -> Addr.vaddr -> unit
 (** Invalidate the entry covering the address, if cached. *)
@@ -27,6 +29,13 @@ val flush : t -> unit
 (** Drop everything (CR3 reload). *)
 
 val entry_count : t -> int
+
+val queue_length : t -> int
+(** Length of the internal FIFO bookkeeping queue.  Exceeds
+    {!entry_count} only by the number of invalidated-but-not-yet-evicted
+    keys; repeated insertion of cached pages must not grow it
+    (regression hook). *)
+
 val hits : t -> int
 val misses : t -> int
 val reset_counters : t -> unit

@@ -16,19 +16,32 @@ let create ~capacity =
     capacity;
   }
 
+(* Reserve with a CAS loop: the capacity check happens *before* the new
+   tail is published, so a failing append leaves the tail untouched.  A
+   fetch-and-add here would advance the tail past slots that will never
+   be written, and concurrent readers in [get] would spin forever on
+   them. *)
 let append t entries =
   let n = List.length entries in
   if n = 0 then Atomic.get t.tail_
   else begin
-    let start = Atomic.fetch_and_add t.tail_ n in
-    if start + n > t.capacity then raise Full;
+    let rec reserve () =
+      let start = Atomic.get t.tail_ in
+      if start + n > t.capacity then raise Full
+      else if Atomic.compare_and_set t.tail_ start (start + n) then start
+      else begin
+        Domain.cpu_relax ();
+        reserve ()
+      end
+    in
+    let start = reserve () in
     List.iteri
       (fun i e -> Atomic.set t.slots.(start + i) (Some e))
       entries;
     start
   end
 
-let tail t = min (Atomic.get t.tail_) t.capacity
+let tail t = Atomic.get t.tail_
 
 let get t i =
   if i < 0 || i >= tail t then invalid_arg "Log.get: index out of range";

@@ -2,8 +2,9 @@
 
     NR "maintains consistency through an operation log" (paper Section
     4.1): combiners reserve a contiguous range of slots with an atomic
-    fetch-and-add on the tail, then publish their entries; replicas replay
-    the log in order.  Entries carry the issuing replica and combiner slot
+    compare-and-swap on the tail (checking capacity before publishing the
+    new tail, so a failed reservation leaves the log untouched), then
+    publish their entries; replicas replay the log in order.  Entries carry the issuing replica and combiner slot
     so that exactly one replica — the issuer's — delivers the result. *)
 
 type 'op entry = {
@@ -21,7 +22,9 @@ val create : capacity:int -> 'op t
 
 val append : 'op t -> 'op entry list -> int
 (** Atomically reserve and publish a batch; returns the index of the first
-    entry.  Safe to call from multiple domains. *)
+    entry.  Safe to call from multiple domains.  Raises {!Full} without
+    moving the tail when the batch does not fit, so {!tail} and {!get}
+    stay consistent after a failed append. *)
 
 val tail : 'op t -> int
 (** Number of reserved entries (some may still be publishing). *)

@@ -3,7 +3,9 @@ module Make (DS : Seq_ds.S) = struct
     id : int;
     ds : DS.t;
     lock : Rwlock.t;
-    mutable ltail : int; (* log entries applied; protected by [lock]'s writer side *)
+    ltail : int Atomic.t;
+        (* log entries applied; written only under [lock]'s writer side,
+           read racily (without the lock) by the read path, hence atomic *)
     combiner : bool Atomic.t;
     requests : DS.op option Atomic.t array; (* one slot per thread of this replica *)
     responses : DS.ret option Atomic.t array;
@@ -26,7 +28,7 @@ module Make (DS : Seq_ds.S) = struct
         id;
         ds = DS.create ();
         lock = Rwlock.create ();
-        ltail = 0;
+        ltail = Atomic.make 0;
         combiner = Atomic.make false;
         requests = Array.init threads_per_replica (fun _ -> Atomic.make None);
         responses = Array.init threads_per_replica (fun _ -> Atomic.make None);
@@ -48,12 +50,14 @@ module Make (DS : Seq_ds.S) = struct
      writer lock.  Results for entries issued by this replica's threads are
      published to their response slots. *)
   let apply_upto t r upto =
-    while r.ltail < upto do
-      let e = Log.get t.log r.ltail in
+    let i = ref (Atomic.get r.ltail) in
+    while !i < upto do
+      let e = Log.get t.log !i in
       let ret = DS.apply r.ds e.Log.op in
       if e.Log.replica = r.id then
         Atomic.set r.responses.(e.Log.slot) (Some ret);
-      r.ltail <- r.ltail + 1
+      incr i;
+      Atomic.set r.ltail !i
     done
 
   (* Become the combiner for replica [r]: gather pending requests, append
@@ -97,9 +101,10 @@ module Make (DS : Seq_ds.S) = struct
   let execute_readonly t r op =
     let rec attempt () =
       let tail = Log.tail t.log in
-      if r.ltail >= tail then begin
-        (* ltail only grows, so under the read lock the replica reflects at
-           least [tail]; this read linearizes at the lock acquisition. *)
+      if Atomic.get r.ltail >= tail then begin
+        (* [ltail] only grows (and is read atomically here, without the
+           lock), so under the read lock the replica reflects at least
+           [tail]; this read linearizes at the lock acquisition. *)
         Rwlock.with_read r.lock (fun () -> DS.apply r.ds op)
       end
       else begin

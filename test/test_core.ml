@@ -5,6 +5,7 @@
 module Gen = Bi_core.Gen
 module Stats = Bi_core.Stats
 module Vc = Bi_core.Vc
+module Pool = Bi_core.Pool
 module Verifier = Bi_core.Verifier
 module Contract = Bi_core.Contract
 module Interleave = Bi_core.Interleave
@@ -89,6 +90,46 @@ let test_stats_histogram () =
   check Alcotest.int "total count" 4
     (List.fold_left (fun a (_, c) -> a + c) 0 h)
 
+let test_stats_percentile_extremes () =
+  let xs = [ 2.; 1.; 3. ] in
+  (* p = 0 rounds the nearest-rank index down to the minimum... *)
+  check (Alcotest.float 1e-9) "p=0 is min" 1. (Stats.percentile 0. xs);
+  (* ...and p = 1 selects the maximum. *)
+  check (Alcotest.float 1e-9) "p=1 is max" 3. (Stats.percentile 1.0 xs);
+  check (Alcotest.float 1e-9) "singleton" 4. (Stats.percentile 0.7 [ 4. ]);
+  match Stats.percentile 0.5 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty list must raise"
+
+let test_stats_percentile_duplicates () =
+  let xs = [ 5.; 5.; 5.; 5. ] in
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9) "all-equal data" 5. (Stats.percentile p xs))
+    [ 0.; 0.25; 0.5; 0.99; 1.0 ]
+
+let test_stats_cdf_duplicates () =
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "all duplicates collapse to one point"
+    [ (2., 1.0) ]
+    (Stats.cdf [ 2.; 2.; 2. ])
+
+let test_stats_histogram_degenerate () =
+  (* hi = lo: all mass must land in the first bin and none may be lost. *)
+  let h = Stats.histogram ~bins:3 [ 5.; 5.; 5. ] in
+  check Alcotest.int "three bins" 3 (List.length h);
+  check Alcotest.int "total count preserved" 3
+    (List.fold_left (fun a (_, c) -> a + c) 0 h);
+  (match h with
+  | (_, c) :: _ -> check Alcotest.int "all in first bin" 3 c
+  | [] -> Alcotest.fail "bins expected");
+  let single = Stats.histogram ~bins:1 [ 1.; 2.; 3. ] in
+  check Alcotest.int "one bin holds everything" 3
+    (List.fold_left (fun a (_, c) -> a + c) 0 single);
+  check Alcotest.int "empty data, no bins" 0
+    (List.length (Stats.histogram ~bins:4 []))
+
 let prop_cdf_monotone =
   qtest "cdf is monotone" 200
     QCheck2.Gen.(list_size (int_range 1 50) (float_range 0. 100.))
@@ -128,7 +169,7 @@ let test_vc_catch_exception () =
   | Vc.Falsified msg ->
       check Alcotest.bool "mentions exception" true
         (String.length msg > 0)
-  | Vc.Proved -> Alcotest.fail "exception must falsify"
+  | Vc.Proved | Vc.Timeout _ -> Alcotest.fail "exception must falsify"
 
 let test_vc_forall_range () =
   check Alcotest.bool "all in range" true
@@ -165,6 +206,176 @@ let test_verifier_categories () =
   let cats = Verifier.by_category rep in
   check Alcotest.int "two categories" 2 (List.length cats);
   check Alcotest.int "x has two" 2 (List.length (List.assoc "x" cats))
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_run_preserves_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let expect = List.init 100 (fun i -> i * i) in
+      let got = Pool.run pool (List.init 100 (fun i () -> i * i)) in
+      check (Alcotest.list Alcotest.int) "submission order kept" expect got)
+
+let test_pool_map_matches_sequential () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let xs = List.init 50 (fun i -> i) in
+      let f x = (x * 7) mod 13 in
+      check (Alcotest.list Alcotest.int) "map = List.map" (List.map f xs)
+        (Pool.map pool f xs))
+
+let test_pool_empty_and_oversubscribed () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      check (Alcotest.list Alcotest.unit) "empty batch" []
+        (Pool.run pool ([] : (unit -> unit) list));
+      (* Fewer tasks than workers still completes and keeps order. *)
+      check (Alcotest.list Alcotest.int) "2 tasks on 4 domains" [ 1; 2 ]
+        (Pool.run pool [ (fun () -> 1); (fun () -> 2) ]))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (match
+         Pool.run pool
+           [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
+       with
+      | exception Failure msg -> check Alcotest.string "message" "boom" msg
+      | _ -> Alcotest.fail "task exception must re-raise");
+      (* The pool survives a failed batch. *)
+      check (Alcotest.list Alcotest.int) "still usable" [ 9 ]
+        (Pool.run pool [ (fun () -> 9) ]))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 () in
+  check Alcotest.int "size" 2 (Pool.size pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.run pool [ (fun () -> 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run after shutdown must be rejected"
+
+let test_pool_invalid_size () =
+  match Pool.create ~domains:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains <= 0 must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel discharge and per-VC budgets *)
+
+let outcome_testable =
+  Alcotest.testable Vc.pp_outcome (fun (a : Vc.outcome) b -> a = b)
+
+let test_discharge_parallel_matches_sequential () =
+  let vcs =
+    List.init 40 (fun i ->
+        if i mod 7 = 3 then
+          Vc.prop ~id:(Printf.sprintf "bad/%d" i) ~category:"planted"
+            (fun () -> false)
+        else
+          Vc.prop ~id:(Printf.sprintf "ok/%d" i) ~category:"fine" (fun () ->
+              Vc.forall_range ~lo:0 ~hi:500 (fun j -> j >= 0) ()))
+  in
+  let seq = Verifier.discharge ~jobs:1 vcs in
+  let par = Verifier.discharge ~jobs:4 vcs in
+  check Alcotest.int "jobs recorded" 4 par.Verifier.jobs;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string outcome_testable))
+    "same ids, same outcomes, same order"
+    (List.map (fun r -> (r.Verifier.vc.Vc.id, r.Verifier.outcome)) seq.Verifier.results)
+    (List.map (fun r -> (r.Verifier.vc.Vc.id, r.Verifier.outcome)) par.Verifier.results);
+  check Alcotest.int "falsified count agrees" seq.Verifier.falsified
+    par.Verifier.falsified
+
+(* The acceptance bar for the engine: parallel discharge of every VC
+   suite in the repository must be outcome-identical to the sequential
+   path. *)
+let all_suites : (string * (unit -> Vc.t list)) list =
+  [
+    ("pt", Bi_pt.Pt_refinement.all);
+    ("ptx", Bi_pt.Pt_extensions.vcs);
+    ("nr", Bi_nr.Nr_check.vcs);
+    ("fs", Bi_fs.Fs_refinement.vcs);
+    ("net", Bi_net.Net_check.vcs);
+    ("abi", Bi_kernel.Sysabi.vcs);
+  ]
+
+let test_discharge_all_suites_parallel () =
+  List.iter
+    (fun (name, vcs_fn) ->
+      let vcs = vcs_fn () in
+      let seq = Verifier.discharge ~jobs:1 vcs in
+      let par = Verifier.discharge ~jobs:4 vcs in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string outcome_testable))
+        (name ^ ": parallel = sequential")
+        (List.map
+           (fun r -> (r.Verifier.vc.Vc.id, r.Verifier.outcome))
+           seq.Verifier.results)
+        (List.map
+           (fun r -> (r.Verifier.vc.Vc.id, r.Verifier.outcome))
+           par.Verifier.results);
+      check Alcotest.bool (name ^ ": all proved both ways") true
+        (Verifier.all_proved seq = Verifier.all_proved par))
+    all_suites
+
+let test_discharge_timeout_interrupts_divergent () =
+  (* A check that would enumerate ~max_int values: without a budget it
+     would hang the suite; the cooperative deadline must stop it. *)
+  let divergent =
+    Vc.make ~id:"diverge" ~category:"t" (fun () ->
+        Vc.outcome_of_bool
+          (Vc.forall_range ~lo:0 ~hi:max_int (fun _ -> true) ()))
+  in
+  let quick = Vc.prop ~id:"quick" ~category:"t" (fun () -> true) in
+  let rep = Verifier.discharge ~timeout_s:0.05 [ quick; divergent ] in
+  check Alcotest.int "one timeout" 1 rep.Verifier.timed_out;
+  check Alcotest.int "quick one proved" 1 rep.Verifier.proved;
+  check Alcotest.int "timeout is not falsification" 0 rep.Verifier.falsified;
+  check Alcotest.bool "not all proved" false (Verifier.all_proved rep);
+  (match (List.nth rep.Verifier.results 1).Verifier.outcome with
+  | Vc.Timeout b -> check (Alcotest.float 1e-9) "budget reported" 0.05 b
+  | o -> Alcotest.failf "expected timeout, got %a" Vc.pp_outcome o);
+  check Alcotest.int "timeouts listed as failures" 1
+    (List.length (Verifier.failures rep))
+
+let test_discharge_timeout_parallel_leaves_others () =
+  (* One divergent VC on a 2-domain pool must not prevent the other VCs
+     from completing, nor disturb result order. *)
+  let divergent =
+    Vc.make ~id:"diverge" ~category:"t" (fun () ->
+        Vc.outcome_of_bool
+          (Vc.forall_range ~lo:0 ~hi:max_int (fun _ -> true) ()))
+  in
+  let quick i =
+    Vc.prop ~id:(Printf.sprintf "quick/%d" i) ~category:"t" (fun () -> true)
+  in
+  let vcs = [ quick 0; divergent; quick 1; quick 2 ] in
+  let rep = Verifier.discharge ~jobs:2 ~timeout_s:0.05 vcs in
+  check Alcotest.int "three proved" 3 rep.Verifier.proved;
+  check Alcotest.int "one timeout" 1 rep.Verifier.timed_out;
+  check
+    (Alcotest.list Alcotest.string)
+    "order preserved"
+    [ "quick/0"; "diverge"; "quick/1"; "quick/2" ]
+    (List.map (fun r -> r.Verifier.vc.Vc.id) rep.Verifier.results)
+
+let test_discharge_budget_does_not_leak () =
+  (* After a timed-out VC, subsequent checks on the same domain run with
+     the budget restored (no stale deadline). *)
+  let divergent =
+    Vc.make ~id:"diverge" ~category:"t" (fun () ->
+        Vc.outcome_of_bool
+          (Vc.forall_range ~lo:0 ~hi:max_int (fun _ -> true) ()))
+  in
+  let rep = Verifier.discharge ~timeout_s:0.05 [ divergent ] in
+  check Alcotest.int "timed out" 1 rep.Verifier.timed_out;
+  (* No budget armed any more: a long-but-finite loop completes. *)
+  check Alcotest.bool "deadline disarmed" true
+    (Vc.forall_range ~lo:0 ~hi:2_000_000 (fun _ -> true) ())
+
+let test_wall_time_recorded () =
+  let vcs = List.init 8 (fun i -> Vc.prop ~id:(string_of_int i) ~category:"c" (fun () -> true)) in
+  let rep = Verifier.discharge ~jobs:2 vcs in
+  check Alcotest.bool "wall time positive" true (rep.Verifier.wall_time_s >= 0.);
+  check Alcotest.bool "speedup finite" true (Float.is_finite (Verifier.speedup rep))
 
 (* ------------------------------------------------------------------ *)
 (* Contract *)
@@ -460,8 +671,44 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "cdf" `Quick test_stats_cdf;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "percentile extremes" `Quick
+            test_stats_percentile_extremes;
+          Alcotest.test_case "percentile duplicates" `Quick
+            test_stats_percentile_duplicates;
+          Alcotest.test_case "cdf duplicates" `Quick test_stats_cdf_duplicates;
+          Alcotest.test_case "histogram degenerate range" `Quick
+            test_stats_histogram_degenerate;
           prop_cdf_monotone;
           prop_percentile_member;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "run preserves order" `Quick
+            test_pool_run_preserves_order;
+          Alcotest.test_case "map matches sequential" `Quick
+            test_pool_map_matches_sequential;
+          Alcotest.test_case "empty and oversubscribed" `Quick
+            test_pool_empty_and_oversubscribed;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "invalid size" `Quick test_pool_invalid_size;
+        ] );
+      ( "parallel discharge",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_discharge_parallel_matches_sequential;
+          Alcotest.test_case "all six suites agree" `Slow
+            test_discharge_all_suites_parallel;
+          Alcotest.test_case "timeout interrupts divergent VC" `Quick
+            test_discharge_timeout_interrupts_divergent;
+          Alcotest.test_case "timeout isolates one VC in a pool" `Quick
+            test_discharge_timeout_parallel_leaves_others;
+          Alcotest.test_case "budget does not leak" `Quick
+            test_discharge_budget_does_not_leak;
+          Alcotest.test_case "wall time recorded" `Quick
+            test_wall_time_recorded;
         ] );
       ( "vc",
         [

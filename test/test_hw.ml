@@ -335,6 +335,32 @@ let test_tlb_eviction_fifo () =
   check Alcotest.bool "newest kept" true (Tlb.lookup tlb 0x3000L <> None);
   check Alcotest.int "capacity respected" 2 (Tlb.entry_count tlb)
 
+let test_tlb_reinsert_bounded () =
+  (* Regression: insert used to push the key onto the FIFO queue even
+     when the page was already cached, so a hot page grew the queue
+     without bound and occupied several eviction slots. *)
+  let tlb = Tlb.create ~capacity:4 in
+  let e frame = { Tlb.frame; perm = Pte.user_rw } in
+  for i = 1 to 100 do
+    Tlb.insert tlb 0x5000L (e (Int64.of_int (i * 0x1000)))
+  done;
+  check Alcotest.bool "queue bounded by capacity" true
+    (Tlb.queue_length tlb <= 4);
+  check Alcotest.int "still a single entry" 1 (Tlb.entry_count tlb);
+  (* Re-insertion refreshes the translation in place. *)
+  (match Tlb.lookup tlb 0x5000L with
+  | Some { Tlb.frame; _ } ->
+      check Alcotest.int64 "latest frame wins" 0x64000L frame
+  | None -> Alcotest.fail "hot page must stay cached");
+  (* The hot page holds exactly one FIFO slot: three more distinct pages
+     fit alongside it without evicting it. *)
+  Tlb.insert tlb 0x1000L (e 0xA000L);
+  Tlb.insert tlb 0x2000L (e 0xB000L);
+  Tlb.insert tlb 0x3000L (e 0xC000L);
+  check Alcotest.bool "hot page survives fills up to capacity" true
+    (Tlb.lookup tlb 0x5000L <> None);
+  check Alcotest.int "at capacity" 4 (Tlb.entry_count tlb)
+
 let test_tlb_invlpg_and_flush () =
   let tlb = Tlb.create ~capacity:8 in
   let e = { Tlb.frame = 0x1000L; perm = Pte.user_rw } in
@@ -557,6 +583,8 @@ let () =
         [
           Alcotest.test_case "hit/miss counters" `Quick test_tlb_hit_miss_counters;
           Alcotest.test_case "fifo eviction" `Quick test_tlb_eviction_fifo;
+          Alcotest.test_case "re-insertion stays bounded" `Quick
+            test_tlb_reinsert_bounded;
           Alcotest.test_case "invlpg and flush" `Quick test_tlb_invlpg_and_flush;
         ] );
       ( "devices",

@@ -36,6 +36,29 @@ let test_log_full () =
   | exception Log.Full -> ()
   | _ -> Alcotest.fail "capacity must be enforced"
 
+let test_log_full_leaves_tail_consistent () =
+  (* Regression: append used to fetch-and-add the tail before the
+     capacity check, so a failed append left the tail pointing past slots
+     that would never be written and readers spun forever on them. *)
+  let log = Log.create ~capacity:4 in
+  let e op = { Log.op; replica = 0; slot = 0 } in
+  ignore (Log.append log [ e 1; e 2; e 3 ]);
+  (match Log.append log [ e 4; e 5 ] with
+  | exception Log.Full -> ()
+  | _ -> Alcotest.fail "over-capacity append must raise Full");
+  check Alcotest.int "tail not advanced by failed append" 3 (Log.tail log);
+  for i = 0 to 2 do
+    check Alcotest.int
+      (Printf.sprintf "entry %d still readable" i)
+      (i + 1)
+      (Log.get log i).Log.op
+  done;
+  (* The slots the failed batch did not consume remain usable. *)
+  check Alcotest.int "fitting append reuses the space" 3
+    (Log.append log [ e 4 ]);
+  check Alcotest.int "tail" 4 (Log.tail log);
+  check Alcotest.int "entry 3" 4 (Log.get log 3).Log.op
+
 let test_log_get_bounds () =
   let log = Log.create ~capacity:4 in
   match Log.get log 0 with
@@ -321,6 +344,8 @@ let () =
         [
           Alcotest.test_case "append/get" `Quick test_log_append_get;
           Alcotest.test_case "empty append" `Quick test_log_append_empty;
+          Alcotest.test_case "full leaves tail consistent" `Quick
+            test_log_full_leaves_tail_consistent;
           Alcotest.test_case "full" `Quick test_log_full;
           Alcotest.test_case "get bounds" `Quick test_log_get_bounds;
           Alcotest.test_case "concurrent append" `Quick test_log_concurrent_append;
