@@ -4,13 +4,96 @@
    checked-vs-erased ablation.
 
    Usage:
-     main.exe               everything
+     main.exe                     everything
      main.exe table1|table2|fig1a|fig1b|fig1c|ratio    one artifact
-     main.exe micro         microbenchmarks only *)
+     main.exe micro               microbenchmarks only
+     main.exe all --json FILE     also dump every structured result
+                                  (tables, ablations, micro ns/op) to
+                                  FILE as JSON *)
 
 open Bechamel
 
 let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (--json FILE).  Hand-emitted: the runner deliberately has
+   no JSON library dependency.                                          *)
+
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf ~indent v =
+    let pad n = String.make n ' ' in
+    match v with
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* nan/inf are not JSON numbers. *)
+        if Float.is_finite f then
+          Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else Buffer.add_string buf "null"
+    | Str s -> Buffer.add_string buf ("\"" ^ escape s ^ "\"")
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 2));
+            emit buf ~indent:(indent + 2) x)
+          xs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 2));
+            Buffer.add_string buf ("\"" ^ escape k ^ "\": ");
+            emit buf ~indent:(indent + 2) x)
+          kvs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 4096 in
+    emit buf ~indent:0 v;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+end
+
+(* Top-level sections accumulate here as targets run; [--json FILE]
+   flushes whatever ran.  Re-running a target overwrites its section. *)
+let json_doc : (string * Json.t) list ref = ref []
+
+let record key v =
+  json_doc := List.filter (fun (k, _) -> k <> key) !json_doc @ [ (key, v) ]
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmark subjects                                             *)
@@ -142,6 +225,73 @@ let bench_nr_update () =
 let bench_nr_read () =
   ignore (Nrc.execute (nr_fresh ()) ~thread:1 Counter.Read : int)
 
+(* Batched-range family: 512 pages mapped and unmapped through one range
+   call per direction vs. 512 single-page root-to-leaf walks. *)
+let range_frame = 0x40000000L
+
+let map_cycle_range_512 =
+  let mem, frames = fresh_env () in
+  let pt = Pt.create ~mem ~frames in
+  let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:1 ~l1:0 ~offset:0L in
+  fun () ->
+    (match
+       Pt.map_range pt ~va ~frame:range_frame ~pages:512 ~perm:Pte.user_rw
+     with
+    | Ok () | Error _ -> ());
+    match Pt.unmap_range pt ~va ~pages:512 with Ok _ | Error _ -> ()
+
+let map_cycle_loop_512 =
+  let mem, frames = fresh_env () in
+  let pt = Pt.create ~mem ~frames in
+  fun () ->
+    for i = 0 to 511 do
+      let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:1 ~l1:i ~offset:0L in
+      match
+        Pt.map pt ~va
+          ~frame:(Int64.add range_frame (Int64.of_int (i * 4096)))
+          ~size:Addr.page_size ~perm:Pte.user_rw
+      with
+      | Ok () | Error _ -> ()
+    done;
+    for i = 0 to 511 do
+      let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:1 ~l1:i ~offset:0L in
+      match Pt.unmap pt ~va with Ok _ | Error _ -> ()
+    done
+
+(* PWC family: translate a 64-page hot set with a cold walk, with the
+   paging-structure cache resuming at the cached PDE, and with a TLB
+   large enough to hold the whole set.  All 64 pages share one 2 MiB
+   region, so the PWC serves every translation from a single level-1
+   entry after the first miss. *)
+let translate_env =
+  lazy
+    (let mem, frames = fresh_env () in
+     let pt = Pt.create ~mem ~frames in
+     let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:0 ~l1:0 ~offset:0L in
+     (match
+        Pt.map_range pt ~va ~frame:range_frame ~pages:512 ~perm:Pte.user_rw
+      with
+     | Ok () | Error _ -> ());
+     (mem, Pt.root pt))
+
+let translate_hot ?tlb ?pwc () =
+  let mem, cr3 = Lazy.force translate_env in
+  for i = 0 to 63 do
+    let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:0 ~l1:(i * 8) ~offset:0x18L in
+    match Bi_hw.Mmu.translate ?tlb ?pwc mem ~cr3 Bi_hw.Mmu.Read va with
+    | Ok _ | Error _ -> ()
+  done
+
+let bench_translate_walk () = translate_hot ()
+
+let bench_translate_pwc =
+  let pwc = Bi_hw.Pwc.create ~capacity:16 in
+  fun () -> translate_hot ~pwc ()
+
+let bench_translate_tlb =
+  let tlb = Bi_hw.Tlb.create ~capacity:128 in
+  fun () -> translate_hot ~tlb ()
+
 let tests =
   [
     Test.make ~name:"fig1a/vc-discharge" (Staged.stage bench_vc);
@@ -155,6 +305,11 @@ let tests =
     Test.make ~name:"ratio/abi-marshal-roundtrip" (Staged.stage bench_marshal);
     Test.make ~name:"nr/update" (Staged.stage bench_nr_update);
     Test.make ~name:"nr/read" (Staged.stage bench_nr_read);
+    Test.make ~name:"ptb/map-unmap-range-512p" (Staged.stage map_cycle_range_512);
+    Test.make ~name:"ptb/map-unmap-loop-512p" (Staged.stage map_cycle_loop_512);
+    Test.make ~name:"pwc/translate-64hot-walk" (Staged.stage bench_translate_walk);
+    Test.make ~name:"pwc/translate-64hot-pwc" (Staged.stage bench_translate_pwc);
+    Test.make ~name:"pwc/translate-64hot-tlb" (Staged.stage bench_translate_tlb);
   ]
 
 let run_micro () =
@@ -166,20 +321,29 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
-  let print_one test =
+  let measure_one test =
     let raw = Benchmark.all cfg [ instance ] test in
     let results = Analyze.all ols instance raw in
-    Hashtbl.iter
-      (fun name ols_result ->
+    Hashtbl.fold
+      (fun name ols_result acc ->
         let ns =
           match Analyze.OLS.estimates ols_result with
           | Some (x :: _) -> x
           | Some [] | None -> nan
         in
-        Format.fprintf ppf "  %-36s %12.1f ns/op@." name ns)
-      results
+        (name, ns) :: acc)
+      results []
   in
-  List.iter print_one tests
+  let rows = List.concat_map measure_one tests in
+  List.iter
+    (fun (name, ns) -> Format.fprintf ppf "  %-36s %12.1f ns/op@." name ns)
+    rows;
+  record "micro"
+    (Json.List
+       (List.map
+          (fun (name, ns) ->
+            Json.Obj [ ("name", Json.Str name); ("ns_per_op", Json.Float ns) ])
+          rows))
 
 (* ------------------------------------------------------------------ *)
 (* Parallel VC discharge: sequential vs. domain-pool wall time on the
@@ -212,7 +376,20 @@ let run_discharge_bench () =
         && a.Bi_core.Verifier.outcome = b.Bi_core.Verifier.outcome)
       seq.Bi_core.Verifier.results par.Bi_core.Verifier.results
   in
-  Format.fprintf ppf "    outcomes identical and in order: %b@." identical
+  Format.fprintf ppf "    outcomes identical and in order: %b@." identical;
+  record "discharge"
+    (Json.Obj
+       [
+         ("vcs", Json.Int (List.length vcs));
+         ("sequential_wall_s", Json.Float seq.Bi_core.Verifier.wall_time_s);
+         ("parallel_wall_s", Json.Float par.Bi_core.Verifier.wall_time_s);
+         ("parallel_jobs", Json.Int 4);
+         ( "speedup_x",
+           Json.Float
+             (seq.Bi_core.Verifier.wall_time_s
+             /. Float.max 1e-9 par.Bi_core.Verifier.wall_time_s) );
+         ("outcomes_identical", Json.Bool identical);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out, quantified.      *)
@@ -224,22 +401,29 @@ let ablation_replicas () =
     "  NR replicates per NUMA node to scale *reads*; every replica still@.";
   Format.fprintf ppf
     "  replays every write, so write latency should be flat in replicas:@.";
-  List.iter
-    (fun replicas ->
-      let r =
-        Bi_nr.Nr_sim.run
-          {
-            Bi_nr.Nr_sim.default_config with
-            cores = 16;
-            numa_nodes = replicas;
-            ops_per_core = 300;
-            apply_cycles = 2000;
-            seed = "ablation-replicas";
-          }
-      in
-      Format.fprintf ppf "    replicas=%d  mean=%6.2f us  p99=%6.2f us@."
-        replicas r.Bi_nr.Nr_sim.mean_latency_us r.Bi_nr.Nr_sim.p99_us)
-    [ 1; 2; 4; 8 ]
+  Json.List
+    (List.map
+       (fun replicas ->
+         let r =
+           Bi_nr.Nr_sim.run
+             {
+               Bi_nr.Nr_sim.default_config with
+               cores = 16;
+               numa_nodes = replicas;
+               ops_per_core = 300;
+               apply_cycles = 2000;
+               seed = "ablation-replicas";
+             }
+         in
+         Format.fprintf ppf "    replicas=%d  mean=%6.2f us  p99=%6.2f us@."
+           replicas r.Bi_nr.Nr_sim.mean_latency_us r.Bi_nr.Nr_sim.p99_us;
+         Json.Obj
+           [
+             ("replicas", Json.Int replicas);
+             ("mean_us", Json.Float r.Bi_nr.Nr_sim.mean_latency_us);
+             ("p99_us", Json.Float r.Bi_nr.Nr_sim.p99_us);
+           ])
+       [ 1; 2; 4; 8 ])
 
 let ablation_tlb () =
   Format.fprintf ppf "Ablation 2: TLB (repeated translations of 8 hot pages)@.";
@@ -280,7 +464,14 @@ let ablation_tlb () =
   Format.fprintf ppf
     "    with TLB:    %5d page-walk loads (%7.2f us) — %.0fx fewer@." w_yes
     us_yes
-    (float_of_int w_no /. float_of_int (max 1 w_yes))
+    (float_of_int w_no /. float_of_int (max 1 w_yes));
+  Json.Obj
+    [
+      ("walk_loads_without_tlb", Json.Int w_no);
+      ("dram_us_without_tlb", Json.Float us_no);
+      ("walk_loads_with_tlb", Json.Int w_yes);
+      ("dram_us_with_tlb", Json.Float us_yes);
+    ]
 
 let ablation_wal () =
   Format.fprintf ppf
@@ -329,7 +520,16 @@ let ablation_wal () =
     "    raw block writes:         %5d device ops, %6.2f ms  (no crash story)@."
     raw_io (raw_time *. 1000.);
   Format.fprintf ppf "    write amplification: %.1fx@."
-    (float_of_int disk_io /. float_of_int (max 1 raw_io))
+    (float_of_int disk_io /. float_of_int (max 1 raw_io));
+  Json.Obj
+    [
+      ("wal_device_ops", Json.Int disk_io);
+      ("wal_ms", Json.Float (wal_time *. 1000.));
+      ("raw_device_ops", Json.Int raw_io);
+      ("raw_ms", Json.Float (raw_time *. 1000.));
+      ( "write_amplification_x",
+        Json.Float (float_of_int disk_io /. float_of_int (max 1 raw_io)) );
+    ]
 
 let ablation_contract_modes () =
   Format.fprintf ppf
@@ -361,37 +561,187 @@ let ablation_contract_modes () =
     (checked *. 1000.)
     (checked /. erased);
   Format.fprintf ppf
-    "    verification erases but runtime checking would pay on every call.@."
+    "    verification erases but runtime checking would pay on every call.@.";
+  Json.Obj
+    [
+      ("erased_ms", Json.Float (erased *. 1000.));
+      ("checked_ms", Json.Float (checked *. 1000.));
+      ("slowdown_x", Json.Float (checked /. erased));
+    ]
+
+let ablation_range_accesses () =
+  Format.fprintf ppf
+    "Ablation 5: batched map_range vs 512 single maps (physical-memory \
+     accesses)@.";
+  let count ~batched =
+    let mem, frames = fresh_env () in
+    let pt = Pt.create ~mem ~frames in
+    (* Warm the shared upper path (root/L3/L2 tables, via a sibling L2
+       slot) so the counts reflect steady state rather than first-touch
+       table allocation. *)
+    (match
+       Pt.map pt
+         ~va:(Addr.of_indices ~l4:0 ~l3:0 ~l2:1 ~l1:0 ~offset:0L)
+         ~frame:range_frame ~size:Addr.page_size ~perm:Pte.user_rw
+     with
+    | Ok () | Error _ -> ());
+    Bi_hw.Phys_mem.reset_counters mem;
+    (if batched then (
+       match
+         Pt.map_range pt
+           ~va:(Addr.of_indices ~l4:0 ~l3:0 ~l2:2 ~l1:0 ~offset:0L)
+           ~frame:range_frame ~pages:512 ~perm:Pte.user_rw
+       with
+       | Ok () | Error _ -> ())
+     else
+       for i = 0 to 511 do
+         match
+           Pt.map pt
+             ~va:(Addr.of_indices ~l4:0 ~l3:0 ~l2:2 ~l1:i ~offset:0L)
+             ~frame:(Int64.add range_frame (Int64.of_int (i * 4096)))
+             ~size:Addr.page_size ~perm:Pte.user_rw
+         with
+         | Ok () | Error _ -> ()
+       done);
+    Bi_hw.Phys_mem.loads mem + Bi_hw.Phys_mem.stores mem
+  in
+  let singles = count ~batched:false in
+  let batched = count ~batched:true in
+  let reduction = float_of_int singles /. float_of_int (max 1 batched) in
+  Format.fprintf ppf "    512 single maps: %6d loads+stores@." singles;
+  Format.fprintf ppf "    one map_range:   %6d loads+stores — %.1fx fewer@."
+    batched reduction;
+  Json.Obj
+    [
+      ("single_accesses", Json.Int singles);
+      ("batched_accesses", Json.Int batched);
+      ("reduction_x", Json.Float reduction);
+    ]
 
 let run_ablations () =
-  ablation_replicas ();
+  let a_replicas = ablation_replicas () in
   Format.fprintf ppf "@.";
-  ablation_tlb ();
+  let a_tlb = ablation_tlb () in
   Format.fprintf ppf "@.";
-  ablation_wal ();
+  let a_wal = ablation_wal () in
   Format.fprintf ppf "@.";
-  ablation_contract_modes ()
+  let a_contract = ablation_contract_modes () in
+  Format.fprintf ppf "@.";
+  let a_range = ablation_range_accesses () in
+  record "ablations"
+    (Json.Obj
+       [
+         ("nr_replicas", a_replicas);
+         ("tlb", a_tlb);
+         ("wal", a_wal);
+         ("contract_modes", a_contract);
+         ("range_batching", a_range);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Structured views of the tables and figures for the JSON dump.       *)
+
+let json_of_mark = function
+  | Bi_eval.Matrix.Yes -> Json.Str "yes"
+  | Bi_eval.Matrix.No -> Json.Str "no"
+  | Bi_eval.Matrix.Partial -> Json.Str "partial"
+
+let json_of_table (t : Bi_eval.Matrix.table) =
+  let probes = Bi_eval.Matrix.validate t in
+  Json.Obj
+    [
+      ("title", Json.Str t.Bi_eval.Matrix.title);
+      ( "columns",
+        Json.List
+          (List.map (fun c -> Json.Str c) t.Bi_eval.Matrix.columns) );
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (r : Bi_eval.Matrix.row) ->
+               Json.Obj
+                 [
+                   ("label", Json.Str r.Bi_eval.Matrix.label);
+                   ( "cells",
+                     Json.List (List.map json_of_mark r.Bi_eval.Matrix.cells)
+                   );
+                   ("ours", json_of_mark r.Bi_eval.Matrix.ours);
+                   ( "probe_ok",
+                     match List.assoc_opt r.Bi_eval.Matrix.label probes with
+                     | Some ok -> Json.Bool ok
+                     | None -> Json.Bool true );
+                 ])
+             t.Bi_eval.Matrix.rows) );
+    ]
+
+let json_of_latency points =
+  Json.List
+    (List.map
+       (fun (p : Bi_eval.Report.latency_point) ->
+         Json.Obj
+           [
+             ("cores", Json.Int p.Bi_eval.Report.cores);
+             ("unverified_us", Json.Float p.Bi_eval.Report.unverified_us);
+             ("verified_us", Json.Float p.Bi_eval.Report.verified_us);
+           ])
+       points)
+
+let record_table1 () = record "table1" (json_of_table (Bi_eval.Matrix.table1 ()))
+let record_table2 () = record "table2" (json_of_table (Bi_eval.Matrix.table2 ()))
+
+let record_fig1b () =
+  record "fig1b_map_latency" (json_of_latency (Bi_eval.Report.map_latency ()))
+
+let record_fig1c () =
+  record "fig1c_unmap_latency"
+    (json_of_latency (Bi_eval.Report.unmap_latency ()));
+  record "apply_cycles"
+    (Json.Obj
+       [
+         ( "unverified",
+           Json.Int (Bi_eval.Report.measured_apply_cycles ~verified:false) );
+         ( "verified",
+           Json.Int (Bi_eval.Report.measured_apply_cycles ~verified:true) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let targets =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> [ "all" ]
+  let rec split_json acc = function
+    | [] -> (List.rev acc, None)
+    | [ "--json" ] ->
+        prerr_endline "--json requires a FILE argument";
+        exit 2
+    | "--json" :: file :: rest -> (List.rev acc @ rest, Some file)
+    | arg :: rest -> split_json (arg :: acc) rest
   in
+  let targets, json_file =
+    split_json [] (List.tl (Array.to_list Sys.argv))
+  in
+  let targets = match targets with [] -> [ "all" ] | ts -> ts in
   let dispatch = function
-    | "table1" -> Bi_eval.Report.table1 ppf
-    | "table2" -> Bi_eval.Report.table2 ppf
+    | "table1" ->
+        Bi_eval.Report.table1 ppf;
+        record_table1 ()
+    | "table2" ->
+        Bi_eval.Report.table2 ppf;
+        record_table2 ()
     | "fig1a" -> Bi_eval.Report.fig1a ppf
-    | "fig1b" -> Bi_eval.Report.fig1b ppf
-    | "fig1c" -> Bi_eval.Report.fig1c ppf
+    | "fig1b" ->
+        Bi_eval.Report.fig1b ppf;
+        record_fig1b ()
+    | "fig1c" ->
+        Bi_eval.Report.fig1c ppf;
+        record_fig1c ()
     | "ratio" -> Bi_eval.Report.ratio ppf
     | "micro" -> run_micro ()
     | "ablations" -> run_ablations ()
     | "discharge" -> run_discharge_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
+        record_table1 ();
+        record_table2 ();
+        record_fig1b ();
+        record_fig1c ();
         Format.fprintf ppf "@.";
         run_discharge_bench ();
         Format.fprintf ppf "@.";
@@ -405,4 +755,12 @@ let () =
           other;
         exit 2
   in
-  List.iter dispatch targets
+  List.iter dispatch targets;
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string (Json.Obj !json_doc));
+      close_out oc;
+      Format.fprintf ppf "@.wrote %s (%d sections)@." file
+        (List.length !json_doc)

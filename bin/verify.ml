@@ -14,6 +14,8 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
   [
     ("pt", "page-table refinement (the paper's 220 VCs)", Bi_pt.Pt_refinement.all);
     ("ptx", "page-table extensions (protect/mprotect)", Bi_pt.Pt_extensions.vcs);
+    ("ptb", "batched range ops refine the per-page fold", Bi_pt.Pt_refinement.range_vcs);
+    ("pwc", "paging-structure cache agrees with uncached walk", Bi_pt.Pt_refinement.pwc_vcs);
     ("nr", "node replication (log, rwlock, equivalence, linearizability)", Bi_nr.Nr_check.vcs);
     ("fs", "filesystem refinement and crash safety", Bi_fs.Fs_refinement.vcs);
     ("net", "network stack codecs and end-to-end behaviour", Bi_net.Net_check.vcs);

@@ -65,8 +65,24 @@ let for_all_checked p xs =
 
 let forall_list xs p () = for_all_checked p xs
 
+(* Pair predicates tend to be heavier than single-element ones (they are
+   typically whole refinement steps), so the inner loop polls on a
+   tighter stride.  Polling only the outer loop would let a large [ys]
+   defeat the budget entirely: |xs| outer iterations can stay below one
+   stride while |xs|*|ys| predicate calls run unbounded. *)
+let pair_stride = 64
+
 let forall_pairs xs ys p () =
-  for_all_checked (fun x -> List.for_all (p x) ys) xs
+  let i = ref 0 in
+  List.for_all
+    (fun x ->
+      List.for_all
+        (fun y ->
+          if !i land (pair_stride - 1) = 0 then checkpoint ();
+          incr i;
+          p x y)
+        ys)
+    xs
 
 let forall_sampled ~id ~n gen p () =
   let g = Gen.of_string id in

@@ -1,6 +1,7 @@
 type core = {
   id : int;
   tlb : Tlb.t;
+  pwc : Pwc.t;
   mutable cr3 : Addr.paddr;
   mutable cycles : int;
 }
@@ -24,7 +25,7 @@ let nic_vector = 2
 let reserved_frames = 64
 
 let create ?(mem_bytes = 32 * 1024 * 1024) ?(disk_sectors = 2048)
-    ?(tlb_entries = 64) ~cores () =
+    ?(tlb_entries = 64) ?(pwc_entries = 16) ~cores () =
   if cores <= 0 then invalid_arg "Machine.create: cores <= 0";
   let mem = Phys_mem.create ~size:mem_bytes in
   let page = Int64.to_int Addr.page_size in
@@ -36,7 +37,13 @@ let create ?(mem_bytes = 32 * 1024 * 1024) ?(disk_sectors = 2048)
   in
   let intr = Device.Intr.create ~vectors:16 in
   let make_core id =
-    { id; tlb = Tlb.create ~capacity:tlb_entries; cr3 = 0L; cycles = 0 }
+    {
+      id;
+      tlb = Tlb.create ~capacity:tlb_entries;
+      pwc = Pwc.create ~capacity:pwc_entries;
+      cr3 = 0L;
+      cycles = 0;
+    }
   in
   {
     mem;
@@ -58,7 +65,13 @@ let core t i =
 let charge c cycles = c.cycles <- c.cycles + cycles
 
 let tlb_shootdown t va ~initiator =
-  Array.iter (fun c -> Tlb.invlpg c.tlb va) t.cores;
+  Array.iter
+    (fun c ->
+      Tlb.invlpg c.tlb va;
+      (* An invlpg also drops the paging-structure-cache entries for the
+         address (SDM vol. 3 §4.10.4.1). *)
+      Pwc.invlpg c.pwc va)
+    t.cores;
   let c = core t initiator in
   charge c (Cost_model.shootdown_cost t.cost ~cores:(Array.length t.cores))
 

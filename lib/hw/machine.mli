@@ -9,6 +9,7 @@
 type core = {
   id : int;
   tlb : Tlb.t;
+  pwc : Pwc.t;  (** Paging-structure cache, invalidated with the TLB. *)
   mutable cr3 : Addr.paddr;  (** Current address-space root. *)
   mutable cycles : int;  (** Per-core virtual cycle counter. *)
 }
@@ -33,12 +34,13 @@ val create :
   ?mem_bytes:int ->
   ?disk_sectors:int ->
   ?tlb_entries:int ->
+  ?pwc_entries:int ->
   cores:int ->
   unit ->
   t
 (** Build a machine.  Defaults: 32 MiB memory (first 64 frames reserved for
     firmware/kernel image, the rest managed by the frame allocator),
-    2048-sector disk, 64-entry TLBs. *)
+    2048-sector disk, 64-entry TLBs, 16-entry paging-structure caches. *)
 
 val core : t -> int -> core
 (** Core by id; raises [Invalid_argument] when out of range. *)
@@ -47,8 +49,9 @@ val charge : core -> int -> unit
 (** Add cycles to a core's virtual clock. *)
 
 val tlb_shootdown : t -> Addr.vaddr -> initiator:int -> unit
-(** Invalidate the page's translation on every core and charge the
-    initiator the shootdown cost from the cost model. *)
+(** Invalidate the page's translation — TLB entry and paging-structure
+    cache entries — on every core and charge the initiator the shootdown
+    cost from the cost model. *)
 
 val elapsed_us : t -> int -> float
 (** A core's virtual clock in microseconds. *)

@@ -43,54 +43,69 @@ let meet (a : Pte.perm) (b : Pte.perm) : Pte.perm =
 let entry_at mem table_base index =
   Phys_mem.read_u64 mem (Int64.add table_base (Int64.of_int (8 * index)))
 
+let raw_perm raw : Pte.perm =
+  {
+    writable = Int64.logand raw 0x2L <> 0L;
+    user = Int64.logand raw 0x4L <> 0L;
+    executable = Int64.logand raw (Int64.shift_left 1L 63) = 0L;
+  }
+
+let top : Pte.perm = { writable = true; user = true; executable = true }
+
+let no_record ~level:_ ~table:_ ~perm:_ = ()
+
+(* Walk starting at [table] (a level-[level] table) with [perm] the meet
+   accumulated above it.  [record] is called for every table pointer
+   discovered on the way down — the paging-structure cache fill hook.
+   [levels_walked] counts only the entry reads actually performed, so a
+   resumed walk reports its own (smaller) cost. *)
+let walk_from mem ~record va ~level ~table ~perm =
+  let rec go level table_base perm walked =
+    let index =
+      match level with
+      | 4 -> Addr.l4_index va
+      | 3 -> Addr.l3_index va
+      | 2 -> Addr.l2_index va
+      | _ -> Addr.l1_index va
+    in
+    let raw = entry_at mem table_base index in
+    let walked = walked + 1 in
+    match Pte.decode ~level raw with
+    | Pte.Absent -> Error (Not_present { level })
+    | Pte.Table next ->
+        let perm = meet perm (raw_perm raw) in
+        record ~level:(level - 1) ~table:next ~perm;
+        go (level - 1) next perm walked
+    | Pte.Leaf { frame; perm = leaf_perm; huge = _ } ->
+        let page_size, offset =
+          match level with
+          | 3 -> (Addr.huge_page_size, Addr.offset_1g va)
+          | 2 -> (Addr.large_page_size, Addr.offset_2m va)
+          | _ -> (Addr.page_size, Addr.offset_4k va)
+        in
+        Ok
+          {
+            pa = Int64.add frame offset;
+            perm = meet perm leaf_perm;
+            page_size;
+            levels_walked = walked;
+          }
+  in
+  go level table perm 0
+
 let walk mem ~cr3 va =
   if not (Addr.is_canonical va) then Error Non_canonical
-  else begin
-    let raw_perm raw : Pte.perm =
-      {
-        writable = Int64.logand raw 0x2L <> 0L;
-        user = Int64.logand raw 0x4L <> 0L;
-        executable = Int64.logand raw (Int64.shift_left 1L 63) = 0L;
-      }
-    in
-    let top : Pte.perm = { writable = true; user = true; executable = true } in
-    let rec go level table_base perm walked =
-      let index =
-        match level with
-        | 4 -> Addr.l4_index va
-        | 3 -> Addr.l3_index va
-        | 2 -> Addr.l2_index va
-        | _ -> Addr.l1_index va
-      in
-      let raw = entry_at mem table_base index in
-      let walked = walked + 1 in
-      match Pte.decode ~level raw with
-      | Pte.Absent -> Error (Not_present { level })
-      | Pte.Table next -> go (level - 1) next (meet perm (raw_perm raw)) walked
-      | Pte.Leaf { frame; perm = leaf_perm; huge = _ } ->
-          let page_size, offset =
-            match level with
-            | 3 -> (Addr.huge_page_size, Addr.offset_1g va)
-            | 2 -> (Addr.large_page_size, Addr.offset_2m va)
-            | _ -> (Addr.page_size, Addr.offset_4k va)
-          in
-          Ok
-            {
-              pa = Int64.add frame offset;
-              perm = meet perm leaf_perm;
-              page_size;
-              levels_walked = walked;
-            }
-    in
-    go 4 cr3 top 0
-  end
+  else walk_from mem ~record:no_record va ~level:4 ~table:cr3 ~perm:top
 
 let permits (perm : Pte.perm) = function
   | Read -> true
   | Write -> perm.writable
   | Execute -> perm.executable
 
-let translate ?tlb mem ~cr3 access va =
+let translate ?tlb ?pwc mem ~cr3 access va =
+  (* The access check runs after translation completes, whether the
+     translation came from the TLB or a walk, so a Protection fault is
+     not attributable to any particular level: [level] is always 0. *)
   let serve (tr : translation) =
     if permits tr.perm access then Ok tr
     else Error (Protection { level = 0; access })
@@ -109,8 +124,29 @@ let translate ?tlb mem ~cr3 access va =
           page_size = Addr.page_size;
           levels_walked = 0;
         }
-  | None -> (
-      match walk mem ~cr3 va with
+  | None ->
+      let walked =
+        if not (Addr.is_canonical va) then Error Non_canonical
+        else begin
+          let record =
+            match pwc with
+            | None -> no_record
+            | Some pwc ->
+                fun ~level ~table ~perm ->
+                  Pwc.insert pwc ~level va { Pwc.table; perm }
+          in
+          match
+            match pwc with
+            | None -> None
+            | Some pwc -> Pwc.lookup pwc va
+          with
+          | Some (level, { Pwc.table; perm }) ->
+              (* Resume the walk at the deepest cached table. *)
+              walk_from mem ~record va ~level ~table ~perm
+          | None -> walk_from mem ~record va ~level:4 ~table:cr3 ~perm:top
+        end
+      in
+      (match walked with
       | Error _ as e -> e
       | Ok tr ->
           (match tlb with

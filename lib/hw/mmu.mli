@@ -14,7 +14,11 @@ type fault =
   | Not_present of { level : int }
       (** Translation stopped at a non-present entry. *)
   | Protection of { level : int; access : access }
-      (** Entry present but permission denied for the access. *)
+      (** Permission denied for the access.  {!translate} checks the
+          access against the {e effective} permission after translation
+          completes — whether the translation was served from the TLB or
+          by a walk — so the fault is not attributable to any particular
+          level and [level] is always [0] there. *)
   | Non_canonical
       (** The virtual address is not canonical. *)
 
@@ -36,6 +40,7 @@ val walk :
 
 val translate :
   ?tlb:Tlb.t ->
+  ?pwc:Pwc.t ->
   Phys_mem.t ->
   cr3:Addr.paddr ->
   access ->
@@ -43,8 +48,12 @@ val translate :
   (translation, fault) result
 (** Full translation: consult the TLB first when given (4 KiB-granularity
     caching, inserting on miss), then check [access] against the effective
-    permissions.  Note a stale TLB entry is served without a walk — the
-    behaviour unmap must neutralise with [invlpg]. *)
+    permissions.  On a TLB miss, if a paging-structure cache is given the
+    walk resumes at the deepest table it has cached for [va]'s prefix
+    (filling it with the table pointers discovered on the way down), so
+    [levels_walked] reports only the entry reads actually performed.
+    Note a stale TLB or PWC entry is served without (re)validation — the
+    behaviour unmap must neutralise with [invlpg] on both caches. *)
 
 val load : Phys_mem.t -> cr3:Addr.paddr -> Addr.vaddr -> (int64, fault) result
 (** Convenience: translate-for-read then load a u64 at the physical

@@ -14,9 +14,13 @@ let create ~size =
 let size t = Bytes.length t.data
 
 let check t pa width =
-  let i = Int64.to_int pa in
-  if pa < 0L || i + width > Bytes.length t.data then raise (Bad_address pa);
-  i
+  (* Compare in Int64: converting first would let pa >= 2^62 wrap to a
+     negative index and surface as [Invalid_argument] from [Bytes]
+     instead of [Bad_address]. *)
+  let len = Bytes.length t.data in
+  if pa < 0L || Int64.compare pa (Int64.of_int (len - width)) > 0 then
+    raise (Bad_address pa);
+  Int64.to_int pa
 
 let read_u64 t pa =
   if Int64.rem pa 8L <> 0L then raise (Bad_address pa);

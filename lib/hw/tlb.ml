@@ -4,6 +4,7 @@ type t = {
   capacity : int;
   table : (Addr.vaddr, entry) Hashtbl.t;
   order : Addr.vaddr Queue.t; (* insertion order for FIFO eviction *)
+  mutable stale : int; (* invalidated keys still occupying queue slots *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -14,6 +15,7 @@ let create ~capacity =
     capacity;
     table = Hashtbl.create capacity;
     order = Queue.create ();
+    stale = 0;
     hits = 0;
     misses = 0;
   }
@@ -33,8 +35,39 @@ let rec evict_one t =
     let victim = Queue.pop t.order in
     (* The queue can hold keys already invalidated; skip them. *)
     if Hashtbl.mem t.table victim then Hashtbl.remove t.table victim
-    else evict_one t
+    else begin
+      t.stale <- t.stale - 1;
+      evict_one t
+    end
   end
+
+(* Rebuild the FIFO keeping, for each live key, its most recent queue
+   position; drops all stale copies.  Bounds the queue at
+   O(capacity) even when the same hot page is invalidated and
+   re-inserted forever — without this, each invlpg/insert cycle leaves
+   one more stale copy behind and stale copies only drain on eviction,
+   which a non-full TLB never performs. *)
+let compact t =
+  let keys = Array.make (Queue.length t.order) 0L in
+  let n = ref 0 in
+  Queue.iter
+    (fun k ->
+      keys.(!n) <- k;
+      incr n)
+    t.order;
+  Queue.clear t.order;
+  let seen = Hashtbl.create (Hashtbl.length t.table) in
+  let keep = Array.make !n false in
+  for i = !n - 1 downto 0 do
+    if Hashtbl.mem t.table keys.(i) && not (Hashtbl.mem seen keys.(i)) then begin
+      Hashtbl.add seen keys.(i) ();
+      keep.(i) <- true
+    end
+  done;
+  for i = 0 to !n - 1 do
+    if keep.(i) then Queue.push keys.(i) t.order
+  done;
+  t.stale <- 0
 
 let insert t va e =
   let key = Addr.vpage_4k va in
@@ -49,11 +82,18 @@ let insert t va e =
     Queue.push key t.order
   end
 
-let invlpg t va = Hashtbl.remove t.table (Addr.vpage_4k va)
+let invlpg t va =
+  let key = Addr.vpage_4k va in
+  if Hashtbl.mem t.table key then begin
+    Hashtbl.remove t.table key;
+    t.stale <- t.stale + 1;
+    if t.stale > t.capacity then compact t
+  end
 
 let flush t =
   Hashtbl.reset t.table;
-  Queue.clear t.order
+  Queue.clear t.order;
+  t.stale <- 0
 
 let entry_count t = Hashtbl.length t.table
 let queue_length t = Queue.length t.order

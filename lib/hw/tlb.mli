@@ -33,8 +33,10 @@ val entry_count : t -> int
 val queue_length : t -> int
 (** Length of the internal FIFO bookkeeping queue.  Exceeds
     {!entry_count} only by the number of invalidated-but-not-yet-evicted
-    keys; repeated insertion of cached pages must not grow it
-    (regression hook). *)
+    keys, which is itself bounded by the capacity: repeated insertion of
+    cached pages must not grow it, and repeated [invlpg] + re-[insert]
+    cycles on the same hot page compact the queue once the stale copies
+    outnumber the capacity (regression hooks). *)
 
 val hits : t -> int
 val misses : t -> int

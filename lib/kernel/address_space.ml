@@ -31,11 +31,48 @@ let create ~mem ~frames =
 
 let cr3 t = Bi_pt.Page_table.root (Pt_verified.inner t.pt)
 
+let finish_mmap t ~base ~pages frames =
+  t.regions <- { base; pages; frames } :: t.regions;
+  t.next_va <- Int64.add base (Int64.of_int (pages * page_i));
+  Ok base
+
+(* Fast path for multi-page regions: one contiguous frame run mapped with a
+   single batched [map_range] descent instead of [pages] root-to-leaf
+   walks.  Falls back to the per-page path when physical memory is too
+   fragmented for a contiguous run. *)
+let mmap_batched t ~base ~pages =
+  match Frame_alloc.alloc_contiguous t.frames pages with
+  | exception Frame_alloc.Out_of_frames -> None
+  | first ->
+      let frame_at i = Int64.add first (Int64.mul (Int64.of_int i) page) in
+      for i = 0 to pages - 1 do
+        Phys_mem.zero_frame t.mem (frame_at i)
+      done;
+      Some
+        (match
+           Pt_verified.map_range t.pt ~va:base ~frame:first ~pages
+             ~perm:Pte.user_rw
+         with
+        | Ok () -> finish_mmap t ~base ~pages (List.init pages frame_at)
+        | Error (failed, _) ->
+            (* Unmap the successfully-mapped prefix, release the whole
+               run.  [next_va] only ever grows, so this cannot happen for
+               a fresh region, but stay defensive. *)
+            (match Pt_verified.unmap_range t.pt ~va:base ~pages:failed with
+            | Ok _ | Error _ -> ());
+            for i = 0 to pages - 1 do
+              Frame_alloc.free t.frames (frame_at i)
+            done;
+            Error Sysabi.E_nomem)
+
 let mmap t ~bytes =
   if bytes <= 0 then Error Sysabi.E_inval
   else begin
     let pages = (bytes + page_i - 1) / page_i in
     let base = t.next_va in
+    match if pages > 1 then mmap_batched t ~base ~pages else None with
+    | Some result -> result
+    | None ->
     let rec map_pages i acc =
       if i >= pages then Ok (List.rev acc)
       else begin
@@ -53,10 +90,7 @@ let mmap t ~bytes =
       end
     in
     match map_pages 0 [] with
-    | Ok frames ->
-        t.regions <- { base; pages; frames } :: t.regions;
-        t.next_va <- Int64.add base (Int64.of_int (pages * page_i));
-        Ok base
+    | Ok frames -> finish_mmap t ~base ~pages frames
     | Error partial ->
         (* Roll back the pages mapped so far. *)
         List.iteri
@@ -76,29 +110,32 @@ let munmap t ~va =
   match find_region t va with
   | None -> Error Sysabi.E_inval
   | Some r ->
-      for i = 0 to r.pages - 1 do
-        let page_va = Int64.add r.base (Int64.of_int (i * page_i)) in
-        match Pt_verified.unmap t.pt ~va:page_va with
-        | Ok frame -> Frame_alloc.free t.frames frame
-        | Error _ -> ()
-      done;
+      (match Pt_verified.unmap_range t.pt ~va:r.base ~pages:r.pages with
+      | Ok frames -> List.iter (Frame_alloc.free t.frames) frames
+      | Error (failed, _) ->
+          (* A hole inside the region (should not happen through this
+             API): the batched call unmapped pages [0, failed) but
+             reports no frames, so recover them from the region record
+             and finish page-by-page past the hole. *)
+          List.iteri
+            (fun i frame -> if i < failed then Frame_alloc.free t.frames frame)
+            r.frames;
+          for i = failed + 1 to r.pages - 1 do
+            let page_va = Int64.add r.base (Int64.of_int (i * page_i)) in
+            match Pt_verified.unmap t.pt ~va:page_va with
+            | Ok frame -> Frame_alloc.free t.frames frame
+            | Error _ -> ()
+          done);
       t.regions <- List.filter (fun x -> x.base <> va) t.regions;
       Ok ()
 
 let protect t ~va ~perm =
   match find_region t va with
   | None -> Error Sysabi.E_inval
-  | Some r ->
-      let rec go i =
-        if i >= r.pages then Ok ()
-        else begin
-          let page_va = Int64.add r.base (Int64.of_int (i * page_i)) in
-          match Pt_verified.protect t.pt ~va:page_va ~perm with
-          | Ok () -> go (i + 1)
-          | Error _ -> Error Sysabi.E_fault
-        end
-      in
-      go 0
+  | Some r -> (
+      match Pt_verified.protect_range t.pt ~va:r.base ~pages:r.pages ~perm with
+      | Ok () -> Ok ()
+      | Error _ -> Error Sysabi.E_fault)
 
 let resolve t ~va =
   match Pt_verified.resolve t.pt ~va with

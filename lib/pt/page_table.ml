@@ -172,6 +172,219 @@ let resolve t ~va =
     walk ~level:4 t.root
   end
 
+(* ------------------------------------------------------------------ *)
+(* Batched range operations.
+
+   Specified as the per-page fold in {!Pt_spec} (map_range & friends) but
+   implemented with one descent per 2 MiB subtree followed by a sweep of
+   consecutive L1 slots, so a 512-page batch costs ~1 entry write per
+   page instead of 4+ reads per page.  A chunk never crosses an L1-table
+   boundary, and the canonical hole at 2^47 is 1 GiB-aligned, so one
+   canonicality check per chunk decides for every page in it. *)
+
+let chunk_bytes n = Int64.mul (Int64.of_int n) Addr.page_size
+
+(* Descend to the L1 table covering [va], allocating intermediate tables
+   as for [map].  [fresh] in the result means this descent allocated the
+   L1 table, so every slot in it is known Absent without reading.  When
+   [full] (the chunk will write all 512 slots) a fresh L1 table is taken
+   from the allocator without the 512-store zeroing memset — every slot
+   is overwritten by the sweep before anything reads it.  An
+   [Already_mapped] error can only arise before any allocation (fresh
+   tables are empty, so the first blocking Leaf is met on the
+   pre-existing path), hence errors leak nothing. *)
+let rec descend_range t ~level table va ~full =
+  let index = index_for ~level va in
+  match read_entry t ~level table index with
+  | Pte.Leaf _ -> Error Pt_spec.Already_mapped
+  | Pte.Table next ->
+      if level = 2 then Ok (next, false)
+      else descend_range t ~level:(level - 1) next va ~full
+  | Pte.Absent ->
+      let next =
+        if level = 2 && full then Frame_alloc.alloc t.frames
+        else Frame_alloc.alloc_zeroed t.frames
+      in
+      t.table_count <- t.table_count + 1;
+      Hashtbl.replace t.live next 0;
+      write_entry t table index (Pte.Table next);
+      bump_live t table 1;
+      if level = 2 then Ok (next, true)
+      else descend_range t ~level:(level - 1) next va ~full
+
+let map_range t ~va ~frame ~pages ~perm =
+  if pages < 0 then invalid_arg "Page_table.map_range: pages < 0";
+  if pages = 0 then Ok ()
+  else if not (Addr.is_canonical va) then Error (0, Pt_spec.Non_canonical)
+  else if
+    (not (Addr.is_aligned va Addr.page_size))
+    || not (Addr.is_aligned frame Addr.page_size)
+  then Error (0, Pt_spec.Misaligned)
+  else begin
+    let rec chunks va frame idx left =
+      if left = 0 then Ok ()
+      else if not (Addr.is_canonical va) then Error (idx, Pt_spec.Non_canonical)
+      else begin
+        let l1 = Addr.l1_index va in
+        let n = min left (Addr.entries_per_table - l1) in
+        let full = n = Addr.entries_per_table in
+        match descend_range t ~level:4 t.root va ~full with
+        | Error e -> Error (idx, e)
+        | Ok (table, fresh) -> (
+            let written = ref 0 in
+            let rec sweep k =
+              if k >= n then Ok ()
+              else begin
+                let slot = l1 + k in
+                let free =
+                  fresh
+                  ||
+                  match read_entry t ~level:1 table slot with
+                  | Pte.Absent -> true
+                  | Pte.Leaf _ | Pte.Table _ -> false
+                in
+                if not free then Error (idx + k, Pt_spec.Already_mapped)
+                else begin
+                  let f = Int64.add frame (chunk_bytes k) in
+                  write_entry t table slot
+                    (Pte.Leaf { frame = f; perm; huge = false });
+                  incr written;
+                  sweep (k + 1)
+                end
+              end
+            in
+            let res = sweep 0 in
+            bump_live t table !written;
+            match res with
+            | Error _ as e -> e
+            | Ok () ->
+                chunks
+                  (Int64.add va (chunk_bytes n))
+                  (Int64.add frame (chunk_bytes n))
+                  (idx + n) (left - n))
+      end
+    in
+    chunks va frame 0 pages
+  end
+
+(* Read-only descent for unmap/protect sweeps, also collecting the
+   parent chain (nearest first) so emptied tables can be reclaimed
+   upward without re-walking. *)
+let rec path_to_l1 t ~level table va chain =
+  let index = index_for ~level va in
+  match read_entry t ~level table index with
+  | Pte.Absent -> `Absent
+  | Pte.Leaf { frame; perm = _; huge = _ } ->
+      `Big_leaf (level, frame, table, index, chain)
+  | Pte.Table next ->
+      let chain = (table, index) :: chain in
+      if level = 2 then `L1 (next, chain)
+      else path_to_l1 t ~level:(level - 1) next va chain
+
+(* Free [child] and its newly-emptied ancestors, mirroring the
+   reclamation in [scan_unmap]; the root (empty [chain]) stays. *)
+let rec reclaim_up t chain child =
+  if live_count t child = 0 then
+    match chain with
+    | [] -> ()
+    | (parent, index) :: rest ->
+        write_entry t parent index Pte.Absent;
+        bump_live t parent (-1);
+        Hashtbl.remove t.live child;
+        Frame_alloc.free t.frames child;
+        t.table_count <- t.table_count - 1;
+        reclaim_up t rest parent
+
+let unmap_range t ~va ~pages =
+  if pages < 0 then invalid_arg "Page_table.unmap_range: pages < 0";
+  if pages = 0 then Ok []
+  else begin
+    let rec chunks va idx left frames_acc =
+      if left = 0 then Ok (List.rev frames_acc)
+      else if not (Addr.is_canonical va) then Error (idx, Pt_spec.Non_canonical)
+      else begin
+        let l1 = Addr.l1_index va in
+        let n = min left (Addr.entries_per_table - l1) in
+        match path_to_l1 t ~level:4 t.root va [] with
+        | `Absent -> Error (idx, Pt_spec.Not_mapped)
+        | `Big_leaf (level, frame, table, index, chain) ->
+            (* The per-page fold unmaps a 2 MiB/1 GiB mapping only when
+               the page is its exact base; the following page (if the
+               range continues) then lands in freshly unmapped territory
+               and fails. *)
+            if Addr.is_aligned va (size_of_level level) then begin
+              write_entry t table index Pte.Absent;
+              bump_live t table (-1);
+              reclaim_up t chain table;
+              if n = 1 && left = 1 then Ok (List.rev (frame :: frames_acc))
+              else Error (idx + 1, Pt_spec.Not_mapped)
+            end
+            else Error (idx, Pt_spec.Not_mapped)
+        | `L1 (table, chain) -> (
+            let removed = ref 0 in
+            let rec sweep k acc =
+              if k >= n then Ok acc
+              else
+                match read_entry t ~level:1 table (l1 + k) with
+                | Pte.Absent -> Error (idx + k, Pt_spec.Not_mapped)
+                | Pte.Table _ -> assert false (* no tables at level 1 *)
+                | Pte.Leaf { frame; perm = _; huge = _ } ->
+                    write_entry t table (l1 + k) Pte.Absent;
+                    incr removed;
+                    sweep (k + 1) (frame :: acc)
+            in
+            let res = sweep 0 frames_acc in
+            bump_live t table (- !removed);
+            reclaim_up t chain table;
+            match res with
+            | Error _ as e -> e
+            | Ok acc -> chunks (Int64.add va (chunk_bytes n)) (idx + n) (left - n) acc)
+      end
+    in
+    chunks va 0 pages []
+  end
+
+let protect_range t ~va ~pages ~perm =
+  if pages < 0 then invalid_arg "Page_table.protect_range: pages < 0";
+  if pages = 0 then Ok ()
+  else begin
+    let rec chunks va idx left =
+      if left = 0 then Ok ()
+      else if not (Addr.is_canonical va) then Error (idx, Pt_spec.Non_canonical)
+      else begin
+        let l1 = Addr.l1_index va in
+        let n = min left (Addr.entries_per_table - l1) in
+        match path_to_l1 t ~level:4 t.root va [] with
+        | `Absent -> Error (idx, Pt_spec.Not_mapped)
+        | `Big_leaf (level, frame, table, index, _chain) ->
+            (* Exact-base requirement, as for unmap_range; protecting the
+               whole large mapping leaves the next page (if any) inside
+               it but not at its base, which the per-page fold rejects. *)
+            if Addr.is_aligned va (size_of_level level) then begin
+              write_entry t table index (Pte.Leaf { frame; perm; huge = true });
+              if n = 1 && left = 1 then Ok ()
+              else Error (idx + 1, Pt_spec.Not_mapped)
+            end
+            else Error (idx, Pt_spec.Not_mapped)
+        | `L1 (table, _chain) -> (
+            let rec sweep k =
+              if k >= n then Ok ()
+              else
+                match read_entry t ~level:1 table (l1 + k) with
+                | Pte.Absent -> Error (idx + k, Pt_spec.Not_mapped)
+                | Pte.Table _ -> assert false (* no tables at level 1 *)
+                | Pte.Leaf { frame; perm = _; huge } ->
+                    write_entry t table (l1 + k) (Pte.Leaf { frame; perm; huge });
+                    sweep (k + 1)
+            in
+            match sweep 0 with
+            | Error _ as e -> e
+            | Ok () -> chunks (Int64.add va (chunk_bytes n)) (idx + n) (left - n))
+      end
+    in
+    chunks va 0 pages
+  end
+
 let view t =
   let acc = ref [] in
   let rec walk_table ~level table va_prefix =

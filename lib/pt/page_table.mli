@@ -46,6 +46,48 @@ val protect :
     (mprotect).  The caller is responsible for the TLB shootdown, as with
     unmap. *)
 
+(** {1 Batched range operations}
+
+    Each is specified as the per-page fold of the corresponding single-
+    page 4 KiB operation (see {!Pt_spec.map_range} & friends) but
+    descends the tree once per shared 2 MiB subtree and sweeps the
+    consecutive L1 slots, amortizing the walk to ~1 entry write per page
+    instead of 4+ reads.  On error, the result carries the index of the
+    first failing page; the effects of the earlier pages are kept (each
+    page is all-or-nothing, the range is not).  All raise
+    [Invalid_argument] on [pages < 0] and are no-ops on [pages = 0]. *)
+
+val map_range :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  frame:Bi_hw.Addr.paddr ->
+  pages:int ->
+  perm:Bi_hw.Pte.perm ->
+  (unit, int * Pt_spec.err) result
+(** Map [pages] consecutive 4 KiB pages at [va] to consecutive frames
+    starting at [frame].  A fresh, fully-covered L1 table is taken
+    unzeroed from the allocator (all 512 slots are overwritten), saving
+    the 512-store memset a per-page loop pays. *)
+
+val unmap_range :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  pages:int ->
+  (Bi_hw.Addr.paddr list, int * Pt_spec.err) result
+(** Unmap [pages] consecutive 4 KiB pages, returning the freed frames in
+    page order and reclaiming emptied tables.  On error, frames freed by
+    the earlier pages are {e not} returned — per the spec fold, the
+    caller tracks them.  The caller is responsible for TLB/PWC
+    invalidation of every unmapped page, as with {!unmap}. *)
+
+val protect_range :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  pages:int ->
+  perm:Bi_hw.Pte.perm ->
+  (unit, int * Pt_spec.err) result
+(** Rewrite permissions of [pages] consecutive 4 KiB pages. *)
+
 val view : t -> Pt_spec.state
 (** Abstraction function: read the radix tree out of physical memory into
     the high-level spec's mathematical map.  This is the arrow of the

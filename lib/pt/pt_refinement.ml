@@ -903,6 +903,589 @@ let ghost_vcs () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Extension suite: batched range operations refine the per-page fold.
+   Registered as its own verify suite ("ptb"), outside the paper's 220. *)
+
+type range_op =
+  | RMap of {
+      va : Addr.vaddr;
+      frame : Addr.paddr;
+      pages : int;
+      perm : Pte.perm;
+    }
+  | RUnmap of { va : Addr.vaddr; pages : int }
+  | RProtect of { va : Addr.vaddr; pages : int; perm : Pte.perm }
+  | Single of Pt_spec.op
+
+let equal_unit_res a b =
+  match (a, b) with
+  | Ok (), Ok () -> true
+  | Error (i, e), Error (j, f) -> i = j && e = f
+  | (Ok _ | Error _), _ -> false
+
+let equal_frames_res a b =
+  match (a, b) with
+  | Ok xs, Ok ys ->
+      List.length xs = List.length ys && List.for_all2 Int64.equal xs ys
+  | Error (i, e), Error (j, f) -> i = j && e = f
+  | (Ok _ | Error _), _ -> false
+
+(* Run a script of batched and single operations, requiring after every
+   step that the implementation's result matches the spec fold, the
+   memory view matches the spec state, and the tree stays well-formed
+   (the all-or-nothing-per-page obligation is exactly the view equality
+   on mid-range error steps). *)
+let run_range_script ops () =
+  let pt = fresh_pt ~bytes:big_mem_bytes () in
+  let rec go step spec = function
+    | [] -> Vc.Proved
+    | op :: rest -> (
+        let outcome =
+          match op with
+          | RMap { va; frame; pages; perm } ->
+              let spec', expected =
+                Pt_spec.map_range spec ~va ~frame ~pages ~perm
+              in
+              let got = Page_table.map_range pt ~va ~frame ~pages ~perm in
+              (spec', equal_unit_res got expected, "map_range")
+          | RUnmap { va; pages } ->
+              let spec', expected = Pt_spec.unmap_range spec ~va ~pages in
+              let got = Page_table.unmap_range pt ~va ~pages in
+              (spec', equal_frames_res got expected, "unmap_range")
+          | RProtect { va; pages; perm } ->
+              let spec', expected =
+                Pt_spec.protect_range spec ~va ~pages ~perm
+              in
+              let got = Page_table.protect_range pt ~va ~pages ~perm in
+              (spec', equal_unit_res got expected, "protect_range")
+          | Single op -> (
+              match Pt_spec.step spec op with
+              | Some (spec', expected) ->
+                  let got = Impl.step pt op in
+                  (spec', Pt_spec.equal_ret got expected, "single op")
+              | None -> (spec, false, "spec disabled"))
+        in
+        let spec', ret_ok, label = outcome in
+        let fail what =
+          Vc.Falsified (Printf.sprintf "step %d (%s): %s" step label what)
+        in
+        if not ret_ok then fail "result diverges from per-page fold"
+        else if not (Pt_spec.equal_state (Page_table.view pt) spec') then
+          fail "memory view diverges from spec state"
+        else if not (Page_table.well_formed pt) then
+          fail "tree no longer well-formed"
+        else go (step + 1) spec' rest)
+  in
+  go 0 Pt_spec.empty ops
+
+let range_scripted_vcs () =
+  let vc id category ops = Vc.make ~id ~category (run_range_script ops) in
+  let urw = Pte.user_rw in
+  let f0 = 0x10_0000L in
+  let hole_lo = 0x7FFF_FFFF_E000L (* last pages below the canonical hole *) in
+  [
+    (* map_range *)
+    vc "ptb/map/within-one-l1" "batch/map"
+      [ RMap { va = va_at ~l1:3 (); frame = f0; pages = 5; perm = urw } ];
+    vc "ptb/map/cross-l1-boundary" "batch/map"
+      [ RMap { va = va_at ~l1:510 (); frame = f0; pages = 5; perm = urw } ];
+    vc "ptb/map/cross-l2-boundary" "batch/map"
+      [
+        RMap
+          { va = va_at ~l2:511 ~l1:510 (); frame = f0; pages = 5; perm = urw };
+      ];
+    vc "ptb/map/cross-l3-boundary" "batch/map"
+      [
+        RMap
+          {
+            va = va_at ~l3:511 ~l2:511 ~l1:510 ();
+            frame = f0;
+            pages = 5;
+            perm = urw;
+          };
+      ];
+    vc "ptb/map/full-l1-chunk" "batch/map"
+      [ RMap { va = va_at ~l2:2 (); frame = f0; pages = 512; perm = urw } ];
+    vc "ptb/map/mid-range-already-mapped" "batch/map"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l1:7 ()) ~frame:0x80_0000L
+                  ~size:Addr.page_size ());
+        (* fails at index 3 with pages 0-2 kept mapped *)
+        RMap { va = va_at ~l1:4 (); frame = f0; pages = 8; perm = urw };
+      ];
+    vc "ptb/map/blocked-by-2m-leaf" "batch/map"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+                  ~size:Addr.large_page_size ());
+        (* slots 510-511 of the first L1 succeed; the next chunk's
+           descent hits the 2 MiB leaf *)
+        RMap { va = va_at ~l2:0 ~l1:510 (); frame = f0; pages = 8; perm = urw };
+      ];
+    vc "ptb/map/misaligned-va" "batch/map"
+      [
+        RMap
+          {
+            va = Int64.add (va_at ~l1:1 ()) 0x10L;
+            frame = f0;
+            pages = 3;
+            perm = urw;
+          };
+      ];
+    vc "ptb/map/misaligned-frame" "batch/map"
+      [
+        RMap
+          {
+            va = va_at ~l1:1 ();
+            frame = Int64.add f0 0x10L;
+            pages = 3;
+            perm = urw;
+          };
+      ];
+    vc "ptb/map/non-canonical" "batch/map"
+      [ RMap { va = non_canonical_va; frame = f0; pages = 3; perm = urw } ];
+    vc "ptb/map/crosses-canonical-hole" "batch/map"
+      [
+        (* pages 0-1 land below 2^47, page 2 is non-canonical; the fold
+           keeps the first two mapped *)
+        RMap { va = hole_lo; frame = f0; pages = 4; perm = urw };
+      ];
+    vc "ptb/map/zero-pages" "batch/map"
+      [ RMap { va = va_at ~l1:1 (); frame = f0; pages = 0; perm = urw } ];
+    (* unmap_range *)
+    vc "ptb/unmap/exact-range" "batch/unmap"
+      [
+        RMap { va = va_at ~l1:2 (); frame = f0; pages = 6; perm = urw };
+        RUnmap { va = va_at ~l1:2 (); pages = 6 };
+      ];
+    vc "ptb/unmap/cross-l1-boundary" "batch/unmap"
+      [
+        RMap { va = va_at ~l1:510 (); frame = f0; pages = 4; perm = urw };
+        RUnmap { va = va_at ~l1:510 (); pages = 4 };
+      ];
+    vc "ptb/unmap/mid-range-hole" "batch/unmap"
+      [
+        RMap { va = va_at ~l1:0 (); frame = f0; pages = 3; perm = urw };
+        RMap { va = va_at ~l1:4 (); frame = f0; pages = 2; perm = urw };
+        (* fails at index 3; pages 0-2 are unmapped by then *)
+        RUnmap { va = va_at ~l1:0 (); pages = 6 };
+      ];
+    vc "ptb/unmap/partial-prefix" "batch/unmap"
+      [
+        RMap { va = va_at ~l1:0 (); frame = f0; pages = 8; perm = urw };
+        RUnmap { va = va_at ~l1:2 (); pages = 3 };
+        Single (Pt_spec.Resolve { va = va_at ~l1:1 () });
+        Single (Pt_spec.Resolve { va = va_at ~l1:3 () });
+      ];
+    vc "ptb/unmap/2m-leaf-at-base" "batch/unmap"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+                  ~size:Addr.large_page_size ());
+        (* page 0 unmaps the whole 2 MiB mapping; page 1 then faults *)
+        RUnmap { va = va_at ~l2:1 (); pages = 2 };
+      ];
+    vc "ptb/unmap/2m-leaf-single-page" "batch/unmap"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+                  ~size:Addr.large_page_size ());
+        RUnmap { va = va_at ~l2:1 (); pages = 1 };
+      ];
+    vc "ptb/unmap/inside-2m-not-base" "batch/unmap"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+                  ~size:Addr.large_page_size ());
+        RUnmap { va = va_at ~l2:1 ~l1:1 (); pages = 1 };
+      ];
+    vc "ptb/unmap/1g-leaf-at-base" "batch/unmap"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l3:1 ())
+                  ~frame:Addr.huge_page_size ~size:Addr.huge_page_size ());
+        RUnmap { va = va_at ~l3:1 (); pages = 2 };
+      ];
+    vc "ptb/unmap/not-mapped" "batch/unmap"
+      [ RUnmap { va = va_at ~l1:9 (); pages = 2 } ];
+    vc "ptb/unmap/non-canonical" "batch/unmap"
+      [ RUnmap { va = non_canonical_va; pages = 2 } ];
+    vc "ptb/unmap/remap-after-range" "batch/unmap"
+      [
+        RMap { va = va_at ~l1:0 (); frame = f0; pages = 4; perm = urw };
+        RUnmap { va = va_at ~l1:0 (); pages = 4 };
+        RMap { va = va_at ~l1:0 (); frame = 0x80_0000L; pages = 4; perm = urw };
+        Single (Pt_spec.Resolve { va = va_at ~l1:2 () });
+      ];
+    (* protect_range *)
+    vc "ptb/protect/exact-range" "batch/protect"
+      [
+        RMap { va = va_at ~l1:2 (); frame = f0; pages = 6; perm = urw };
+        RProtect { va = va_at ~l1:2 (); pages = 6; perm = Pte.ro };
+        Single (Pt_spec.Resolve { va = va_at ~l1:3 () });
+      ];
+    vc "ptb/protect/cross-l1-boundary" "batch/protect"
+      [
+        RMap { va = va_at ~l1:510 (); frame = f0; pages = 4; perm = urw };
+        RProtect { va = va_at ~l1:510 (); pages = 4; perm = Pte.user_rx };
+      ];
+    vc "ptb/protect/mid-range-hole" "batch/protect"
+      [
+        RMap { va = va_at ~l1:0 (); frame = f0; pages = 3; perm = urw };
+        (* fails at index 3 with pages 0-2 already re-protected *)
+        RProtect { va = va_at ~l1:0 (); pages = 5; perm = Pte.ro };
+        Single (Pt_spec.Resolve { va = va_at ~l1:1 () });
+      ];
+    vc "ptb/protect/2m-leaf-at-base" "batch/protect"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+                  ~size:Addr.large_page_size ());
+        RProtect { va = va_at ~l2:1 (); pages = 2; perm = Pte.ro };
+        Single (Pt_spec.Resolve { va = va_at ~l2:1 ~l1:1 () });
+      ];
+    vc "ptb/protect/inside-2m-not-base" "batch/protect"
+      [
+        Single (mk_map ~perm:urw ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+                  ~size:Addr.large_page_size ());
+        RProtect { va = va_at ~l2:1 ~l1:1 (); pages = 1; perm = Pte.ro };
+      ];
+    vc "ptb/protect/not-mapped" "batch/protect"
+      [ RProtect { va = va_at ~l1:9 (); pages = 2; perm = Pte.ro } ];
+  ]
+
+let range_reclaim_vcs () =
+  let vc id f = Vc.prop ~id ~category:"batch/reclaim" f in
+  [
+    vc "ptb/reclaim/unmap-range-reclaims-tables" (fun () ->
+        let pt = fresh_pt () in
+        Page_table.map_range pt ~va:(va_at ~l1:510 ()) ~frame:0x20_0000L
+          ~pages:4 ~perm:Pte.user_rw
+        = Ok ()
+        (* root + L3 + L2 + two L1 tables *)
+        && Page_table.table_frames pt = 5
+        && (match Page_table.unmap_range pt ~va:(va_at ~l1:510 ()) ~pages:4 with
+           | Ok frames -> List.length frames = 4
+           | Error _ -> false)
+        && Page_table.table_frames pt = 1);
+    vc "ptb/reclaim/partial-unmap-keeps-shared" (fun () ->
+        let pt = fresh_pt () in
+        Page_table.map_range pt ~va:(va_at ~l1:510 ()) ~frame:0x20_0000L
+          ~pages:4 ~perm:Pte.user_rw
+        = Ok ()
+        (* dropping only the second L1's pages reclaims just that table *)
+        && (match Page_table.unmap_range pt ~va:(va_at ~l2:1 ~l1:0 ()) ~pages:2 with
+           | Ok frames -> List.length frames = 2
+           | Error _ -> false)
+        && Page_table.table_frames pt = 4
+        && Page_table.well_formed pt);
+    vc "ptb/reclaim/error-midway-still-reclaims-prefix" (fun () ->
+        let pt = fresh_pt () in
+        Page_table.map_range pt ~va:(va_at ~l1:511 ()) ~frame:0x20_0000L
+          ~pages:1 ~perm:Pte.user_rw
+        = Ok ()
+        && Page_table.table_frames pt = 4
+        (* page 0 unmaps and empties the first L1; page 1 (next chunk)
+           fails, but the emptied table must already be reclaimed *)
+        && Page_table.unmap_range pt ~va:(va_at ~l1:511 ()) ~pages:2
+           = Error (1, Pt_spec.Not_mapped)
+        && Page_table.table_frames pt = 1
+        && Page_table.well_formed pt);
+  ]
+
+(* The tentpole's headline obligation: a 512-page batch against a warm
+   upper path costs at least 3x fewer hardware-memory accesses than 512
+   single maps of the same pages. *)
+let range_access_count_vcs () =
+  [
+    Vc.prop ~id:"ptb/perf/512-batch-3x-fewer-accesses" ~category:"batch/perf"
+      (fun () ->
+        let accesses f =
+          let pt = fresh_pt ~bytes:big_mem_bytes () in
+          (* Warm the shared upper path (L4/L3/L2) with a guard page in a
+             sibling L2 subtree, so both sides measure steady-state work,
+             not first-touch table construction. *)
+          (match
+             Page_table.map pt ~va:(va_at ~l2:1 ()) ~frame:0x80_0000L
+               ~size:Addr.page_size ~perm:Pte.user_rw
+           with
+          | Ok () -> ()
+          | Error _ -> failwith "guard map failed");
+          let mem = Page_table.mem pt in
+          Phys_mem.reset_counters mem;
+          f pt;
+          Phys_mem.loads mem + Phys_mem.stores mem
+        in
+        let single =
+          accesses (fun pt ->
+              for i = 0 to 511 do
+                match
+                  Page_table.map pt ~va:(va_at ~l2:2 ~l1:i ())
+                    ~frame:
+                      (Int64.add 0x100_0000L
+                         (Int64.mul (Int64.of_int i) Addr.page_size))
+                    ~size:Addr.page_size ~perm:Pte.user_rw
+                with
+                | Ok () -> ()
+                | Error _ -> failwith "single map failed"
+              done)
+        in
+        let batched =
+          accesses (fun pt ->
+              match
+                Page_table.map_range pt ~va:(va_at ~l2:2 ()) ~frame:0x100_0000L
+                  ~pages:512 ~perm:Pte.user_rw
+              with
+              | Ok () -> ()
+              | Error _ -> failwith "map_range failed")
+        in
+        single >= 3 * batched);
+  ]
+
+let gen_range_op g =
+  let l3 = Gen.oneof g [ 0; 1 ] in
+  let l2 = Gen.oneof g [ 0; 1 ] in
+  let l1 = Gen.oneof g [ 0; 1; 2; 3; 510; 511 ] in
+  let va = va_at ~l3 ~l2 ~l1 () in
+  let pages = 1 + Gen.int g 5 in
+  let _, perm = List.nth perm_cases (Gen.int g 4) in
+  let frame =
+    Int64.mul (Int64.of_int (1 + Gen.int g 8)) Addr.large_page_size
+  in
+  let roll = Gen.int g 100 in
+  if roll < 35 then RMap { va; frame; pages; perm }
+  else if roll < 55 then RUnmap { va; pages }
+  else if roll < 70 then RProtect { va; pages; perm }
+  else if roll < 80 then
+    Single (mk_map ~perm ~va ~frame ~size:Addr.page_size ())
+  else if roll < 88 then
+    Single (mk_map ~perm ~va:(va_at ~l3 ~l2 ()) ~frame
+              ~size:Addr.large_page_size ())
+  else if roll < 94 then Single (Pt_spec.Unmap { va })
+  else Single (Pt_spec.Resolve { va })
+
+let range_random_vcs () =
+  List.init 8 (fun seed ->
+      let id = Printf.sprintf "ptb/random/%02d" seed in
+      Vc.make ~id ~category:"batch/random" (fun () ->
+          let g = Gen.of_string id in
+          let script = List.init 40 (fun _ -> gen_range_op g) in
+          run_range_script script ()))
+
+let range_vcs () =
+  range_scripted_vcs () @ range_reclaim_vcs () @ range_access_count_vcs ()
+  @ range_random_vcs ()
+
+(* ------------------------------------------------------------------ *)
+(* Extension suite: PWC-enabled translation agrees with the uncached
+   walk.  Registered as its own verify suite ("pwc"). *)
+
+module Pwc = Bi_hw.Pwc
+
+let translate_agrees a b =
+  match (a, b) with
+  | Ok (x : Mmu.translation), Ok (y : Mmu.translation) ->
+      x.Mmu.pa = y.Mmu.pa
+      && x.Mmu.page_size = y.Mmu.page_size
+      && Pte.equal_perm x.Mmu.perm y.Mmu.perm
+  | Error f, Error g -> Mmu.equal_fault f g
+  | (Ok _ | Error _), _ -> false
+
+let pwc_unit_vcs () =
+  let vc id f = Vc.prop ~id ~category:"pwc/unit" f in
+  let setup ?(pwc_capacity = 8) () =
+    let pt = fresh_pt ~bytes:big_mem_bytes () in
+    (pt, Pwc.create ~capacity:pwc_capacity)
+  in
+  let tr ?tlb ?pwc pt access va =
+    Mmu.translate ?tlb ?pwc (Page_table.mem pt) ~cr3:(Page_table.root pt)
+      access va
+  in
+  let map4k pt ~va ~frame =
+    Page_table.map pt ~va ~frame ~size:Addr.page_size ~perm:Pte.user_rw
+    = Ok ()
+  in
+  let walked n = function
+    | Ok (t : Mmu.translation) -> t.Mmu.levels_walked = n
+    | Error _ -> false
+  in
+  [
+    vc "pwc/resume-at-pde" (fun () ->
+        let pt, pwc = setup () in
+        map4k pt ~va:(va_at ~l1:1 ()) ~frame:0x10_0000L
+        && map4k pt ~va:(va_at ~l1:2 ()) ~frame:0x20_0000L
+        (* first translation walks all 4 levels and fills the cache; a
+           sibling in the same L1 table then resumes with 1 read *)
+        && walked 4 (tr ~pwc pt Mmu.Read (va_at ~l1:1 ()))
+        && walked 1 (tr ~pwc pt Mmu.Read (va_at ~l1:2 ())));
+    vc "pwc/resume-at-pdpte" (fun () ->
+        let pt, pwc = setup () in
+        map4k pt ~va:(va_at ~l2:0 ~l1:1 ()) ~frame:0x10_0000L
+        && map4k pt ~va:(va_at ~l2:1 ~l1:0 ()) ~frame:0x20_0000L
+        (* different L2 window, same L3 table: PDPTE hit, 2 reads *)
+        && walked 4 (tr ~pwc pt Mmu.Read (va_at ~l2:0 ~l1:1 ()))
+        && walked 2 (tr ~pwc pt Mmu.Read (va_at ~l2:1 ~l1:0 ())));
+    vc "pwc/map-needs-no-invalidation" (fun () ->
+        let pt, pwc = setup () in
+        map4k pt ~va:(va_at ~l1:1 ()) ~frame:0x10_0000L
+        && walked 4 (tr ~pwc pt Mmu.Read (va_at ~l1:1 ()))
+        (* mapping a new page after the fill: the positive-only cache
+           serves it through the cached L1 pointer, no invlpg needed *)
+        && map4k pt ~va:(va_at ~l1:3 ()) ~frame:0x30_0000L
+        && walked 1 (tr ~pwc pt Mmu.Read (va_at ~l1:3 ())));
+    vc "pwc/stale-resume-without-invlpg" (fun () ->
+        let pt, pwc = setup () in
+        let va = va_at ~l1:1 () in
+        map4k pt ~va ~frame:0x10_0000L
+        && walked 4 (tr ~pwc pt Mmu.Read va)
+        && Page_table.unmap pt ~va = Ok 0x10_0000L
+        (* the L1..L3 tables are reclaimed: the honest walk faults at L4,
+           but the stale PDE pointer resumes into the freed (still
+           zeroed) table and faults at L1 — the staleness the
+           invalidation contract exists to prevent *)
+        && tr pt Mmu.Read va = Error (Mmu.Not_present { level = 4 })
+        && tr ~pwc pt Mmu.Read va = Error (Mmu.Not_present { level = 1 }));
+    vc "pwc/invlpg-restores-agreement" (fun () ->
+        let pt, pwc = setup () in
+        let va = va_at ~l1:1 () in
+        map4k pt ~va ~frame:0x10_0000L
+        && walked 4 (tr ~pwc pt Mmu.Read va)
+        && Page_table.unmap pt ~va = Ok 0x10_0000L
+        && begin
+             Pwc.invlpg pwc va;
+             translate_agrees (tr ~pwc pt Mmu.Read va) (tr pt Mmu.Read va)
+           end);
+    vc "pwc/flush-clears-everything" (fun () ->
+        let pt, pwc = setup () in
+        map4k pt ~va:(va_at ~l1:1 ()) ~frame:0x10_0000L
+        && walked 4 (tr ~pwc pt Mmu.Read (va_at ~l1:1 ()))
+        && Pwc.entry_count pwc = 3
+        && begin
+             Pwc.flush pwc;
+             Pwc.entry_count pwc = 0
+             && walked 4 (tr ~pwc pt Mmu.Read (va_at ~l1:1 ()))
+           end);
+    vc "pwc/capacity-eviction" (fun () ->
+        let pwc = Pwc.create ~capacity:2 in
+        let e = { Pwc.table = 0x1000L; perm = Pte.user_rw } in
+        Pwc.insert pwc ~level:1 (va_at ~l2:0 ()) e;
+        Pwc.insert pwc ~level:1 (va_at ~l2:1 ()) e;
+        Pwc.insert pwc ~level:1 (va_at ~l2:2 ()) e;
+        Pwc.entry_count pwc = 2
+        && Pwc.lookup pwc (va_at ~l2:0 ()) = None);
+    vc "pwc/invlpg-reinsert-queue-bounded" (fun () ->
+        let pwc = Pwc.create ~capacity:4 in
+        let e = { Pwc.table = 0x1000L; perm = Pte.user_rw } in
+        for _ = 1 to 100 do
+          Pwc.invlpg pwc (va_at ~l2:0 ());
+          Pwc.insert pwc ~level:1 (va_at ~l2:0 ()) e
+        done;
+        Pwc.queue_length pwc <= (2 * 4) + 1
+        && Pwc.lookup pwc (va_at ~l2:0 ()) <> None);
+    vc "pwc/ro-still-denied-on-resume" (fun () ->
+        let pt, pwc = setup () in
+        let va1 = va_at ~l1:1 () and va2 = va_at ~l1:2 () in
+        Page_table.map pt ~va:va1 ~frame:0x10_0000L ~size:Addr.page_size
+          ~perm:Pte.user_rw
+        = Ok ()
+        && Page_table.map pt ~va:va2 ~frame:0x20_0000L ~size:Addr.page_size
+             ~perm:Pte.ro
+           = Ok ()
+        && walked 4 (tr ~pwc pt Mmu.Read va1)
+        (* the resumed walk must still meet the leaf's read-only bits *)
+        && tr ~pwc pt Mmu.Write va2
+           = Error (Mmu.Protection { level = 0; access = Mmu.Write }));
+    vc "pwc/tlb-hit-takes-priority" (fun () ->
+        let pt, pwc = setup () in
+        let tlb = Tlb.create ~capacity:16 in
+        let va = va_at ~l1:1 () in
+        map4k pt ~va ~frame:0x10_0000L
+        && walked 4 (tr ~tlb ~pwc pt Mmu.Read va)
+        && walked 0 (tr ~tlb ~pwc pt Mmu.Read va));
+  ]
+
+(* Randomized map/unmap/invlpg histories: after every operation, a
+   PWC-enabled translation of sampled probe addresses must agree with
+   the uncached walk — given the kernel-side contract that every
+   unmapped page gets an invlpg on the PWC, exactly as
+   [Machine.tlb_shootdown] wires it. *)
+let pwc_random_agree_vcs () =
+  List.init 8 (fun seed ->
+      let id = Printf.sprintf "pwc/agree/%02d" seed in
+      Vc.make ~id ~category:"pwc/agree" (fun () ->
+          let g = Gen.of_string id in
+          let pt = fresh_pt ~bytes:big_mem_bytes () in
+          let pwc = Pwc.create ~capacity:8 in
+          let mem = Page_table.mem pt and cr3 = Page_table.root pt in
+          let page_va va i =
+            Int64.add va (Int64.mul (Int64.of_int i) Addr.page_size)
+          in
+          let sample_va g =
+            let l3 = Gen.oneof g [ 0; 1 ] in
+            let l2 = Gen.oneof g [ 0; 1 ] in
+            let l1 = Gen.oneof g [ 0; 1; 2; 3; 510; 511 ] in
+            va_at ~l3 ~l2 ~l1 ()
+          in
+          let apply_op () =
+            let va = sample_va g in
+            let pages = 1 + Gen.int g 4 in
+            let frame =
+              Int64.mul (Int64.of_int (1 + Gen.int g 8)) Addr.large_page_size
+            in
+            let roll = Gen.int g 100 in
+            if roll < 40 then
+              ignore
+                (Page_table.map_range pt ~va ~frame ~pages ~perm:Pte.user_rw)
+            else if roll < 55 then
+              ignore
+                (Page_table.map pt ~va:(Addr.align_down va Addr.large_page_size)
+                   ~frame ~size:Addr.large_page_size ~perm:Pte.user_rw)
+            else begin
+              (* unmap: apply the invalidation contract to every page
+                 that was actually unmapped *)
+              match Page_table.unmap_range pt ~va ~pages with
+              | Ok _ ->
+                  for i = 0 to pages - 1 do
+                    Pwc.invlpg pwc (page_va va i)
+                  done
+              | Error (failed, _) ->
+                  for i = 0 to failed - 1 do
+                    Pwc.invlpg pwc (page_va va i)
+                  done
+            end
+          in
+          let check_probe () =
+            let va = sample_va g in
+            let access = if Gen.int g 2 = 0 then Mmu.Read else Mmu.Write in
+            let cached = Mmu.translate ~pwc mem ~cr3 access va in
+            let honest = Mmu.translate mem ~cr3 access va in
+            if translate_agrees cached honest then None
+            else
+              Some
+                (Format.asprintf "va 0x%Lx: pwc=%s honest=%s" va
+                   (match cached with
+                   | Ok t -> Format.asprintf "0x%Lx" t.Mmu.pa
+                   | Error f -> Format.asprintf "%a" Mmu.pp_fault f)
+                   (match honest with
+                   | Ok t -> Format.asprintf "0x%Lx" t.Mmu.pa
+                   | Error f -> Format.asprintf "%a" Mmu.pp_fault f))
+          in
+          let rec run step =
+            if step >= 50 then Vc.Proved
+            else begin
+              apply_op ();
+              let rec probe k =
+                if k >= 4 then None
+                else
+                  match check_probe () with
+                  | Some msg -> Some msg
+                  | None -> probe (k + 1)
+              in
+              match probe 0 with
+              | Some msg ->
+                  Vc.Falsified (Printf.sprintf "step %d: %s" step msg)
+              | None -> run (step + 1)
+            end
+          in
+          run 0))
+
+let pwc_vcs () = pwc_unit_vcs () @ pwc_random_agree_vcs ()
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   pte_roundtrip_vcs () @ addr_lemma_vcs () @ map_refinement_vcs ()

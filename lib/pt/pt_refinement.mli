@@ -27,3 +27,18 @@ val all : unit -> Bi_core.Vc.t list
 
 val families : unit -> (string * int) list
 (** VC count per category, in suite order. *)
+
+val range_vcs : unit -> Bi_core.Vc.t list
+(** Extension suite (outside the paper's 220; the "ptb" verify suite):
+    the batched {!Page_table.map_range}/[unmap_range]/[protect_range]
+    refine the {!Pt_spec} per-page folds — same results (including the
+    index of a mid-range failure), same final view, all-or-nothing per
+    page — plus table-reclamation obligations and the >= 3x
+    access-count bound for a 512-page batch vs. 512 single maps. *)
+
+val pwc_vcs : unit -> Bi_core.Vc.t list
+(** Extension suite (the "pwc" verify suite): paging-structure-cache
+    unit obligations (resume depth, positive-only fill, staleness and
+    the invlpg contract, eviction bounds) and randomized
+    map/unmap/invlpg histories under which PWC-enabled
+    {!Bi_hw.Mmu.translate} must agree with the uncached walk. *)

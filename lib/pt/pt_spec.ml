@@ -112,6 +112,53 @@ let step st op =
           if not (Addr.is_canonical va) then Some (st, Error Non_canonical)
           else Some (st, Error Not_mapped))
 
+(* ------------------------------------------------------------------ *)
+(* Batched-range specification.
+
+   A range operation over [pages] consecutive 4 KiB pages is the
+   sequential fold of the per-page operation: page [i] acts on
+   [va + i*4096] (and frame [frame + i*4096] for map).  The first page
+   that fails stops the fold, returning its index and error, with the
+   effects of the earlier pages kept — each page is all-or-nothing, the
+   range is not.  These folds are the specification the batched
+   [Page_table] range operations are proven to refine. *)
+
+let page_va va i = Int64.add va (Int64.mul (Int64.of_int i) Addr.page_size)
+
+let map_range st ~va ~frame ~pages ~perm =
+  let rec go st i =
+    if i >= pages then (st, Ok ())
+    else
+      let m = { frame = page_va frame i; perm; size = Addr.page_size } in
+      match step st (Map { va = page_va va i; m }) with
+      | Some (st, Mapped) -> go st (i + 1)
+      | Some (st, Error e) -> (st, Error (i, e))
+      | Some (_, (Unmapped _ | Resolved _)) | None -> assert false
+  in
+  go st 0
+
+let unmap_range st ~va ~pages =
+  let rec go st i acc =
+    if i >= pages then (st, Ok (List.rev acc))
+    else
+      match step st (Unmap { va = page_va va i }) with
+      | Some (st, Unmapped frame) -> go st (i + 1) (frame :: acc)
+      | Some (st, Error e) -> (st, Error (i, e))
+      | Some (_, (Mapped | Resolved _)) | None -> assert false
+  in
+  go st 0 []
+
+let protect_range st ~va ~pages ~perm =
+  let rec go st i =
+    if i >= pages then (st, Ok ())
+    else
+      match step st (Protect { va = page_va va i; perm }) with
+      | Some (st, Mapped) -> go st (i + 1)
+      | Some (st, Error e) -> (st, Error (i, e))
+      | Some (_, (Unmapped _ | Resolved _)) | None -> assert false
+  in
+  go st 0
+
 let equal_mapping a b =
   a.frame = b.frame && Pte.equal_perm a.perm b.perm && a.size = b.size
 

@@ -64,6 +64,41 @@ val step : state -> op -> (state * ret) option
 
 val valid_size : int64 -> bool
 
+(** {1 Batched-range specification}
+
+    A range operation over [pages] consecutive 4 KiB pages is the
+    sequential fold of the per-page operation: page [i] acts on
+    [va + i*4096] (and maps frame [frame + i*4096]).  The first page
+    that fails stops the fold, returning [(state', Error (i, e))] with
+    the effects of pages [0..i-1] kept — each page is all-or-nothing,
+    the range is not.  These folds are what the batched
+    [Page_table.map_range]/[unmap_range]/[protect_range] implementations
+    are proven to refine. *)
+
+val map_range :
+  state ->
+  va:Bi_hw.Addr.vaddr ->
+  frame:Bi_hw.Addr.paddr ->
+  pages:int ->
+  perm:Bi_hw.Pte.perm ->
+  state * (unit, int * err) result
+
+val unmap_range :
+  state ->
+  va:Bi_hw.Addr.vaddr ->
+  pages:int ->
+  state * (Bi_hw.Addr.paddr list, int * err) result
+(** On success, the frames freed, in page order.  On error, frames
+    unmapped by the earlier pages are {e not} returned (the caller is
+    expected to know them; the state reflects their removal). *)
+
+val protect_range :
+  state ->
+  va:Bi_hw.Addr.vaddr ->
+  pages:int ->
+  perm:Bi_hw.Pte.perm ->
+  state * (unit, int * err) result
+
 val equal_state : state -> state -> bool
 val equal_ret : ret -> ret -> bool
 val pp_state : Format.formatter -> state -> unit

@@ -50,6 +50,47 @@ let stepped t name op ~to_ret body =
               Page_table.well_formed t.pt);
           result)
 
+(* Batched variant of [stepped]: run the range fold on the ghost state
+   (which is itself a fold of per-page steps, so no new spec trust), then
+   compare the implementation's batched result, with the view/invariant
+   checks paid once per batch rather than once per page. *)
+let stepped_range t name ~spec ~equal_ok body =
+  match Contract.mode () with
+  | Contract.Erased -> body ()
+  | Contract.Checked ->
+      let post, expected = spec t.ghost in
+      let result = body () in
+      let agree =
+        match (result, expected) with
+        | Ok a, Ok b -> equal_ok a b
+        | Error (i, e), Error (j, f) -> i = j && e = f
+        | Ok _, Error _ | Error _, Ok _ -> false
+      in
+      Contract.ensures ~name agree;
+      t.ghost <- post;
+      Contract.check_invariant ~name (fun () ->
+          Pt_spec.equal_state t.ghost (Page_table.view t.pt));
+      Contract.check_invariant ~name (fun () -> Page_table.well_formed t.pt);
+      result
+
+let map_range t ~va ~frame ~pages ~perm =
+  stepped_range t "pt_verified.map_range"
+    ~spec:(fun g -> Pt_spec.map_range g ~va ~frame ~pages ~perm)
+    ~equal_ok:(fun () () -> true)
+    (fun () -> Page_table.map_range t.pt ~va ~frame ~pages ~perm)
+
+let unmap_range t ~va ~pages =
+  stepped_range t "pt_verified.unmap_range"
+    ~spec:(fun g -> Pt_spec.unmap_range g ~va ~pages)
+    ~equal_ok:(fun a b -> List.length a = List.length b && List.for_all2 Int64.equal a b)
+    (fun () -> Page_table.unmap_range t.pt ~va ~pages)
+
+let protect_range t ~va ~pages ~perm =
+  stepped_range t "pt_verified.protect_range"
+    ~spec:(fun g -> Pt_spec.protect_range g ~va ~pages ~perm)
+    ~equal_ok:(fun () () -> true)
+    (fun () -> Page_table.protect_range t.pt ~va ~pages ~perm)
+
 let map t ~va ~frame ~size ~perm =
   stepped t "pt_verified.map"
     (Pt_spec.Map { va; m = { Pt_spec.frame; perm; size } })

@@ -41,3 +41,31 @@ val resolve :
   t ->
   va:Bi_hw.Addr.vaddr ->
   (Bi_hw.Addr.paddr * Bi_hw.Pte.perm, Pt_spec.err) result
+
+(** {1 Batched range operations}
+
+    As the {!Page_table} range operations; under [Checked] the ghost
+    state is advanced by the {!Pt_spec} per-page fold and the batched
+    result must agree with it, with the view and well-formedness
+    invariants checked once per batch instead of once per page. *)
+
+val map_range :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  frame:Bi_hw.Addr.paddr ->
+  pages:int ->
+  perm:Bi_hw.Pte.perm ->
+  (unit, int * Pt_spec.err) result
+
+val unmap_range :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  pages:int ->
+  (Bi_hw.Addr.paddr list, int * Pt_spec.err) result
+
+val protect_range :
+  t ->
+  va:Bi_hw.Addr.vaddr ->
+  pages:int ->
+  perm:Bi_hw.Pte.perm ->
+  (unit, int * Pt_spec.err) result

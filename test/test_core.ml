@@ -181,6 +181,35 @@ let test_vc_forall_pairs () =
   check Alcotest.bool "pairs" true
     (Vc.forall_pairs [ 1; 2 ] [ 3; 4 ] (fun a b -> a < b) ())
 
+let test_vc_forall_pairs_timeout () =
+  (* Regression: the pair loop only polled the deadline once per outer
+     element, so a slow predicate over a long inner list blew straight
+     through its budget.  The checkpoint now fires inside the inner
+     loop. *)
+  let slow _ _ =
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < 0.002 do
+      ()
+    done;
+    true
+  in
+  let xs = [ 1 ] and ys = List.init 1000 Fun.id in
+  let vc =
+    Vc.make ~id:"slow-pairs" ~category:"t" (fun () ->
+        Vc.outcome_of_bool (Vc.forall_pairs xs ys slow ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Vc.with_budget ~budget_s:0.05 (fun () -> Vc.catch vc.Vc.check)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match outcome with
+  | Vc.Timeout _ -> ()
+  | o -> Alcotest.failf "expected Timeout, got %a" Vc.pp_outcome o);
+  (* One uninterrupted sweep would need ~2 s; the checkpoint must cut
+     it off close to the 50 ms budget. *)
+  check Alcotest.bool "interrupted promptly" true (elapsed < 1.0)
+
 let test_verifier_reports () =
   let vcs =
     [
@@ -717,6 +746,8 @@ let () =
           Alcotest.test_case "catch exception" `Quick test_vc_catch_exception;
           Alcotest.test_case "forall_range" `Quick test_vc_forall_range;
           Alcotest.test_case "forall_pairs" `Quick test_vc_forall_pairs;
+          Alcotest.test_case "forall_pairs polls its budget" `Quick
+            test_vc_forall_pairs_timeout;
           Alcotest.test_case "verifier reports" `Quick test_verifier_reports;
           Alcotest.test_case "verifier categories" `Quick test_verifier_categories;
         ] );

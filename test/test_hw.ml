@@ -7,6 +7,7 @@ module Frame_alloc = Bi_hw.Frame_alloc
 module Pte = Bi_hw.Pte
 module Mmu = Bi_hw.Mmu
 module Tlb = Bi_hw.Tlb
+module Pwc = Bi_hw.Pwc
 module Cost_model = Bi_hw.Cost_model
 module Device = Bi_hw.Device
 module Machine = Bi_hw.Machine
@@ -109,6 +110,22 @@ let test_phys_mem_zero_frame () =
   match Phys_mem.zero_frame m 4100L with
   | exception Phys_mem.Bad_address _ -> ()
   | _ -> Alcotest.fail "unaligned zero_frame must fail"
+
+let test_phys_mem_huge_address () =
+  (* Regression: addresses at or above 2^62 used to be converted with
+     [Int64.to_int] before the bounds check, wrap negative, and surface
+     as [Invalid_argument] from [Bytes] instead of [Bad_address]. *)
+  let m = Phys_mem.create ~size:4096 in
+  let expect_bad f =
+    match f () with
+    | exception Phys_mem.Bad_address _ -> ()
+    | _ -> Alcotest.fail "Bad_address expected"
+  in
+  expect_bad (fun () -> Phys_mem.read_u64 m 0x4000_0000_0000_0000L);
+  expect_bad (fun () -> Phys_mem.read_u8 m Int64.max_int);
+  expect_bad (fun () ->
+      Phys_mem.write_u64 m (Int64.logand Int64.max_int (Int64.lognot 7L)) 1L);
+  expect_bad (fun () -> Phys_mem.read_u64 m Int64.min_int)
 
 let test_phys_mem_counters () =
   let m = Phys_mem.create ~size:4096 in
@@ -361,6 +378,46 @@ let test_tlb_reinsert_bounded () =
     (Tlb.lookup tlb 0x5000L <> None);
   check Alcotest.int "at capacity" 4 (Tlb.entry_count tlb)
 
+let test_tlb_invlpg_reinsert_bounded () =
+  (* Regression: invlpg removed the entry but left its key in the FIFO
+     queue, so an invlpg + re-insert cycle on the same page grew the
+     queue without bound. *)
+  let tlb = Tlb.create ~capacity:4 in
+  let e = { Tlb.frame = 0x1000L; perm = Pte.user_rw } in
+  for _ = 1 to 100 do
+    Tlb.insert tlb 0x5000L e;
+    Tlb.invlpg tlb 0x5000L
+  done;
+  check Alcotest.bool "queue stays O(capacity)" true
+    (Tlb.queue_length tlb <= (2 * 4) + 1);
+  check Alcotest.int "no live entries" 0 (Tlb.entry_count tlb);
+  (* Compaction must not break normal operation afterwards. *)
+  Tlb.insert tlb 0x1000L e;
+  Tlb.insert tlb 0x2000L e;
+  check Alcotest.bool "inserts still hit" true
+    (Tlb.lookup tlb 0x1000L <> None && Tlb.lookup tlb 0x2000L <> None)
+
+let test_tlb_invlpg_vs_eviction () =
+  (* Eviction is capacity-driven FIFO; invlpg is targeted.  A stale
+     queue slot left by invlpg must neither count against capacity nor
+     get a live entry evicted early. *)
+  let tlb = Tlb.create ~capacity:2 in
+  let e = { Tlb.frame = 0x1000L; perm = Pte.user_rw } in
+  Tlb.insert tlb 0x1000L e;
+  Tlb.insert tlb 0x2000L e;
+  Tlb.invlpg tlb 0x1000L;
+  (* The invalidated slot is free again: no eviction happens here. *)
+  Tlb.insert tlb 0x3000L e;
+  check Alcotest.bool "survivor untouched" true (Tlb.lookup tlb 0x2000L <> None);
+  check Alcotest.bool "new entry cached" true (Tlb.lookup tlb 0x3000L <> None);
+  (* At capacity again: eviction must skip the stale 0x1000 queue slot
+     and evict the oldest *live* entry, 0x2000. *)
+  Tlb.insert tlb 0x4000L e;
+  check Alcotest.bool "oldest live evicted" true (Tlb.lookup tlb 0x2000L = None);
+  check Alcotest.bool "others kept" true
+    (Tlb.lookup tlb 0x3000L <> None && Tlb.lookup tlb 0x4000L <> None);
+  check Alcotest.int "at capacity" 2 (Tlb.entry_count tlb)
+
 let test_tlb_invlpg_and_flush () =
   let tlb = Tlb.create ~capacity:8 in
   let e = { Tlb.frame = 0x1000L; perm = Pte.user_rw } in
@@ -371,6 +428,113 @@ let test_tlb_invlpg_and_flush () =
   check Alcotest.bool "other survives" true (Tlb.lookup tlb 0x2000L <> None);
   Tlb.flush tlb;
   check Alcotest.int "flush empties" 0 (Tlb.entry_count tlb)
+
+(* ------------------------------------------------------------------ *)
+(* Paging-structure cache *)
+
+let pwc_entry table = { Pwc.table; perm = Pte.user_rw }
+
+let test_pwc_deepest_first () =
+  let pwc = Pwc.create ~capacity:8 in
+  let va = Addr.of_indices ~l4:0 ~l3:1 ~l2:2 ~l1:3 ~offset:0L in
+  Pwc.insert pwc ~level:3 va (pwc_entry 0x2000L);
+  Pwc.insert pwc ~level:1 va (pwc_entry 0x4000L);
+  (match Pwc.lookup pwc va with
+  | Some (1, { Pwc.table = 0x4000L; _ }) -> ()
+  | Some _ -> Alcotest.fail "must resume at the deepest cached level"
+  | None -> Alcotest.fail "expected a PWC hit");
+  (* A va in a different 2 MiB region of the same 1 GiB region misses at
+     level 1 but still resumes at the shallower level-3 entry. *)
+  let va' = Addr.of_indices ~l4:0 ~l3:1 ~l2:7 ~l1:0 ~offset:0L in
+  (match Pwc.lookup pwc va' with
+  | Some (3, { Pwc.table = 0x2000L; _ }) -> ()
+  | Some _ | None -> Alcotest.fail "expected a level-3 resume");
+  check Alcotest.int "both lookups hit" 2 (Pwc.hits pwc);
+  check Alcotest.int "no misses" 0 (Pwc.misses pwc);
+  match Pwc.lookup pwc (Addr.of_indices ~l4:9 ~l3:0 ~l2:0 ~l1:0 ~offset:0L) with
+  | None -> check Alcotest.int "miss counted" 1 (Pwc.misses pwc)
+  | Some _ -> Alcotest.fail "unrelated prefix must miss"
+
+let test_pwc_invlpg_and_flush () =
+  let pwc = Pwc.create ~capacity:8 in
+  let va = Addr.of_indices ~l4:0 ~l3:1 ~l2:2 ~l1:3 ~offset:0L in
+  Pwc.insert pwc ~level:1 va (pwc_entry 0x4000L);
+  Pwc.insert pwc ~level:2 va (pwc_entry 0x3000L);
+  Pwc.insert pwc ~level:3 va (pwc_entry 0x2000L);
+  check Alcotest.int "three levels cached" 3 (Pwc.entry_count pwc);
+  Pwc.invlpg pwc (Int64.add va 0x123L);
+  check Alcotest.int "invlpg drops every covering level" 0
+    (Pwc.entry_count pwc);
+  check Alcotest.bool "no hit after invlpg" true (Pwc.lookup pwc va = None);
+  Pwc.insert pwc ~level:1 va (pwc_entry 0x4000L);
+  Pwc.flush pwc;
+  check Alcotest.int "flush empties" 0 (Pwc.entry_count pwc)
+
+let test_pwc_queue_bounded () =
+  let pwc = Pwc.create ~capacity:4 in
+  let va = Addr.of_indices ~l4:0 ~l3:1 ~l2:2 ~l1:3 ~offset:0L in
+  for _ = 1 to 100 do
+    Pwc.insert pwc ~level:1 va (pwc_entry 0x4000L);
+    Pwc.invlpg pwc va
+  done;
+  check Alcotest.bool "queue stays O(capacity)" true
+    (Pwc.queue_length pwc <= (2 * 4) + 1);
+  check Alcotest.int "empty after last invlpg" 0 (Pwc.entry_count pwc)
+
+let test_pwc_capacity_eviction () =
+  let pwc = Pwc.create ~capacity:2 in
+  (* Distinct 2 MiB regions give distinct level-1 (PDE cache) keys. *)
+  let va_of l2 = Addr.of_indices ~l4:0 ~l3:0 ~l2 ~l1:0 ~offset:0L in
+  Pwc.insert pwc ~level:1 (va_of 1) (pwc_entry 0x2000L);
+  Pwc.insert pwc ~level:1 (va_of 2) (pwc_entry 0x3000L);
+  Pwc.insert pwc ~level:1 (va_of 3) (pwc_entry 0x4000L);
+  check Alcotest.int "capacity respected" 2 (Pwc.entry_count pwc);
+  check Alcotest.bool "oldest evicted" true (Pwc.lookup pwc (va_of 1) = None);
+  check Alcotest.bool "newest kept" true (Pwc.lookup pwc (va_of 3) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Mmu + caches *)
+
+let test_mmu_tlb_hit_protection_level0 () =
+  let mem = Phys_mem.create ~size:(64 * 4096) in
+  let va = Addr.of_indices ~l4:0 ~l3:1 ~l2:2 ~l1:3 ~offset:0x20L in
+  let cr3 = build_mapping ~mem ~leaf_level:1 ~perm:Pte.ro ~frame:0x7000L va in
+  let tlb = Tlb.create ~capacity:8 in
+  (* Prime the TLB with a permitted read. *)
+  (match Mmu.translate ~tlb mem ~cr3 Mmu.Read va with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "read must pass: %a" Mmu.pp_fault f);
+  (* A denied write served from the TLB reports level 0, exactly like
+     the walked path: the access check happens after translation. *)
+  (match Mmu.translate ~tlb mem ~cr3 Mmu.Write va with
+  | Error (Mmu.Protection { level = 0; access = Mmu.Write }) -> ()
+  | Ok _ -> Alcotest.fail "write must be denied"
+  | Error f -> Alcotest.failf "expected level-0 protection: %a" Mmu.pp_fault f);
+  check Alcotest.int "fault came from a TLB hit" 1 (Tlb.hits tlb);
+  match Mmu.translate mem ~cr3 Mmu.Write va with
+  | Error (Mmu.Protection { level = 0; access = Mmu.Write }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "walked path must agree on level 0"
+
+let test_mmu_pwc_resume () =
+  let mem = Phys_mem.create ~size:(64 * 4096) in
+  let va = Addr.of_indices ~l4:0 ~l3:1 ~l2:2 ~l1:3 ~offset:0x40L in
+  let cr3 = build_mapping ~mem ~leaf_level:1 ~perm:Pte.user_rw ~frame:0x7000L va in
+  let pwc = Pwc.create ~capacity:8 in
+  (match Mmu.translate ~pwc mem ~cr3 Mmu.Read va with
+  | Ok tr -> check Alcotest.int "cold translation walks 4 levels" 4
+               tr.Mmu.levels_walked
+  | Error f -> Alcotest.failf "translate: %a" Mmu.pp_fault f);
+  (match Mmu.translate ~pwc mem ~cr3 Mmu.Read va with
+  | Ok tr ->
+      check Alcotest.int "PWC resume reads only the L1 table" 1
+        tr.Mmu.levels_walked;
+      check Alcotest.int64 "same pa" 0x7040L tr.Mmu.pa
+  | Error f -> Alcotest.failf "translate: %a" Mmu.pp_fault f);
+  (* After invlpg the cold walk is back. *)
+  Pwc.invlpg pwc va;
+  match Mmu.translate ~pwc mem ~cr3 Mmu.Read va with
+  | Ok tr -> check Alcotest.int "invlpg forgets walk state" 4 tr.Mmu.levels_walked
+  | Error f -> Alcotest.failf "translate: %a" Mmu.pp_fault f
 
 (* ------------------------------------------------------------------ *)
 (* Devices *)
@@ -550,6 +714,7 @@ let () =
           Alcotest.test_case "little endian" `Quick test_phys_mem_little_endian;
           Alcotest.test_case "bounds" `Quick test_phys_mem_bounds;
           Alcotest.test_case "bytes" `Quick test_phys_mem_bytes;
+          Alcotest.test_case "huge addresses" `Quick test_phys_mem_huge_address;
           Alcotest.test_case "zero frame" `Quick test_phys_mem_zero_frame;
           Alcotest.test_case "counters" `Quick test_phys_mem_counters;
         ] );
@@ -586,6 +751,22 @@ let () =
           Alcotest.test_case "re-insertion stays bounded" `Quick
             test_tlb_reinsert_bounded;
           Alcotest.test_case "invlpg and flush" `Quick test_tlb_invlpg_and_flush;
+          Alcotest.test_case "invlpg/re-insert cycle stays bounded" `Quick
+            test_tlb_invlpg_reinsert_bounded;
+          Alcotest.test_case "invlpg vs eviction" `Quick
+            test_tlb_invlpg_vs_eviction;
+        ] );
+      ( "pwc",
+        [
+          Alcotest.test_case "deepest-first lookup" `Quick test_pwc_deepest_first;
+          Alcotest.test_case "invlpg and flush" `Quick test_pwc_invlpg_and_flush;
+          Alcotest.test_case "invlpg/re-insert cycle stays bounded" `Quick
+            test_pwc_queue_bounded;
+          Alcotest.test_case "capacity eviction" `Quick
+            test_pwc_capacity_eviction;
+          Alcotest.test_case "mmu tlb-hit protection level 0" `Quick
+            test_mmu_tlb_hit_protection_level0;
+          Alcotest.test_case "mmu pwc resume" `Quick test_mmu_pwc_resume;
         ] );
       ( "devices",
         [

@@ -287,6 +287,58 @@ let test_mmap_through_verified_pt () =
              | Error Sysabi.E_fault -> ()
              | _ -> Alcotest.fail "resolve after munmap"))
 
+let test_mmap_batched_and_fragmented_fallback () =
+  let module As = Bi_kernel.Address_space in
+  let module Phys_mem = Bi_hw.Phys_mem in
+  let module Frame_alloc = Bi_hw.Frame_alloc in
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  let frames = Frame_alloc.create ~mem ~base:0x40000L ~frames:256 in
+  let a = As.create ~mem ~frames in
+  let rw_region va pages =
+    for i = 0 to pages - 1 do
+      let pva = Int64.add va (Int64.of_int (i * 4096)) in
+      (match As.load_u64 a ~va:pva with
+      | Ok 0L -> ()
+      | Ok _ -> Alcotest.failf "page %d not zeroed" i
+      | Error _ -> Alcotest.failf "page %d unreadable" i);
+      match As.store_u64 a ~va:pva (Int64.of_int (i + 1)) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "page %d unwritable" i
+    done;
+    for i = 0 to pages - 1 do
+      let pva = Int64.add va (Int64.of_int (i * 4096)) in
+      match As.load_u64 a ~va:pva with
+      | Ok v -> check Alcotest.int64 "distinct backing frames" (Int64.of_int (i + 1)) v
+      | Error _ -> Alcotest.failf "page %d lost" i
+    done
+  in
+  (* Multi-page regions take the contiguous-run + map_range path. *)
+  (match As.mmap a ~bytes:(16 * 4096) with
+  | Ok va ->
+      rw_region va 16;
+      (match As.munmap a ~va with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "munmap")
+  | Error _ -> Alcotest.fail "batched mmap");
+  (* Fragment physical memory so no contiguous run exists: drain every
+     frame, then free only every other one.  mmap must fall back to the
+     per-page path and still succeed. *)
+  let rec drain acc =
+    match Frame_alloc.alloc frames with
+    | exception Frame_alloc.Out_of_frames -> acc
+    | f -> drain (f :: acc)
+  in
+  let held = drain [] in
+  List.iteri (fun i f -> if i mod 2 = 0 then Frame_alloc.free frames f) held;
+  (match As.mmap a ~bytes:(4 * 4096) with
+  | Ok va ->
+      rw_region va 4;
+      (match As.munmap a ~va with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "munmap after fallback")
+  | Error _ -> Alcotest.fail "fragmented mmap must fall back per page");
+  check Alcotest.int "no region leaked" 0 (As.mapped_bytes a)
+
 let test_mmap_rejects_bad_args () =
   ignore
     (run_one (fun _ s ->
@@ -844,6 +896,8 @@ let () =
       ( "memory",
         [
           Alcotest.test_case "mmap through verified pt" `Quick test_mmap_through_verified_pt;
+          Alcotest.test_case "batched mmap + fragmentation fallback" `Quick
+            test_mmap_batched_and_fragmented_fallback;
           Alcotest.test_case "bad args" `Quick test_mmap_rejects_bad_args;
           Alcotest.test_case "address-space isolation" `Quick test_address_spaces_isolated;
         ] );

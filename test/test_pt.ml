@@ -51,6 +51,20 @@ let test_extension_vcs_prove () =
   if not (Bi_core.Verifier.all_proved rep) then
     Alcotest.failf "%a" (fun ppf () -> Bi_core.Verifier.pp_failures ppf rep) ()
 
+let test_range_vcs_prove () =
+  let vcs = Refinement.range_vcs () in
+  check Alcotest.bool "suite is substantial" true (List.length vcs >= 40);
+  let rep = Bi_core.Verifier.discharge vcs in
+  if not (Bi_core.Verifier.all_proved rep) then
+    Alcotest.failf "%a" (fun ppf () -> Bi_core.Verifier.pp_failures ppf rep) ()
+
+let test_pwc_vcs_prove () =
+  let vcs = Refinement.pwc_vcs () in
+  check Alcotest.bool "suite is substantial" true (List.length vcs >= 15);
+  let rep = Bi_core.Verifier.discharge vcs in
+  if not (Bi_core.Verifier.all_proved rep) then
+    Alcotest.failf "%a" (fun ppf () -> Bi_core.Verifier.pp_failures ppf rep) ()
+
 let test_protect_not_in_core_suite () =
   (* The paper's number is 220; extensions must not inflate it. *)
   check Alcotest.bool "no ext category in core suite" true
@@ -200,6 +214,145 @@ let test_out_of_frames_surfaces () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Batched range operations: hard-coded expectations complementing the
+   ptb VC suite's spec-agreement obligations *)
+
+let page_at base i = Int64.add base (Int64.mul (Int64.of_int i) Addr.page_size)
+
+let test_map_range_cross_l1_boundary () =
+  let pt = fresh_pt () in
+  let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:0 ~l1:510 ~offset:0L in
+  (match Pt.map_range pt ~va ~frame:0x10_0000L ~pages:4 ~perm:Pte.user_rw with
+  | Ok () -> ()
+  | Error (i, _) -> Alcotest.failf "map_range failed at page %d" i);
+  (* root + L3 + L2 + the two L1 tables the range straddles *)
+  check Alcotest.int "five table frames" 5 (Pt.table_frames pt);
+  List.iteri
+    (fun i frame ->
+      match Pt.resolve pt ~va:(Int64.add (page_at va i) 0x42L) with
+      | Ok (pa, perm) ->
+          check Alcotest.int64
+            (Printf.sprintf "page %d pa" i)
+            (Int64.add frame 0x42L) pa;
+          check Alcotest.bool "perm carried" true (perm = Pte.user_rw)
+      | Error _ -> Alcotest.failf "page %d must resolve" i)
+    [ 0x10_0000L; 0x10_1000L; 0x10_2000L; 0x10_3000L ];
+  check Alcotest.bool "well-formed" true (Pt.well_formed pt)
+
+let test_map_range_midrange_already_mapped () =
+  let pt = fresh_pt () in
+  let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:0 ~l1:8 ~offset:0L in
+  let occupied = page_at va 2 in
+  (match
+     Pt.map pt ~va:occupied ~frame:0x80_0000L ~size:Addr.page_size
+       ~perm:Pte.ro
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup");
+  (match Pt.map_range pt ~va ~frame:0x10_0000L ~pages:5 ~perm:Pte.user_rw with
+  | Error (2, Spec.Already_mapped) -> ()
+  | Ok () -> Alcotest.fail "must stop at the occupied page"
+  | Error (i, _) -> Alcotest.failf "wrong failing index %d" i);
+  (* Pages before the failure stay mapped; pages after were never
+     touched; the occupied page is untouched. *)
+  (match Pt.resolve pt ~va with
+  | Ok (pa, _) -> check Alcotest.int64 "page 0 kept" 0x10_0000L pa
+  | Error _ -> Alcotest.fail "page 0 must stay mapped");
+  (match Pt.resolve pt ~va:(page_at va 1) with
+  | Ok (pa, _) -> check Alcotest.int64 "page 1 kept" 0x10_1000L pa
+  | Error _ -> Alcotest.fail "page 1 must stay mapped");
+  (match Pt.resolve pt ~va:occupied with
+  | Ok (pa, _) -> check Alcotest.int64 "occupied untouched" 0x80_0000L pa
+  | Error _ -> Alcotest.fail "occupied page must stay");
+  match Pt.resolve pt ~va:(page_at va 3) with
+  | Error Spec.Not_mapped -> ()
+  | Ok _ | Error _ -> Alcotest.fail "page 3 must not be mapped"
+
+let test_unmap_range_returns_frames_in_order () =
+  let pt = fresh_pt () in
+  let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:1 ~l1:0 ~offset:0L in
+  (match Pt.map_range pt ~va ~frame:0x40_0000L ~pages:4 ~perm:Pte.user_rw with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup");
+  (match Pt.unmap_range pt ~va ~pages:4 with
+  | Ok frames ->
+      check
+        (Alcotest.list Alcotest.int64)
+        "frames in page order"
+        [ 0x40_0000L; 0x40_1000L; 0x40_2000L; 0x40_3000L ]
+        frames
+  | Error _ -> Alcotest.fail "unmap_range");
+  check Alcotest.int "tables reclaimed to root" 1 (Pt.table_frames pt);
+  check Alcotest.bool "empty view" true
+    (Spec.equal_state (Pt.view pt) Spec.empty)
+
+let test_protect_range_applies_perm () =
+  let pt = fresh_pt () in
+  let va = Addr.of_indices ~l4:0 ~l3:0 ~l2:0 ~l1:0 ~offset:0L in
+  (match Pt.map_range pt ~va ~frame:0x40_0000L ~pages:3 ~perm:Pte.user_rw with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup");
+  (match Pt.protect_range pt ~va ~pages:3 ~perm:Pte.ro with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "protect_range");
+  for i = 0 to 2 do
+    match Pt.resolve pt ~va:(page_at va i) with
+    | Ok (pa, perm) ->
+        check Alcotest.int64 "frame unchanged" (page_at 0x40_0000L i) pa;
+        check Alcotest.bool "read-only now" true (perm = Pte.ro)
+    | Error _ -> Alcotest.fail "must stay mapped"
+  done
+
+let test_batch_access_reduction_3x () =
+  (* The tentpole's headline number: a 512-page batch touches physical
+     memory at least 3x less than 512 single-page maps (measured ~6x:
+     one descent plus a 512-slot sweep vs. 512 full descents). *)
+  let mk () =
+    let mem = Phys_mem.create ~size:(4 * 1024 * 1024) in
+    let frames =
+      Frame_alloc.create ~mem ~base:0x40000L
+        ~frames:((4 * 1024 * 1024 / 4096) - 64)
+    in
+    let pt = Pt.create ~mem ~frames in
+    (* Warm the shared upper path so first-touch table allocation does
+       not dominate either side. *)
+    (match
+       Pt.map pt
+         ~va:(Addr.of_indices ~l4:0 ~l3:0 ~l2:1 ~l1:0 ~offset:0L)
+         ~frame:0x40_0000L ~size:Addr.page_size ~perm:Pte.user_rw
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "warm-up map");
+    Phys_mem.reset_counters mem;
+    (mem, pt)
+  in
+  let target = Addr.of_indices ~l4:0 ~l3:0 ~l2:2 ~l1:0 ~offset:0L in
+  let mem_s, pt_s = mk () in
+  for i = 0 to 511 do
+    match
+      Pt.map pt_s ~va:(page_at target i) ~frame:(page_at 0x40_0000L i)
+        ~size:Addr.page_size ~perm:Pte.user_rw
+    with
+    | Ok () -> ()
+    | Error _ -> Alcotest.failf "single map %d" i
+  done;
+  let singles = Phys_mem.loads mem_s + Phys_mem.stores mem_s in
+  let mem_b, pt_b = mk () in
+  (match
+     Pt.map_range pt_b ~va:target ~frame:0x40_0000L ~pages:512
+       ~perm:Pte.user_rw
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "map_range");
+  let batched = Phys_mem.loads mem_b + Phys_mem.stores mem_b in
+  check Alcotest.bool
+    (Printf.sprintf "%d single-map accesses >= 3 * %d batched" singles batched)
+    true
+    (singles >= 3 * batched);
+  check Alcotest.bool "both paths produce the same view" true
+    (Spec.equal_state (Pt.view pt_s) (Pt.view pt_b))
+
+(* ------------------------------------------------------------------ *)
 (* Verified wrapper *)
 
 let fresh_pv () =
@@ -237,6 +390,35 @@ let test_verified_inner_round_trips () =
       | Ok (pa, _) -> check Alcotest.int64 "inner agrees" 0x30_0008L pa
       | Error _ -> Alcotest.fail "inner resolve")
 
+let test_verified_range_checked () =
+  Contract.with_mode Contract.Checked (fun () ->
+      let v = fresh_pv () in
+      (match
+         Pv.map_range v ~va:0x40_0000L ~frame:0x80_0000L ~pages:8
+           ~perm:Pte.user_rw
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "map_range");
+      check Alcotest.int "ghost follows the batch" 8
+        (List.length (Spec.mappings (Pv.ghost_state v)));
+      (* A range starting on an occupied page fails at index 0, and the
+         checked wrapper must agree with the spec fold on that index. *)
+      (match
+         Pv.map_range v ~va:0x40_2000L ~frame:0x100_0000L ~pages:4
+           ~perm:Pte.user_rw
+       with
+      | Error (0, Spec.Already_mapped) -> ()
+      | Ok () | Error _ -> Alcotest.fail "expected Already_mapped at index 0");
+      (match Pv.protect_range v ~va:0x40_0000L ~pages:8 ~perm:Pte.ro with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "protect_range");
+      match Pv.unmap_range v ~va:0x40_0000L ~pages:8 with
+      | Ok frames ->
+          check Alcotest.int "all frames returned" 8 (List.length frames);
+          check Alcotest.int "ghost empty again" 0
+            (List.length (Spec.mappings (Pv.ghost_state v)))
+      | Error _ -> Alcotest.fail "unmap_range")
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -249,6 +431,9 @@ let () =
              test_extension_vcs_prove
         :: Alcotest.test_case "extensions outside the 220" `Quick
              test_protect_not_in_core_suite
+        :: Alcotest.test_case "batched-range VCs prove" `Quick
+             test_range_vcs_prove
+        :: Alcotest.test_case "PWC VCs prove" `Quick test_pwc_vcs_prove
         :: vc_family_cases () );
       ( "spec",
         [
@@ -266,10 +451,25 @@ let () =
           Alcotest.test_case "root stable" `Quick test_root_stable;
           Alcotest.test_case "out of frames" `Quick test_out_of_frames_surfaces;
         ] );
+      ( "range-ops",
+        [
+          Alcotest.test_case "map_range across L1 tables" `Quick
+            test_map_range_cross_l1_boundary;
+          Alcotest.test_case "mid-range Already_mapped" `Quick
+            test_map_range_midrange_already_mapped;
+          Alcotest.test_case "unmap_range frame order" `Quick
+            test_unmap_range_returns_frames_in_order;
+          Alcotest.test_case "protect_range perms" `Quick
+            test_protect_range_applies_perm;
+          Alcotest.test_case "512-page batch >= 3x fewer accesses" `Quick
+            test_batch_access_reduction_3x;
+        ] );
       ( "verified",
         [
           Alcotest.test_case "erased mode" `Quick test_verified_erased_no_ghost_cost;
           Alcotest.test_case "checked ghost" `Quick test_verified_checked_tracks_ghost;
           Alcotest.test_case "inner consistency" `Quick test_verified_inner_round_trips;
+          Alcotest.test_case "checked range ops" `Quick
+            test_verified_range_checked;
         ] );
     ]
