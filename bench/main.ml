@@ -704,6 +704,42 @@ let record_fig1c () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Model checker: sleep-set POR vs. naive merge enumeration, and the
+   cost of the whole mc suite.                                         *)
+
+let run_mc_bench () =
+  Format.fprintf ppf
+    "Model checker: sleep-set POR vs naive interleaving enumeration@.";
+  let t0 = Unix.gettimeofday () in
+  let explored, naive = Bi_core.Mc_check.por_ratio () in
+  let ratio_t = Unix.gettimeofday () -. t0 in
+  let reduction = float_of_int naive /. float_of_int explored in
+  Format.fprintf ppf
+    "    3 threads x 4 steps: POR explores %d schedules vs %d naive merges \
+     (%.1fx reduction, %.3f s)@."
+    explored naive reduction ratio_t;
+  let suite =
+    Bi_core.Mc_check.vcs () @ Bi_ulib.Ulib_mc.vcs ()
+    @ Bi_kernel.Futex_mc.vcs () @ Bi_nr.Nr_mc.vcs ()
+  in
+  let rep = Bi_core.Verifier.discharge ~jobs:1 suite in
+  Format.fprintf ppf
+    "    mc suite: %d VCs in %.3f s wall (%d proved, slowest %.3f s)@."
+    (List.length suite) rep.Bi_core.Verifier.wall_time_s
+    rep.Bi_core.Verifier.proved rep.Bi_core.Verifier.max_time_s;
+  record "mc"
+    (Json.Obj
+       [
+         ("por_schedules", Json.Int explored);
+         ("naive_merges", Json.Int naive);
+         ("por_reduction_x", Json.Float reduction);
+         ("suite_vcs", Json.Int (List.length suite));
+         ("suite_proved", Json.Int rep.Bi_core.Verifier.proved);
+         ("suite_wall_s", Json.Float rep.Bi_core.Verifier.wall_time_s);
+         ("suite_max_vc_s", Json.Float rep.Bi_core.Verifier.max_time_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec split_json acc = function
@@ -736,6 +772,7 @@ let () =
     | "micro" -> run_micro ()
     | "ablations" -> run_ablations ()
     | "discharge" -> run_discharge_bench ()
+    | "mc" -> run_mc_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
         record_table1 ();
@@ -747,11 +784,13 @@ let () =
         Format.fprintf ppf "@.";
         run_ablations ();
         Format.fprintf ppf "@.";
+        run_mc_bench ();
+        Format.fprintf ppf "@.";
         run_micro ()
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|micro|all)@."
           other;
         exit 2
   in

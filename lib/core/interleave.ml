@@ -1,3 +1,8 @@
+type 'a capped = Complete of 'a | Capped of 'a
+
+let value = function Complete x | Capped x -> x
+let is_capped = function Complete _ -> false | Capped _ -> true
+
 let count_merges seqs =
   let lens = List.map List.length seqs in
   let choose n k =
@@ -18,14 +23,18 @@ let count_merges seqs =
     lens;
   !result
 
+(* Enumeration stops by raising [Stop] once the limit is hit: the search
+   is depth-first, so everything produced up to that point is a prefix of
+   the full enumeration order. *)
+exception Stop
+
 let merges ?(limit = 100_000) seqs =
   let produced = ref 0 in
   let out = ref [] in
   let rec go acc remaining =
     if List.for_all (( = ) []) remaining then begin
+      if !produced >= limit then raise Stop;
       incr produced;
-      if !produced > limit then
-        invalid_arg "Interleave.merges: interleaving limit exceeded";
       out := List.rev acc :: !out
     end
     else begin
@@ -43,8 +52,9 @@ let merges ?(limit = 100_000) seqs =
       done
     end
   in
-  go [] seqs;
-  List.rev !out
+  match go [] seqs with
+  | () -> Complete (List.rev !out)
+  | exception Stop -> Capped (List.rev !out)
 
 (* Enumerate schedules as thread-index choices, running the functional steps
    as we branch, so merged step lists are never materialised. *)
@@ -55,9 +65,8 @@ let explore ?(limit = 100_000) ~init ~threads ~on_state () =
     | Error _ as e -> e
     | Ok () ->
         if List.for_all (( = ) []) remaining then begin
+          if !produced >= limit then raise Stop;
           incr produced;
-          if !produced > limit then
-            invalid_arg "Interleave: interleaving limit exceeded";
           Ok ()
         end
         else begin
@@ -78,7 +87,10 @@ let explore ?(limit = 100_000) ~init ~threads ~on_state () =
           try_all 0
         end
   in
-  go [] init threads
+  match go [] init threads with
+  | Ok () -> Ok (Complete ())
+  | Error _ as e -> e
+  | exception Stop -> Ok (Capped ())
 
 let exhaustive ?limit ~init ~threads ~check () =
   let on_state schedule state =
@@ -97,7 +109,7 @@ let final_states ?limit ~init ~threads () =
     if List.length schedule = total_steps then finals := state :: !finals;
     Ok ()
   in
-  (match explore ?limit ~init ~threads ~on_state () with
-  | Ok () -> ()
-  | Error _ -> assert false);
-  List.rev !finals
+  match explore ?limit ~init ~threads ~on_state () with
+  | Ok (Complete ()) -> Complete (List.rev !finals)
+  | Ok (Capped ()) -> Capped (List.rev !finals)
+  | Error _ -> assert false

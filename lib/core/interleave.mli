@@ -4,13 +4,31 @@
     small concurrent-algorithm checks: each thread is a fixed sequence of
     atomic steps over a shared state; the explorer enumerates every merge of
     the threads' step sequences (preserving per-thread order) and checks a
-    predicate on every intermediate and final state. *)
+    predicate on every intermediate and final state.
 
-val merges : ?limit:int -> 'a list list -> 'a list list
+    Naive merge enumeration is factorial in the step counts, so every
+    entry point takes a [limit]; hitting it yields the typed {!Capped}
+    outcome (carrying whatever was explored before the cap) rather than
+    an exception, so callers — in particular VCs — can surface
+    under-exploration as a verdict instead of a crash.  For state spaces
+    past a few threads × a few steps, use {!Explore}, which applies
+    partial-order reduction instead of enumerating all merges. *)
+
+type 'a capped =
+  | Complete of 'a  (** The whole space was enumerated. *)
+  | Capped of 'a
+      (** The enumeration limit was hit; the payload covers only the
+          interleavings produced before the cap. *)
+
+val value : 'a capped -> 'a
+(** The payload, complete or not. *)
+
+val is_capped : 'a capped -> bool
+
+val merges : ?limit:int -> 'a list list -> 'a list list capped
 (** All interleavings (order-preserving merges) of the given sequences.
     [limit] caps the number of interleavings produced (default
-    [100_000]); hitting the cap raises [Invalid_argument] so that a test
-    never silently under-explores. *)
+    [100_000]). *)
 
 val count_merges : 'a list list -> int
 (** Number of distinct merges (multinomial coefficient). *)
@@ -21,12 +39,17 @@ val exhaustive :
   threads:('s -> 's) list list ->
   check:('s -> bool) ->
   unit ->
-  (unit, string) result
+  (unit capped, string) result
 (** [exhaustive ~init ~threads ~check ()] runs every interleaving of the
     thread step-lists from [init] (functional steps), checking [check] on
     each intermediate state.  Returns [Error] naming the first failing
-    schedule (as a thread-index sequence). *)
+    schedule (as a thread-index sequence); [Ok (Capped ())] means no
+    violation was found but the limit cut enumeration short. *)
 
 val final_states :
-  ?limit:int -> init:'s -> threads:('s -> 's) list list -> unit -> 's list
+  ?limit:int ->
+  init:'s ->
+  threads:('s -> 's) list list ->
+  unit ->
+  's list capped
 (** The final state of every interleaving, in enumeration order. *)

@@ -31,17 +31,55 @@ struct
 
   let check ~init history = search init history
 
+  (* Diagnosis: re-run the search tracking the deepest linearized prefix
+     any branch reached.  The calls still pending at that frontier that
+     were allowed to go next (real-time-minimal) are exactly the ones
+     whose recorded returns no witness can reproduce — the offending
+     calls.  [best] holds (depth, linearized-prefix rev, stuck calls). *)
   let counterexample ~init history =
     if check ~init history then None
     else begin
+      let best = ref (-1, [], []) in
+      let note depth prefix pending =
+        let d, _, _ = !best in
+        if depth > d then
+          best := (depth, prefix, List.filter (minimal pending) pending)
+      in
+      let rec go state depth prefix pending =
+        note depth prefix pending;
+        match pending with
+        | [] -> ()
+        | _ ->
+            List.iter
+              (fun c ->
+                if minimal pending c then begin
+                  let state', ret = S.step state c.op in
+                  if S.equal_ret ret c.ret then
+                    go state' (depth + 1) (c :: prefix)
+                      (List.filter (fun o -> o != c) pending)
+                end)
+              pending
+      in
+      go init 0 [] history;
+      let _, prefix_rev, stuck = !best in
       let pp_call ppf c =
         Format.fprintf ppf "p%d: %a -> %a [%d,%d]" c.proc S.pp_op c.op
           S.pp_ret c.ret c.inv c.res
       in
+      let pp_calls = Format.pp_print_list pp_call in
+      let pp_stuck ppf = function
+        | [ c ] ->
+            Format.fprintf ppf
+              "no witness can produce the return of the call@.  %a" pp_call c
+        | cs ->
+            Format.fprintf ppf
+              "no witness can produce the return of any of@.%a" pp_calls cs
+      in
       Some
         (Format.asprintf
-           "history is not linearizable:@.%a"
-           (Format.pp_print_list pp_call)
+           "history is not linearizable: %a@.after the linearizable \
+            prefix:@.%a@.full history:@.%a"
+           pp_stuck stuck pp_calls (List.rev prefix_rev) pp_calls
            (List.sort (fun a b -> compare a.inv b.inv) history))
     end
 end

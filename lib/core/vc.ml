@@ -1,4 +1,8 @@
-type outcome = Proved | Falsified of string | Timeout of float
+type outcome =
+  | Proved
+  | Falsified of string
+  | Timeout of float
+  | Capped of string
 
 type t = { id : string; category : string; check : unit -> outcome }
 
@@ -113,3 +117,4 @@ let pp_outcome ppf = function
   | Falsified msg -> Format.fprintf ppf "falsified: %s" msg
   | Timeout budget ->
       Format.fprintf ppf "timeout after %gs budget" budget
+  | Capped msg -> Format.fprintf ppf "capped: %s" msg

@@ -16,6 +16,11 @@ type outcome =
       (** The check exceeded its per-VC time budget (the budget, in
           seconds).  Produced by {!catch} when the check runs under
           {!with_budget} and trips a {!checkpoint}. *)
+  | Capped of string
+      (** The check hit an exploration resource cap (e.g.
+          {!Interleave}'s merge limit or {!Explore}'s schedule cap)
+          before covering its state space: neither proved nor falsified.
+          Under-exploration is a visible verdict, never a silent pass. *)
 
 type t = private {
   id : string;  (** Unique identifier, e.g. ["pt/map/4k/sim/rw"]. *)

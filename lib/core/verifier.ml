@@ -9,6 +9,7 @@ type report = {
   proved : int;
   falsified : int;
   timed_out : int;
+  capped : int;
 }
 
 let run_one ?timeout_s (vc : Vc.t) =
@@ -39,6 +40,9 @@ let discharge ?(jobs = 1) ?timeout_s vcs =
   let timed_out =
     count (fun r -> match r.outcome with Vc.Timeout _ -> true | _ -> false)
   in
+  let capped =
+    count (fun r -> match r.outcome with Vc.Capped _ -> true | _ -> false)
+  in
   {
     results;
     total_time_s = Stats.sum times;
@@ -46,11 +50,12 @@ let discharge ?(jobs = 1) ?timeout_s vcs =
     max_time_s = List.fold_left max 0. times;
     jobs = max 1 jobs;
     proved;
-    falsified = List.length results - proved - timed_out;
+    falsified = List.length results - proved - timed_out - capped;
     timed_out;
+    capped;
   }
 
-let all_proved rep = rep.falsified = 0 && rep.timed_out = 0
+let all_proved rep = rep.falsified = 0 && rep.timed_out = 0 && rep.capped = 0
 
 let failures rep = List.filter (fun r -> r.outcome <> Vc.Proved) rep.results
 
@@ -82,7 +87,8 @@ let pp_summary ppf rep =
     (List.length rep.results) rep.proved rep.falsified
     (fun ppf ->
       if rep.timed_out > 0 then
-        Format.fprintf ppf ", %d timed out" rep.timed_out)
+        Format.fprintf ppf ", %d timed out" rep.timed_out;
+      if rep.capped > 0 then Format.fprintf ppf ", %d capped" rep.capped)
     rep.total_time_s rep.wall_time_s
     (fun ppf ->
       if rep.jobs > 1 then
@@ -100,5 +106,8 @@ let pp_failures ppf rep =
     | Vc.Timeout budget ->
         Format.fprintf ppf "TIMEOUT %s [%s]: exceeded per-VC budget of %gs@."
           r.vc.Vc.id r.vc.Vc.category budget
+    | Vc.Capped msg ->
+        Format.fprintf ppf "CAPPED %s [%s]: %s@." r.vc.Vc.id r.vc.Vc.category
+          msg
   in
   List.iter pp_one rep.results

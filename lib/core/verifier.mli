@@ -27,6 +27,9 @@ type report = {
   proved : int;
   falsified : int;
   timed_out : int;  (** VCs that exhausted their [timeout_s] budget. *)
+  capped : int;
+      (** VCs whose exploration hit a resource cap ({!Vc.Capped}):
+          inconclusive, and counted as failures by {!all_proved}. *)
 }
 
 val discharge : ?jobs:int -> ?timeout_s:float -> Vc.t list -> report
@@ -36,10 +39,10 @@ val discharge : ?jobs:int -> ?timeout_s:float -> Vc.t list -> report
     (see {!Vc.with_budget}); omitted means no budget. *)
 
 val all_proved : report -> bool
-(** [true] iff no VC was falsified or timed out. *)
+(** [true] iff no VC was falsified, timed out, or capped. *)
 
 val failures : report -> result list
-(** The falsified and timed-out results, if any. *)
+(** The falsified, timed-out and capped results, if any. *)
 
 val times : report -> float list
 (** Per-VC times in seconds, in discharge order. *)

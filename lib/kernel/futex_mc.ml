@@ -1,0 +1,136 @@
+(* The futex wait/wake protocol on the model checker: park ~expect is
+   futex_wait (value check + sleep in one atomic step, the kernel's
+   guarantee), unpark is futex_wake.  The properties are all liveness
+   collapsed to safety: a lost wakeup leaves a thread parked forever,
+   which the explorer reports as a deadlock. *)
+
+module E = Bi_core.Explore
+
+let cat = "mc/futex"
+let cat_mutation = "mutation"
+
+(* Wait until the word is non-zero, futex-style: re-check after every
+   wake, sleep only if the word still holds the expected value. *)
+let wait_nonzero ctx w =
+  let rec loop () =
+    if E.read ctx w = 0 then begin
+      E.park ctx w ~expect:0;
+      loop ()
+    end
+  in
+  loop ()
+
+let vc_wake_not_lost =
+  (* One waiter, one waker, every interleaving of the check/sleep window
+     against the store/wake pair: the waiter must always terminate. *)
+  E.vc ~id:"mc/futex/wake-not-lost" ~category:cat
+    ~make:(fun ctx -> E.var ctx ~name:"w" 0)
+    ~threads:
+      [
+        (fun w ctx -> wait_nonzero ctx w);
+        (fun w ctx ->
+          E.write ctx w 1;
+          ignore (E.unpark ctx w ~count:max_int));
+      ]
+    ()
+
+let vc_wake_count_one =
+  (* Bounded wake: two waiters, two wake(1) calls; both waiters must be
+     released (FIFO, one per wake), and a single wake never releases
+     more than one. *)
+  E.vc ~id:"mc/futex/wake-count-one" ~category:cat
+    ~make:(fun ctx -> E.var ctx ~name:"w" 0)
+    ~threads:
+      [
+        (fun w ctx -> wait_nonzero ctx w);
+        (fun w ctx -> wait_nonzero ctx w);
+        (fun w ctx ->
+          E.write ctx w 1;
+          let n1 = E.unpark ctx w ~count:1 in
+          E.check ctx (n1 <= 1) "wake(1) released more than one";
+          let n2 = E.unpark ctx w ~count:1 in
+          E.check ctx (n2 <= 1) "wake(1) released more than one");
+      ]
+    ()
+
+let vc_wake_all_broadcast =
+  E.vc ~id:"mc/futex/wake-all-broadcast" ~category:cat
+    ~config:{ E.default_config with E.preemption_bound = Some 2 }
+    ~make:(fun ctx -> E.var ctx ~name:"w" 0)
+    ~threads:
+      [
+        (fun w ctx -> wait_nonzero ctx w);
+        (fun w ctx -> wait_nonzero ctx w);
+        (fun w ctx -> wait_nonzero ctx w);
+        (fun w ctx ->
+          E.write ctx w 1;
+          ignore (E.unpark ctx w ~count:max_int));
+      ]
+    ()
+
+let vc_handoff_ping_pong =
+  (* Two-phase handoff: t1 passes the baton to t0, t0 passes it back.
+     Each phase is a full store + wake vs. check + sleep race. *)
+  E.vc ~id:"mc/futex/handoff-ping-pong" ~category:cat
+    ~make:(fun ctx -> E.var ctx ~name:"turn" 0)
+    ~threads:
+      [
+        (fun turn ctx ->
+          let rec until v =
+            if E.read ctx turn <> v then begin
+              E.park ctx turn ~expect:(1 - v);
+              until v
+            end
+          in
+          until 1;
+          E.write ctx turn 2;
+          ignore (E.unpark ctx turn ~count:max_int));
+        (fun turn ctx ->
+          E.write ctx turn 1;
+          ignore (E.unpark ctx turn ~count:max_int);
+          let rec until v =
+            if E.read ctx turn <> v then begin
+              E.park ctx turn ~expect:1;
+              until v
+            end
+          in
+          until 2);
+      ]
+    ~final:(fun turn ->
+      if E.peek turn = 2 then None else Some "handoff incomplete")
+    ()
+
+let vc_mutation_wait_unchecked =
+  (* The seeded bug: sleeping without the value check.  If the waker's
+     store+wake lands in the window between the waiter's read and its
+     sleep, the wake is gone and the waiter never runs again. *)
+  let broken_wait ctx w =
+    let rec loop () =
+      if E.read ctx w = 0 then begin
+        E.park_any ctx w;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  E.vc_catches ~id:"mc/mutation/futex-wait-unchecked" ~category:cat_mutation
+    ~expect:(fun f ->
+      match f.E.kind with E.Deadlock _ -> true | _ -> false)
+    ~make:(fun ctx -> E.var ctx ~name:"w" 0)
+    ~threads:
+      [
+        (fun w ctx -> broken_wait ctx w);
+        (fun w ctx ->
+          E.write ctx w 1;
+          ignore (E.unpark ctx w ~count:max_int));
+      ]
+    ()
+
+let vcs () =
+  [
+    vc_wake_not_lost;
+    vc_wake_count_one;
+    vc_wake_all_broadcast;
+    vc_handoff_ping_pong;
+    vc_mutation_wait_unchecked;
+  ]

@@ -1,0 +1,16 @@
+(** Model-checked drivers for the kernel futex protocol.
+
+    {!Futex} itself is a queue table the kernel mutates under its own
+    cooperative atomicity; what is racy is the {e protocol} between a
+    userspace value and the wait/wake syscalls.  These drivers model that
+    protocol on {!Bi_core.Explore} — [futex_wait ~expected] is
+    [park ~expect] (the value check and the sleep are one atomic step,
+    exactly the guarantee the kernel provides), [futex_wake] is
+    [unpark] — and prove the wakeup side: no waiter sleeps through a
+    wake, bounded wake counts hand off one waiter at a time, broadcast
+    wakes everyone, and a two-phase ping-pong handoff never wedges.  The
+    seeded mutation drops the value check (an unconditional sleep), which
+    must be caught as the classic lost-wakeup deadlock.  Part of the
+    [mc] verify suite. *)
+
+val vcs : unit -> Bi_core.Vc.t list

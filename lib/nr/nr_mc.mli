@@ -1,0 +1,20 @@
+(** Model-checked drivers for the node-replication building blocks.
+
+    Three NR mechanisms, transcribed onto {!Bi_core.Explore} with the
+    atomicity the real code has (CAS for log reservation and the rwlock
+    word, plain reads on the lock-free read path):
+
+    - the {!Log} append protocol — reserve by CAS {e before} publishing,
+      so a full log never strands the tail (the pre-fix blind
+      fetch-and-add bug is the seeded mutation);
+    - the {!Rwlock} word — writers exclude everyone, and a release whose
+      read-modify-write is split in two (the second mutation) loses a
+      concurrent reader's decrement;
+    - a miniature flat-combining replica — requests published in
+      per-thread slots, one combiner batches them through the log and
+      distributes responses; every explored schedule's history must pass
+      {!Bi_core.Linearizability} against the sequential counter.
+
+    Part of the [mc] verify suite. *)
+
+val vcs : unit -> Bi_core.Vc.t list

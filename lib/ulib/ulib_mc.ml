@@ -1,0 +1,414 @@
+(* The ulib primitives transcribed onto the model checker's instrumented
+   shared-state API.  The transcription rule: userspace load+store with
+   no syscall in between is atomic under the kernel's cooperative
+   scheduler, so it maps to one [Explore.update]; a futex wait/wake
+   syscall maps to [park ~expect]/[unpark].  The models below therefore
+   have exactly the atomicity the real code relies on — and the seeded
+   mutations exactly the atomicity bugs the real code would have if that
+   reasoning were wrong. *)
+
+module E = Bi_core.Explore
+module Vc = Bi_core.Vc
+
+let cat = "mc/ulib"
+let cat_mutation = "mutation"
+
+(* Bounded search: the drivers below run 2-3 threads with ~10 yield
+   points each; CHESS-style preemption bounding keeps exploration small
+   while still covering every bug reachable with two preemptions (all
+   the seeded ones need one). *)
+let bounded = { E.default_config with E.preemption_bound = Some 2 }
+
+(* ------------------------------------------------------------------ *)
+(* Critical-section instrumentation: entering increments an occupancy
+   cell and asserts it was free; leaving decrements. *)
+
+let cs_enter ctx cs =
+  let prev = E.update ctx cs (fun c -> c + 1) in
+  E.check ctx (prev = 0) "mutual exclusion violated"
+
+let cs_exit ctx cs = ignore (E.update ctx cs (fun c -> c - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Umutex model: 0 unlocked, 1 locked, 2 locked with possible waiters. *)
+
+let mutex_lock ctx m =
+  let v = E.update ctx m (fun v -> if v = 0 then 1 else v) in
+  if v <> 0 then begin
+    let rec contended () =
+      (* Re-acquire with 2, never 1: a woken waiter cannot know whether
+         more waiters sleep behind it (Drepper). *)
+      let v = E.update ctx m (fun _ -> 2) in
+      if v <> 0 then begin
+        E.park ctx m ~expect:2;
+        contended ()
+      end
+    in
+    contended ()
+  end
+
+let mutex_unlock ctx m =
+  let v = E.update ctx m (fun _ -> 0) in
+  E.check ctx (v <> 0) "unlock of unlocked mutex";
+  if v = 2 then ignore (E.unpark ctx m ~count:1)
+
+type mutex_state = { m : E.var; cs : E.var }
+
+let mutex_make ctx =
+  { m = E.var ctx ~name:"mutex" 0; cs = E.var ctx ~name:"cs" 0 }
+
+let mutex_worker st ctx =
+  mutex_lock ctx st.m;
+  cs_enter ctx st.cs;
+  cs_exit ctx st.cs;
+  mutex_unlock ctx st.m
+
+let mutex_final st =
+  if E.peek st.m = 0 then None
+  else Some (Printf.sprintf "mutex left in state %d" (E.peek st.m))
+
+let vc_mutex_exclusion_2t =
+  E.vc ~id:"mc/umutex/mutual-exclusion-2t" ~category:cat ~make:mutex_make
+    ~threads:[ mutex_worker; mutex_worker ] ~final:mutex_final ()
+
+let vc_mutex_exclusion_3t =
+  E.vc ~id:"mc/umutex/mutual-exclusion-3t" ~category:cat ~config:bounded
+    ~make:mutex_make
+    ~threads:[ mutex_worker; mutex_worker; mutex_worker ]
+    ~final:mutex_final ()
+
+(* No lost wakeup: every contender eventually acquires; a wakeup dropped
+   anywhere shows up as a deadlock (parked thread nobody will wake),
+   which the explorer reports on its own. *)
+let vc_mutex_no_lost_wakeup =
+  E.vc ~id:"mc/umutex/no-lost-wakeup" ~category:cat ~config:bounded
+    ~make:mutex_make
+    ~threads:
+      [
+        (fun st ctx ->
+          mutex_lock ctx st.m;
+          mutex_unlock ctx st.m;
+          mutex_lock ctx st.m;
+          mutex_unlock ctx st.m);
+        mutex_worker;
+        mutex_worker;
+      ]
+    ~final:mutex_final ()
+
+(* Mutation 1: unlock that drops the wake (stores 0 but never calls
+   futex_wake).  A parked waiter sleeps forever: deadlock. *)
+let vc_mutation_unlock_drops_wake =
+  let broken_unlock ctx m = ignore (E.update ctx m (fun _ -> 0)) in
+  E.vc_catches ~id:"mc/mutation/umutex-unlock-drops-wake"
+    ~category:cat_mutation
+    ~expect:(fun f ->
+      match f.E.kind with E.Deadlock _ -> true | _ -> false)
+    ~make:mutex_make
+    ~threads:
+      [
+        (fun st ctx ->
+          mutex_lock ctx st.m;
+          cs_enter ctx st.cs;
+          cs_exit ctx st.cs;
+          broken_unlock ctx st.m);
+        mutex_worker;
+      ]
+    ()
+
+(* Mutation 2: the fast path's load+store split in two yield points, as
+   if a syscall (= preemption opportunity) sat between them.  Two
+   threads both read 0 and both enter. *)
+let vc_mutation_nonatomic_fastpath =
+  let broken_lock ctx m =
+    let v = E.read ctx m in
+    if v = 0 then E.write ctx m 1
+    else begin
+      let rec contended () =
+        let v = E.update ctx m (fun _ -> 2) in
+        if v <> 0 then begin
+          E.park ctx m ~expect:2;
+          contended ()
+        end
+      in
+      contended ()
+    end
+  in
+  E.vc_catches ~id:"mc/mutation/umutex-nonatomic-rmw" ~category:cat_mutation
+    ~expect:(fun f ->
+      match f.E.kind with E.Assertion _ -> true | _ -> false)
+    ~make:mutex_make
+    ~threads:
+      [
+        (fun st ctx ->
+          broken_lock ctx st.m;
+          cs_enter ctx st.cs;
+          cs_exit ctx st.cs;
+          mutex_unlock ctx st.m);
+        (fun st ctx ->
+          broken_lock ctx st.m;
+          cs_enter ctx st.cs;
+          cs_exit ctx st.cs;
+          mutex_unlock ctx st.m);
+      ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Urwlock model: word >= 0 is the reader count, -1 a writer. *)
+
+let read_lock ctx l =
+  let rec loop () =
+    let v = E.update ctx l (fun v -> if v >= 0 then v + 1 else v) in
+    if v < 0 then begin
+      E.park ctx l ~expect:(-1);
+      loop ()
+    end
+  in
+  loop ()
+
+let read_unlock ctx l =
+  let v = E.update ctx l (fun v -> v - 1) in
+  E.check ctx (v >= 1) "read_unlock without readers";
+  if v = 1 then ignore (E.unpark ctx l ~count:max_int)
+
+let write_lock ctx l =
+  let rec loop () =
+    let v = E.update ctx l (fun v -> if v = 0 then -1 else v) in
+    if v <> 0 then begin
+      E.park ctx l ~expect:v;
+      loop ()
+    end
+  in
+  loop ()
+
+let write_unlock ctx l =
+  let v = E.update ctx l (fun _ -> 0) in
+  E.check ctx (v = -1) "write_unlock without writer";
+  ignore (E.unpark ctx l ~count:max_int)
+
+(* Occupancy encoding: a writer adds 100, a reader 1; a writer must see
+   an empty section, a reader at most other readers. *)
+type rw_state = { l : E.var; occ : E.var }
+
+let rw_make ctx =
+  { l = E.var ctx ~name:"rw" 0; occ = E.var ctx ~name:"occ" 0 }
+
+let rw_reader st ctx =
+  read_lock ctx st.l;
+  let o = E.update ctx st.occ (fun o -> o + 1) in
+  E.check ctx (o < 100) "reader overlaps a writer";
+  ignore (E.update ctx st.occ (fun o -> o - 1));
+  read_unlock ctx st.l
+
+let rw_writer st ctx =
+  write_lock ctx st.l;
+  let o = E.update ctx st.occ (fun o -> o + 100) in
+  E.check ctx (o = 0) "writer overlaps readers or another writer";
+  ignore (E.update ctx st.occ (fun o -> o - 100));
+  write_unlock ctx st.l
+
+let rw_final st =
+  if E.peek st.l = 0 then None
+  else Some (Printf.sprintf "rwlock left in state %d" (E.peek st.l))
+
+let vc_rw_writer_excludes =
+  E.vc ~id:"mc/urwlock/writer-excludes" ~category:cat ~config:bounded
+    ~make:rw_make
+    ~threads:[ rw_writer; rw_reader; rw_reader ]
+    ~final:rw_final ()
+
+let vc_rw_two_writers =
+  E.vc ~id:"mc/urwlock/two-writers-exclude" ~category:cat ~make:rw_make
+    ~threads:[ rw_writer; rw_writer ] ~final:rw_final ()
+
+(* Readers must be able to share: some schedule has both readers inside
+   the section at once.  The witness ref lives outside [make], so it
+   accumulates across all explored schedules. *)
+let vc_rw_readers_share =
+  Vc.make ~id:"mc/urwlock/readers-share" ~category:cat (fun () ->
+      let witnessed = ref false in
+      let reader st ctx =
+        read_lock ctx st.l;
+        let o = E.update ctx st.occ (fun o -> o + 1) in
+        if o = 1 then witnessed := true;
+        ignore (E.update ctx st.occ (fun o -> o - 1));
+        read_unlock ctx st.l
+      in
+      match
+        E.run ~make:rw_make ~threads:[ reader; reader ] ~final:rw_final ()
+      with
+      | E.Fail (f, _) ->
+          Vc.Falsified ("two readers must not fail: " ^
+                        String.concat " | " f.E.trace)
+      | E.Pass stats when not stats.E.complete ->
+          Vc.Capped "reader-sharing exploration capped"
+      | E.Pass _ ->
+          if !witnessed then Vc.Proved
+          else Vc.Falsified "no schedule had two concurrent readers")
+
+(* Mutation 3 (counted under nr's rwlock family): see Nr_mc for the
+   non-atomic release mutation on the NR rwlock. *)
+
+(* ------------------------------------------------------------------ *)
+(* Usem model: the word is the permit count. *)
+
+let sem_wait ctx s =
+  let rec loop () =
+    let v = E.update ctx s (fun v -> if v > 0 then v - 1 else v) in
+    if v = 0 then begin
+      E.park ctx s ~expect:0;
+      loop ()
+    end
+  in
+  loop ()
+
+let sem_post ctx s =
+  let v = E.update ctx s (fun v -> v + 1) in
+  if v = 0 then ignore (E.unpark ctx s ~count:1)
+
+type sem_state = { s : E.var; sem_cs : E.var }
+
+let sem_make init ctx =
+  { s = E.var ctx ~name:"sem" init; sem_cs = E.var ctx ~name:"cs" 0 }
+
+let vc_sem_binary_excludes =
+  let worker st ctx =
+    sem_wait ctx st.s;
+    cs_enter ctx st.sem_cs;
+    cs_exit ctx st.sem_cs;
+    sem_post ctx st.s
+  in
+  E.vc ~id:"mc/usem/binary-excludes" ~category:cat ~config:bounded
+    ~make:(sem_make 1)
+    ~threads:[ worker; worker; worker ]
+    ~final:(fun st ->
+      if E.peek st.s = 1 then None else Some "permit lost or duplicated")
+    ()
+
+let vc_sem_post_wakes =
+  (* Consumer may park before the producer posts; the post's wake must
+     reach it — a lost wake is a deadlock. *)
+  E.vc ~id:"mc/usem/post-wakes" ~category:cat
+    ~make:(sem_make 0)
+    ~threads:
+      [
+        (fun st ctx -> sem_wait ctx st.s);
+        (fun st ctx -> sem_post ctx st.s);
+      ]
+    ~final:(fun st ->
+      if E.peek st.s = 0 then None else Some "permit count wrong")
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Ucond model: a sequence word; wait snapshots it, releases the mutex,
+   parks unless the sequence moved; signal bumps it and wakes. *)
+
+let cond_wait ctx ~seq ~m =
+  let snap = E.read ctx seq in
+  mutex_unlock ctx m;
+  E.park ctx seq ~expect:snap;
+  mutex_lock ctx m
+
+let cond_signal ctx ~seq =
+  ignore (E.update ctx seq (fun v -> v + 1));
+  ignore (E.unpark ctx seq ~count:1)
+
+type cond_state = { cm : E.var; seq : E.var; ready : E.var }
+
+let cond_make ctx =
+  {
+    cm = E.var ctx ~name:"mutex" 0;
+    seq = E.var ctx ~name:"seq" 0;
+    ready = E.var ctx ~name:"ready" 0;
+  }
+
+let vc_cond_no_lost_signal =
+  (* The classic missed-signal window: the waiter releases the mutex and
+     only then parks; a signal landing inside that window must still be
+     seen (the sequence word moved, so the park returns immediately). *)
+  let waiter st ctx =
+    mutex_lock ctx st.cm;
+    let rec loop () =
+      if E.read ctx st.ready = 0 then begin
+        cond_wait ctx ~seq:st.seq ~m:st.cm;
+        loop ()
+      end
+    in
+    loop ();
+    mutex_unlock ctx st.cm
+  in
+  let signaler st ctx =
+    mutex_lock ctx st.cm;
+    E.write ctx st.ready 1;
+    cond_signal ctx ~seq:st.seq;
+    mutex_unlock ctx st.cm
+  in
+  E.vc ~id:"mc/ucond/no-lost-signal" ~category:cat ~config:bounded
+    ~make:cond_make
+    ~threads:[ waiter; signaler ]
+    ~final:(fun st ->
+      if E.peek st.cm = 0 then None else Some "mutex held at exit")
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Ubarrier model: generation + arrival count; the last arrival resets
+   the count, bumps the generation and wakes everyone. *)
+
+type barrier_state = { gen : E.var; count : E.var; arrived : E.var; n : int }
+
+let barrier_make n ctx =
+  {
+    gen = E.var ctx ~name:"gen" 0;
+    count = E.var ctx ~name:"count" 0;
+    arrived = E.var ctx ~name:"arrived" 0;
+    n;
+  }
+
+let barrier_arrive ctx st =
+  let g = E.read ctx st.gen in
+  let c = E.update ctx st.count (fun c -> c + 1) in
+  if c + 1 = st.n then begin
+    E.write ctx st.count 0;
+    ignore (E.update ctx st.gen (fun v -> v + 1));
+    ignore (E.unpark ctx st.gen ~count:max_int)
+  end
+  else begin
+    let rec wait () =
+      if E.read ctx st.gen = g then begin
+        E.park ctx st.gen ~expect:g;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
+let vc_barrier_rendezvous =
+  (* Rendezvous: nobody crosses the barrier before everyone arrived. *)
+  let worker st ctx =
+    ignore (E.update ctx st.arrived (fun a -> a + 1));
+    barrier_arrive ctx st;
+    E.check ctx
+      (E.read ctx st.arrived = st.n)
+      "crossed the barrier before full rendezvous"
+  in
+  E.vc ~id:"mc/ubarrier/rendezvous" ~category:cat ~config:bounded
+    ~make:(barrier_make 3)
+    ~threads:[ worker; worker; worker ]
+    ~final:(fun st ->
+      if E.peek st.count = 0 then None else Some "arrival count not reset")
+    ()
+
+let vcs () =
+  [
+    vc_mutex_exclusion_2t;
+    vc_mutex_exclusion_3t;
+    vc_mutex_no_lost_wakeup;
+    vc_mutation_unlock_drops_wake;
+    vc_mutation_nonatomic_fastpath;
+    vc_rw_writer_excludes;
+    vc_rw_two_writers;
+    vc_rw_readers_share;
+    vc_sem_binary_excludes;
+    vc_sem_post_wakes;
+    vc_cond_no_lost_signal;
+    vc_barrier_rendezvous;
+  ]

@@ -1,0 +1,16 @@
+(** Model-checked drivers for the userspace synchronisation primitives.
+
+    Each [lib/ulib] primitive — {!Umutex}, {!Urwlock}, {!Usem}, {!Ucond},
+    {!Ubarrier} — is transcribed onto {!Bi_core.Explore}'s instrumented
+    API, preserving the real protocol exactly: a load+store pair with no
+    syscall between is atomic under the kernel's cooperative scheduler,
+    so it becomes one [update]; [futex_wait]/[futex_wake] become
+    [park ~expect]/[unpark].  The explorer then proves mutual exclusion,
+    absence of lost wakeups (as deadlock-freedom), semaphore bounds,
+    condition-variable signal delivery and barrier rendezvous over every
+    schedule (up to POR, within the configured preemption bound), and
+    must catch two seeded mutations: Drepper's dropped-wakeup unlock and
+    a fast path whose read-modify-write is split in two.  Part of the
+    [mc] verify suite. *)
+
+val vcs : unit -> Bi_core.Vc.t list

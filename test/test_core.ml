@@ -9,6 +9,7 @@ module Pool = Bi_core.Pool
 module Verifier = Bi_core.Verifier
 module Contract = Bi_core.Contract
 module Interleave = Bi_core.Interleave
+module Explore = Bi_core.Explore
 
 let check = Alcotest.check
 let qtest name count gen law =
@@ -169,7 +170,8 @@ let test_vc_catch_exception () =
   | Vc.Falsified msg ->
       check Alcotest.bool "mentions exception" true
         (String.length msg > 0)
-  | Vc.Proved | Vc.Timeout _ -> Alcotest.fail "exception must falsify"
+  | Vc.Proved | Vc.Timeout _ | Vc.Capped _ ->
+      Alcotest.fail "exception must falsify"
 
 let test_vc_forall_range () =
   check Alcotest.bool "all in range" true
@@ -615,17 +617,78 @@ let test_lin_rejects_phantom_value () =
   in
   check Alcotest.bool "phantom read rejected" false (Lin.check ~init:0 history)
 
+(* The counterexample must name the call whose return no witness can
+   produce, not just dump the history. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let expect_counterexample history ~names ~not_blamed =
+  match Lin.counterexample ~init:0 history with
+  | None -> Alcotest.fail "history must be non-linearizable"
+  | Some msg ->
+      check Alcotest.bool
+        (Printf.sprintf "explanation %S names %S" msg names)
+        true
+        (contains msg ("no witness can produce the return of the call\n  " ^ names)
+        || contains msg ("of any of\n" ^ names));
+      List.iter
+        (fun other ->
+            check Alcotest.bool
+              (Printf.sprintf "does not blame %S" other)
+              false
+              (contains msg ("return of the call\n  " ^ other)))
+        not_blamed
+
+let test_lin_counterexample_stale_read () =
+  (* Write completes before the read starts; the stale read is the
+     offending call, the write is fine. *)
+  expect_counterexample
+    [
+      { Lin.proc = 0; op = Reg_spec.Write 5; ret = 0; inv = 0; res = 1 };
+      { Lin.proc = 1; op = Reg_spec.Read; ret = 0; inv = 2; res = 3 };
+    ]
+    ~names:"p1: r -> 0 [2,3]"
+    ~not_blamed:[ "p0: w5 -> 0 [0,1]" ]
+
+let test_lin_counterexample_duplicated_response () =
+  (* Two non-overlapping reads of a register that was written once in
+     between: the second read's duplicated old value is the offender. *)
+  expect_counterexample
+    [
+      { Lin.proc = 0; op = Reg_spec.Read; ret = 0; inv = 0; res = 1 };
+      { Lin.proc = 0; op = Reg_spec.Write 7; ret = 0; inv = 2; res = 3 };
+      { Lin.proc = 1; op = Reg_spec.Read; ret = 0; inv = 4; res = 5 };
+    ]
+    ~names:"p1: r -> 0 [4,5]"
+    ~not_blamed:[ "p0: r -> 0 [0,1]"; "p0: w7 -> 0 [2,3]" ]
+
+let test_lin_counterexample_realtime_violation () =
+  (* Both writes precede the read in real time, so their order is fixed
+     and the read must see the second one; seeing the first violates the
+     real-time order. *)
+  expect_counterexample
+    [
+      { Lin.proc = 0; op = Reg_spec.Write 1; ret = 0; inv = 0; res = 1 };
+      { Lin.proc = 0; op = Reg_spec.Write 2; ret = 0; inv = 2; res = 3 };
+      { Lin.proc = 1; op = Reg_spec.Read; ret = 1; inv = 4; res = 5 };
+    ]
+    ~names:"p1: r -> 1 [4,5]"
+    ~not_blamed:[ "p0: w1 -> 0 [0,1]"; "p0: w2 -> 0 [2,3]" ]
+
 (* ------------------------------------------------------------------ *)
 (* Interleave *)
 
 let test_merges_count () =
-  let ms = Interleave.merges [ [ 1; 2 ]; [ 3 ] ] in
+  let ms = Interleave.value (Interleave.merges [ [ 1; 2 ]; [ 3 ] ]) in
   check Alcotest.int "3 merges" 3 (List.length ms);
   check Alcotest.int "count matches" (List.length ms)
     (Interleave.count_merges [ [ 1; 2 ]; [ 3 ] ])
 
 let test_merges_order_preserved () =
-  let ms = Interleave.merges [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let ms = Interleave.value (Interleave.merges [ [ 1; 2 ]; [ 3; 4 ] ]) in
   let ordered l =
     let pos x = ref (List.mapi (fun i y -> (y, i)) l |> List.assoc x) in
     !(pos 1) < !(pos 2) && !(pos 3) < !(pos 4)
@@ -650,9 +713,10 @@ let test_exhaustive_finds_race () =
     | None -> st
   in
   let finals =
-    Interleave.final_states ~init:(0, None, None)
-      ~threads:[ [ read 0; write 0 ]; [ read 1; write 1 ] ]
-      ()
+    Interleave.value
+      (Interleave.final_states ~init:(0, None, None)
+         ~threads:[ [ read 0; write 0 ]; [ read 1; write 1 ] ]
+         ())
   in
   let results = List.map (fun (a, _, _) -> a) finals in
   check Alcotest.bool "race found (lost update)" true (List.mem 1 results);
@@ -665,7 +729,7 @@ let test_exhaustive_invariant_failure_reported () =
       ~check:(fun x -> x < 2)
       ()
   with
-  | Ok () -> Alcotest.fail "invariant violation must be reported"
+  | Ok _ -> Alcotest.fail "invariant violation must be reported"
   | Error msg -> check Alcotest.bool "schedule named" true (String.length msg > 0)
 
 let test_exhaustive_limit () =
@@ -676,10 +740,169 @@ let test_exhaustive_limit () =
       ~check:(fun _ -> true)
       ()
   with
-  | exception Invalid_argument _ -> ()
-  | Ok () | Error _ -> Alcotest.fail "limit must trip"
+  | Ok (Interleave.Capped ()) -> ()
+  | Ok (Interleave.Complete ()) -> Alcotest.fail "limit must cap enumeration"
+  | Error _ -> Alcotest.fail "no invariant should fail"
+
+let test_merges_capped_typed () =
+  (* The cap is a typed outcome, not an exception, and the payload is a
+     prefix of the full enumeration. *)
+  match Interleave.merges ~limit:2 [ [ 1; 2 ]; [ 3; 4 ] ] with
+  | Interleave.Capped ms ->
+      check Alcotest.int "prefix length" 2 (List.length ms);
+      let all = Interleave.value (Interleave.merges [ [ 1; 2 ]; [ 3; 4 ] ]) in
+      check Alcotest.int "full space" 6 (List.length all);
+      check Alcotest.bool "prefix of full order" true
+        (ms = [ List.nth all 0; List.nth all 1 ])
+  | Interleave.Complete _ -> Alcotest.fail "limit 2 of 6 must cap"
 
 (* ------------------------------------------------------------------ *)
+(* Explore: the model checker's own exploration, shrinking and replay *)
+
+(* Two threads doing a non-atomic increment (read, then write back) over
+   a shared cell: the classic lost update.  Used by several tests. *)
+let lost_update_threads =
+  let body v ctx =
+    let tmp = Explore.read ctx v in
+    Explore.write ctx v (tmp + 1)
+  in
+  [ body; body ]
+
+let lost_update_final v =
+  if Explore.peek v = 2 then None
+  else Some (Printf.sprintf "counter = %d, expected 2" (Explore.peek v))
+
+let test_explore_finds_lost_update () =
+  match
+    Explore.run
+      ~make:(fun ctx -> Explore.var ctx ~name:"c" 0)
+      ~threads:lost_update_threads ~final:lost_update_final ()
+  with
+  | Explore.Fail (f, _) ->
+      check Alcotest.bool "assertion failure" true
+        (match f.Explore.kind with Explore.Assertion _ -> true | _ -> false)
+  | Explore.Pass _ -> Alcotest.fail "lost update must be found"
+
+let test_explore_atomic_passes () =
+  let body v ctx = ignore (Explore.update ctx v (fun x -> x + 1)) in
+  match
+    Explore.run
+      ~make:(fun ctx -> Explore.var ctx 0)
+      ~threads:[ body; body; body ] ~final:(fun v ->
+        if Explore.peek v = 3 then None else Some "not 3")
+      ()
+  with
+  | Explore.Pass stats ->
+      check Alcotest.bool "complete" true stats.Explore.complete
+  | Explore.Fail (f, _) ->
+      Alcotest.failf "atomic increments must pass: %s"
+        (String.concat "|" f.Explore.trace)
+
+let test_explore_deterministic () =
+  let go () =
+    Explore.run
+      ~make:(fun ctx -> Explore.var ctx 0)
+      ~threads:lost_update_threads ~final:lost_update_final ()
+  in
+  match (go (), go ()) with
+  | Explore.Fail (f1, s1), Explore.Fail (f2, s2) ->
+      check (Alcotest.list Alcotest.int) "same schedule" f1.Explore.schedule
+        f2.Explore.schedule;
+      check Alcotest.int "same schedule count" s1.Explore.schedules
+        s2.Explore.schedules
+  | _ -> Alcotest.fail "both runs must fail identically"
+
+(* A 3-thread bug that needs at least one preemption but is seeded so the
+   naive DFS first finds it on a schedule with extra context switches:
+   shrinking must bring it down, and the shrunk schedule must replay. *)
+let shrink_make ctx = Explore.var ctx ~name:"c" 0
+
+let shrink_threads =
+  let incr_nonatomic v ctx =
+    let tmp = Explore.read ctx v in
+    Explore.write ctx v (tmp + 1)
+  in
+  let noise v ctx =
+    let _ = Explore.read ctx v in
+    let _ = Explore.read ctx v in
+    ()
+  in
+  [ incr_nonatomic; incr_nonatomic; noise ]
+
+let shrink_final v = if Explore.peek v = 2 then None else Some "lost update"
+
+let test_explore_shrinks_to_few_preemptions () =
+  match
+    Explore.run ~make:shrink_make ~threads:shrink_threads ~final:shrink_final
+      ()
+  with
+  | Explore.Fail (f, _) ->
+      check Alcotest.bool "≤2 preemptions after shrinking" true
+        (f.Explore.preemptions <= 2)
+  | Explore.Pass _ -> Alcotest.fail "seeded race must be found"
+
+let test_explore_shrunk_schedule_replays () =
+  match
+    Explore.run ~make:shrink_make ~threads:shrink_threads ~final:shrink_final
+      ()
+  with
+  | Explore.Fail (f, _) -> (
+      match
+        Explore.replay ~make:shrink_make ~threads:shrink_threads
+          ~final:shrink_final ~schedule:f.Explore.schedule ()
+      with
+      | Some f' ->
+          check Alcotest.bool "same kind of failure" true
+            (match f'.Explore.kind with
+            | Explore.Assertion _ -> true
+            | _ -> false)
+      | None -> Alcotest.fail "shrunk schedule must reproduce the failure")
+  | Explore.Pass _ -> Alcotest.fail "seeded race must be found"
+
+let test_explore_deadlock_detected () =
+  (* Classic ABBA lock ordering deadlock. *)
+  let make ctx = (Explore.lock ctx ~name:"A" (), Explore.lock ctx ~name:"B" ()) in
+  let t_ab (a, b) ctx =
+    Explore.acquire ctx a;
+    Explore.acquire ctx b;
+    Explore.release ctx b;
+    Explore.release ctx a
+  in
+  let t_ba (a, b) ctx =
+    Explore.acquire ctx b;
+    Explore.acquire ctx a;
+    Explore.release ctx a;
+    Explore.release ctx b
+  in
+  match Explore.run ~make ~threads:[ t_ab; t_ba ] () with
+  | Explore.Fail (f, _) ->
+      check Alcotest.bool "deadlock" true
+        (match f.Explore.kind with Explore.Deadlock _ -> true | _ -> false)
+  | Explore.Pass _ -> Alcotest.fail "ABBA deadlock must be found"
+
+let test_explore_por_reduces () =
+  (* Three threads touching disjoint cells: POR collapses the schedule
+     space; without POR the explorer visits strictly more schedules. *)
+  let make ctx = Array.init 3 (fun i -> Explore.var ctx i) in
+  let t i vs ctx =
+    Explore.write ctx vs.(i) 1;
+    Explore.write ctx vs.(i) 2
+  in
+  let threads = [ t 0; t 1; t 2 ] in
+  let count por =
+    match
+      Explore.run
+        ~config:{ Explore.default_config with por }
+        ~make ~threads ()
+    with
+    | Explore.Pass s -> s.Explore.schedules
+    | Explore.Fail _ -> Alcotest.fail "independent writes cannot fail"
+  in
+  let with_por = count true and without = count false in
+  check Alcotest.bool
+    (Printf.sprintf "POR %d < naive %d" with_por without)
+    true
+    (with_por < without)
 
 let () =
   Alcotest.run "bi_core"
@@ -775,6 +998,12 @@ let () =
           Alcotest.test_case "accepts concurrent reorder" `Quick test_lin_accepts_concurrent_reorder;
           Alcotest.test_case "rejects stale read" `Quick test_lin_rejects_stale_read;
           Alcotest.test_case "rejects phantom value" `Quick test_lin_rejects_phantom_value;
+          Alcotest.test_case "counterexample names stale read" `Quick
+            test_lin_counterexample_stale_read;
+          Alcotest.test_case "counterexample names duplicated response" `Quick
+            test_lin_counterexample_duplicated_response;
+          Alcotest.test_case "counterexample names real-time violation" `Quick
+            test_lin_counterexample_realtime_violation;
         ] );
       ( "interleave",
         [
@@ -784,5 +1013,21 @@ let () =
           Alcotest.test_case "finds lost update" `Quick test_exhaustive_finds_race;
           Alcotest.test_case "reports violating schedule" `Quick test_exhaustive_invariant_failure_reported;
           Alcotest.test_case "limit trips" `Quick test_exhaustive_limit;
+          Alcotest.test_case "capped is typed" `Quick test_merges_capped_typed;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "finds lost update" `Quick
+            test_explore_finds_lost_update;
+          Alcotest.test_case "atomic passes" `Quick test_explore_atomic_passes;
+          Alcotest.test_case "deterministic" `Quick test_explore_deterministic;
+          Alcotest.test_case "shrinks to few preemptions" `Quick
+            test_explore_shrinks_to_few_preemptions;
+          Alcotest.test_case "shrunk schedule replays" `Quick
+            test_explore_shrunk_schedule_replays;
+          Alcotest.test_case "detects ABBA deadlock" `Quick
+            test_explore_deadlock_detected;
+          Alcotest.test_case "POR reduces schedules" `Quick
+            test_explore_por_reduces;
         ] );
     ]

@@ -32,7 +32,7 @@ let abi_vc_cases () =
       Alcotest.test_case vc.Bi_core.Vc.id `Quick (fun () ->
           match Bi_core.Vc.catch vc.Bi_core.Vc.check with
           | Bi_core.Vc.Proved -> ()
-          | (Bi_core.Vc.Falsified _ | Bi_core.Vc.Timeout _) as o ->
+          | (Bi_core.Vc.Falsified _ | Bi_core.Vc.Timeout _ | Bi_core.Vc.Capped _) as o ->
               Alcotest.failf "%a" Bi_core.Vc.pp_outcome o))
     (Sysabi.vcs ())
 
@@ -713,9 +713,10 @@ let test_fd_offset_drf_at_syscall_granularity () =
     (contents, off + len, acc ^ String.sub contents off len)
   in
   let finals =
-    Bi_core.Interleave.final_states ~init:("abcdef", 0, "")
-      ~threads:[ [ read_n 2 ]; [ read_n 2 ] ]
-      ()
+    Bi_core.Interleave.value
+      (Bi_core.Interleave.final_states ~init:("abcdef", 0, "")
+         ~threads:[ [ read_n 2 ]; [ read_n 2 ] ]
+         ())
   in
   (* Whole-syscall atomicity: every interleaving yields the same bytes. *)
   check Alcotest.bool "all interleavings read abcd" true

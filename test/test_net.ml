@@ -25,7 +25,7 @@ let vc_cases () =
       Alcotest.test_case vc.Bi_core.Vc.id `Quick (fun () ->
           match Bi_core.Vc.catch vc.Bi_core.Vc.check with
           | Bi_core.Vc.Proved -> ()
-          | (Bi_core.Vc.Falsified _ | Bi_core.Vc.Timeout _) as o ->
+          | (Bi_core.Vc.Falsified _ | Bi_core.Vc.Timeout _ | Bi_core.Vc.Capped _) as o ->
               Alcotest.failf "%a" Bi_core.Vc.pp_outcome o))
     (Bi_net.Net_check.vcs ())
 

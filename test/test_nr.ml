@@ -337,6 +337,52 @@ let test_scheduler_under_nr () =
   check Alcotest.int "distinct tids" 400
     (List.length (List.sort_uniq compare all))
 
+(* ------------------------------------------------------------------ *)
+(* Nr_sim determinism: the simulator's only nondeterminism is the seeded
+   jitter generator, so identical config ⇒ identical result, and a
+   different seed perturbs only the jitter-derived latency fields. *)
+
+let sim_result = Alcotest.testable
+    (fun ppf (r : Bi_nr.Nr_sim.result) ->
+      Format.fprintf ppf "{mean=%.6f p50=%.6f p99=%.6f thr=%.6f batch=%.3f}"
+        r.Bi_nr.Nr_sim.mean_latency_us r.Bi_nr.Nr_sim.p50_us
+        r.Bi_nr.Nr_sim.p99_us r.Bi_nr.Nr_sim.throughput_mops
+        r.Bi_nr.Nr_sim.mean_batch)
+    ( = )
+
+let test_nr_sim_deterministic () =
+  let cfg = Bi_nr.Nr_sim.default_config in
+  check sim_result "same seed, same config, bit-identical result"
+    (Bi_nr.Nr_sim.run cfg) (Bi_nr.Nr_sim.run cfg);
+  let cfg' = { cfg with Bi_nr.Nr_sim.cores = 4; ops_per_core = 100 } in
+  check sim_result "holds across configs" (Bi_nr.Nr_sim.run cfg')
+    (Bi_nr.Nr_sim.run cfg')
+
+let test_nr_sim_seed_perturbs_only_jitter () =
+  let cfg = Bi_nr.Nr_sim.default_config in
+  let a = Bi_nr.Nr_sim.run { cfg with Bi_nr.Nr_sim.seed = "seed-a" } in
+  let b = Bi_nr.Nr_sim.run { cfg with Bi_nr.Nr_sim.seed = "seed-b" } in
+  (* Latencies are jitter-derived and must move... *)
+  check Alcotest.bool "distinct seeds shift latency" true
+    (a.Bi_nr.Nr_sim.mean_latency_us <> b.Bi_nr.Nr_sim.mean_latency_us);
+  (* ...but only within the configured noise amplitude: the structural
+     outcome (work per op, batch shape) stays put. *)
+  let close rel x y = Float.abs (x -. y) <= rel *. Float.max x y in
+  check Alcotest.bool "mean within jitter band" true
+    (close (4. *. cfg.Bi_nr.Nr_sim.jitter) a.Bi_nr.Nr_sim.mean_latency_us
+       b.Bi_nr.Nr_sim.mean_latency_us);
+  check Alcotest.bool "throughput within jitter band" true
+    (close (4. *. cfg.Bi_nr.Nr_sim.jitter) a.Bi_nr.Nr_sim.throughput_mops
+       b.Bi_nr.Nr_sim.throughput_mops)
+
+let test_nr_sim_zero_jitter_seed_independent () =
+  (* With the jitter amplitude at zero the seed must not matter at all:
+     every remaining quantity is structural. *)
+  let cfg = { Bi_nr.Nr_sim.default_config with Bi_nr.Nr_sim.jitter = 0. } in
+  check sim_result "zero jitter erases the seed"
+    (Bi_nr.Nr_sim.run { cfg with Bi_nr.Nr_sim.seed = "seed-a" })
+    (Bi_nr.Nr_sim.run { cfg with Bi_nr.Nr_sim.seed = "seed-b" })
+
 let () =
   Alcotest.run "bi_nr"
     [
@@ -387,5 +433,14 @@ let () =
           Alcotest.test_case "no lost updates across domains" `Quick
             test_nr_concurrent_total;
           Alcotest.test_case "combiner batches" `Quick test_nr_combines_batch;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "same seed, identical result" `Quick
+            test_nr_sim_deterministic;
+          Alcotest.test_case "distinct seeds perturb only jitter" `Quick
+            test_nr_sim_seed_perturbs_only_jitter;
+          Alcotest.test_case "zero jitter is seed-independent" `Quick
+            test_nr_sim_zero_jitter_seed_independent;
         ] );
     ]
