@@ -3,7 +3,7 @@
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all build test verify fmt-check bench bench-json discharge mc clean
+.PHONY: all build test verify fmt-check bench bench-json discharge mc fi clean
 
 all: build
 
@@ -35,6 +35,10 @@ verify: fmt-check
 # The model-checker suite alone (fast; handy while editing drivers).
 mc:
 	dune exec bin/verify.exe -- mc
+
+# The fault-injection suite alone (crash exploration, faulty disk/link).
+fi:
+	dune exec bin/verify.exe -- fi
 
 bench:
 	dune exec bench/main.exe

@@ -740,6 +740,80 @@ let run_mc_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: how many crash points the explorer visits per
+   subject, how far failing fault plans shrink, and the cost of the
+   whole fi suite.                                                     *)
+
+let run_fi_bench () =
+  Format.fprintf ppf
+    "Fault injection: crash-point exploration and plan shrinking@.";
+  let t0 = Unix.gettimeofday () in
+  let censuses = Bi_fault.Fi_check.bench_crash_stats () in
+  let census_t = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf
+        "    %-22s %d writes/%d flushes: %d prefix + %d torn + %d subset + \
+         %d recovery crash points@."
+        name s.Bi_fault.Crash_explore.writes s.Bi_fault.Crash_explore.flushes
+        s.Bi_fault.Crash_explore.crash_points
+        s.Bi_fault.Crash_explore.torn_points
+        s.Bi_fault.Crash_explore.subset_points
+        s.Bi_fault.Crash_explore.recovery_points)
+    censuses;
+  Format.fprintf ppf "    censuses explored in %.3f s@." census_t;
+  let shrinks = Bi_fault.Fi_check.bench_shrink_demos () in
+  List.iter
+    (fun (name, before, after) ->
+      Format.fprintf ppf "    shrink %-24s %d faults -> %d@." name before
+        after)
+    shrinks;
+  let suite = Bi_fault.Fi_check.vcs () in
+  let rep = Bi_core.Verifier.discharge ~jobs:1 suite in
+  Format.fprintf ppf
+    "    fi suite: %d VCs in %.3f s wall (%d proved, slowest %.3f s)@."
+    (List.length suite) rep.Bi_core.Verifier.wall_time_s
+    rep.Bi_core.Verifier.proved rep.Bi_core.Verifier.max_time_s;
+  record "fi"
+    (Json.Obj
+       [
+         ( "crash_censuses",
+           Json.Obj
+             (List.map
+                (fun (name, s) ->
+                  ( name,
+                    Json.Obj
+                      [
+                        ("writes", Json.Int s.Bi_fault.Crash_explore.writes);
+                        ("flushes", Json.Int s.Bi_fault.Crash_explore.flushes);
+                        ( "crash_points",
+                          Json.Int s.Bi_fault.Crash_explore.crash_points );
+                        ( "torn_points",
+                          Json.Int s.Bi_fault.Crash_explore.torn_points );
+                        ( "subset_points",
+                          Json.Int s.Bi_fault.Crash_explore.subset_points );
+                        ( "recovery_points",
+                          Json.Int s.Bi_fault.Crash_explore.recovery_points );
+                      ] ))
+                censuses) );
+         ( "plan_shrinks",
+           Json.Obj
+             (List.map
+                (fun (name, before, after) ->
+                  ( name,
+                    Json.Obj
+                      [
+                        ("initial_faults", Json.Int before);
+                        ("shrunk_faults", Json.Int after);
+                      ] ))
+                shrinks) );
+         ("suite_vcs", Json.Int (List.length suite));
+         ("suite_proved", Json.Int rep.Bi_core.Verifier.proved);
+         ("suite_wall_s", Json.Float rep.Bi_core.Verifier.wall_time_s);
+         ("suite_max_vc_s", Json.Float rep.Bi_core.Verifier.max_time_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec split_json acc = function
@@ -773,6 +847,7 @@ let () =
     | "ablations" -> run_ablations ()
     | "discharge" -> run_discharge_bench ()
     | "mc" -> run_mc_bench ()
+    | "fi" -> run_fi_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
         record_table1 ();
@@ -786,11 +861,13 @@ let () =
         Format.fprintf ppf "@.";
         run_mc_bench ();
         Format.fprintf ppf "@.";
+        run_fi_bench ();
+        Format.fprintf ppf "@.";
         run_micro ()
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|micro|all)@."
           other;
         exit 2
   in

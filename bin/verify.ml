@@ -25,6 +25,9 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
       fun () ->
         Bi_core.Mc_check.vcs () @ Bi_ulib.Ulib_mc.vcs ()
         @ Bi_kernel.Futex_mc.vcs () @ Bi_nr.Nr_mc.vcs () );
+    ( "fi",
+      "fault injection: plans, faulty disk/link, crash exploration + mutations",
+      Bi_fault.Fi_check.vcs );
   ]
 
 (* The paper's headline suite must stay exactly 220 VCs: extension work

@@ -1,0 +1,215 @@
+module Block_dev = Bi_fs.Block_dev
+module Disk = Bi_hw.Device.Disk
+
+type op = W of int * bytes | F
+
+let pp_op ppf = function
+  | W (s, _) -> Format.fprintf ppf "w%d" s
+  | F -> Format.pp_print_string ppf "f"
+
+(* Journaling wrapper: pass everything through to [dev], recording the
+   write/flush stream so it can be replayed prefix by prefix. *)
+let record dev =
+  let ops = ref [] in
+  let journal =
+    Block_dev.make ~blocks:(Block_dev.blocks dev)
+      ~read:(fun i -> Block_dev.read dev i)
+      ~write:(fun i b ->
+        ops := W (i, Bytes.copy b) :: !ops;
+        Block_dev.write dev i b)
+      ~flush:(fun () ->
+        ops := F :: !ops;
+        Block_dev.flush dev)
+      ~crash:(fun seed -> Block_dev.crash ?seed dev)
+      ~crash_with:(fun ~keep_unflushed ->
+        Block_dev.crash_with dev ~keep_unflushed)
+      ~io_count:(fun () -> Block_dev.io_count dev)
+  in
+  (journal, fun () -> List.rev !ops)
+
+type 'v config = {
+  sectors : int;
+  setup : Block_dev.t -> unit;
+  mutate : Block_dev.t -> unit;
+  view : Block_dev.t -> 'v;
+  equal : 'v -> 'v -> bool;
+  pp : (Format.formatter -> 'v -> unit) option;
+  tears : int list;
+  crash_seeds : int list;
+  explore_recovery : bool;
+}
+
+type stats = {
+  crash_points : int;
+  torn_points : int;
+  subset_points : int;
+  recovery_points : int;
+  writes : int;
+  flushes : int;
+}
+
+let zero_stats =
+  {
+    crash_points = 0;
+    torn_points = 0;
+    subset_points = 0;
+    recovery_points = 0;
+    writes = 0;
+    flushes = 0;
+  }
+
+let replay dev ops =
+  List.iter
+    (function
+      | W (s, b) -> Block_dev.write dev s b
+      | F -> Block_dev.flush dev)
+    ops
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Crash keeping every pending write: combined with cutting the op stream
+   at each index this enumerates every prefix of the write stream. *)
+let crash_all dev = Block_dev.crash_with dev ~keep_unflushed:max_int
+
+let explore cfg =
+  let fresh_base () =
+    let dev = Block_dev.of_disk (Disk.create ~sectors:cfg.sectors ()) in
+    cfg.setup dev;
+    Block_dev.flush dev;
+    dev
+  in
+  (* Journal the transaction's write stream once. *)
+  let base = fresh_base () in
+  let journal, get_ops = record base in
+  cfg.mutate journal;
+  let ops = get_ops () in
+  let nops = List.length ops in
+  let writes =
+    List.length (List.filter (function W _ -> true | F -> false) ops)
+  in
+  let flushes = nops - writes in
+  (* Reference states: [pre] before the transaction, [post] after it ran to
+     completion (both observed through recovery). *)
+  let pre = cfg.view (crash_all (fresh_base ())) in
+  let post =
+    let dev = fresh_base () in
+    replay dev ops;
+    cfg.view (crash_all dev)
+  in
+  let stats = ref zero_stats in
+  let failure = ref None in
+  let pp_v ppf v =
+    match cfg.pp with Some pp -> pp ppf v | None -> Format.fprintf ppf "<state>"
+  in
+  let fail where v =
+    if !failure = None then
+      failure :=
+        Some
+          (Format.asprintf "%s: state %a is neither pre %a nor post %a" where
+             pp_v v pp_v pre pp_v post)
+  in
+  (* Check one crashed device: atomicity (old state or new state) and
+     recovery idempotence (viewing again after recovery is a no-op). *)
+  let check where crashed =
+    let v = cfg.view crashed in
+    if not (cfg.equal v pre || cfg.equal v post) then fail where v
+    else begin
+      let v2 = cfg.view crashed in
+      if not (cfg.equal v v2) then
+        if !failure = None then
+          failure :=
+            Some
+              (Format.asprintf
+                 "%s: recovery not idempotent (%a then %a)" where pp_v v pp_v
+                 v2)
+    end
+  in
+  let prefix_dev i =
+    let dev = fresh_base () in
+    replay dev (take i ops);
+    dev
+  in
+  (* 1. Every write boundary, all pending writes surviving. *)
+  for i = 0 to nops do
+    if !failure = None then begin
+      check (Printf.sprintf "prefix %d/%d" i nops) (crash_all (prefix_dev i));
+      stats := { !stats with crash_points = !stats.crash_points + 1 };
+      (* 2. Seeded subsets of the pending writes at this boundary. *)
+      List.iter
+        (fun seed ->
+          if !failure = None then begin
+            check
+              (Printf.sprintf "prefix %d/%d subset seed %d" i nops seed)
+              (Block_dev.crash ~seed (prefix_dev i));
+            stats := { !stats with subset_points = !stats.subset_points + 1 }
+          end)
+        cfg.crash_seeds
+    end
+  done;
+  (* 3. Torn writes: the last write of a prefix lands partially — its first
+     [tear] bytes are new, the rest is the block's prior content. *)
+  List.iteri
+    (fun idx op ->
+      match op with
+      | F -> ()
+      | W (s, b) ->
+          List.iter
+            (fun tear ->
+              if !failure = None && tear > 0
+                 && tear < Block_dev.block_size then begin
+                let dev = prefix_dev idx in
+                let old = Block_dev.read dev s in
+                let torn = Bytes.copy old in
+                Bytes.blit b 0 torn 0 tear;
+                Block_dev.write dev s torn;
+                check
+                  (Printf.sprintf "torn write %d (op %d, %d bytes)" s idx tear)
+                  (crash_all dev);
+                stats := { !stats with torn_points = !stats.torn_points + 1 }
+              end)
+            cfg.tears)
+    ops;
+  (* 4. Crash during recovery: journal what recovery itself writes from
+     each boundary's crash state, then crash recovery at each of its own
+     write boundaries (plus seeded subsets) and recover again. *)
+  if cfg.explore_recovery then
+    for i = 0 to nops do
+      if !failure = None then begin
+        let crashed = crash_all (prefix_dev i) in
+        let rec_journal, rec_ops = record crashed in
+        ignore (cfg.view rec_journal);
+        let rops = rec_ops () in
+        let nrops = List.length rops in
+        for j = 0 to nrops do
+          if !failure = None then begin
+            let dev = crash_all (prefix_dev i) in
+            replay dev (take j rops);
+            check
+              (Printf.sprintf "recovery prefix %d/%d after crash %d" j nrops i)
+              (crash_all dev);
+            stats :=
+              { !stats with recovery_points = !stats.recovery_points + 1 };
+            List.iter
+              (fun seed ->
+                if !failure = None then begin
+                  let dev = crash_all (prefix_dev i) in
+                  replay dev (take j rops);
+                  check
+                    (Printf.sprintf
+                       "recovery prefix %d/%d after crash %d, seed %d" j nrops
+                       i seed)
+                    (Block_dev.crash ~seed dev);
+                  stats :=
+                    {
+                      !stats with
+                      recovery_points = !stats.recovery_points + 1;
+                    }
+                end)
+              cfg.crash_seeds
+          end
+        done
+      end
+    done;
+  match !failure with
+  | Some msg -> Error msg
+  | None -> Ok { !stats with writes; flushes }

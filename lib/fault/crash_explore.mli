@@ -1,0 +1,50 @@
+(** Systematic crash-point exploration.
+
+    Enumerates {e every} crash point of a storage transaction, in the
+    explicit-crash-refinement style of Perennial/GoJournal: journal the
+    write/flush stream the transaction issues, then for each prefix of
+    that stream build the crash state and check that recovery observes
+    either the pre-state or the post-state (atomicity) and that running
+    recovery again changes nothing (idempotence).  On top of the plain
+    prefix cuts it explores torn intra-block versions of each final
+    write, seeded non-prefix survival subsets of the pending writes, and
+    — when [explore_recovery] is set — crashes at every write boundary
+    {e of recovery itself}, recursively re-recovered. *)
+
+type op = W of int * bytes | F  (** one journaled device operation *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val record : Bi_fs.Block_dev.t -> Bi_fs.Block_dev.t * (unit -> op list)
+(** [record dev] is a pass-through device plus a function returning the
+    write/flush stream issued through it so far, in order. *)
+
+type 'v config = {
+  sectors : int;  (** device size for each fresh replay *)
+  setup : Bi_fs.Block_dev.t -> unit;
+      (** establish the pre-state (flushed afterwards; must be
+          deterministic — it reruns for every crash point) *)
+  mutate : Bi_fs.Block_dev.t -> unit;  (** the transaction under test *)
+  view : Bi_fs.Block_dev.t -> 'v;
+      (** recover/mount a crashed device and observe its state *)
+  equal : 'v -> 'v -> bool;
+  pp : (Format.formatter -> 'v -> unit) option;
+  tears : int list;  (** torn-write prefix lengths, in bytes *)
+  crash_seeds : int list;
+      (** seeds for non-prefix survival subsets at each boundary *)
+  explore_recovery : bool;  (** also crash recovery at its own boundaries *)
+}
+
+type stats = {
+  crash_points : int;  (** prefix boundaries checked *)
+  torn_points : int;
+  subset_points : int;  (** seeded-subset crashes checked *)
+  recovery_points : int;  (** crash-during-recovery states checked *)
+  writes : int;  (** writes the transaction issued *)
+  flushes : int;
+}
+
+val explore : 'v config -> (stats, string) result
+(** Run the exploration; [Error] carries a description of the first crash
+    point whose recovered state is neither pre nor post (or where
+    recovery was not idempotent). *)

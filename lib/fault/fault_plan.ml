@@ -1,0 +1,158 @@
+type decision =
+  | Pass
+  | Drop
+  | Duplicate
+  | Reorder
+  | Corrupt of { pos : int; bits : int }
+  | Stall of int
+
+let pp_decision ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Drop -> Format.pp_print_string ppf "drop"
+  | Duplicate -> Format.pp_print_string ppf "dup"
+  | Reorder -> Format.pp_print_string ppf "reorder"
+  | Corrupt { pos; bits } -> Format.fprintf ppf "corrupt(%d,%#x)" pos bits
+  | Stall n -> Format.fprintf ppf "stall(%d)" n
+
+type rates = {
+  drop : int;
+  duplicate : int;
+  reorder : int;
+  corrupt : int;
+  stall : int;
+  max_stall : int;
+}
+
+let no_faults =
+  { drop = 0; duplicate = 0; reorder = 0; corrupt = 0; stall = 0; max_stall = 0 }
+
+let default_rates =
+  { drop = 50; duplicate = 30; reorder = 30; corrupt = 20; stall = 20;
+    max_stall = 3 }
+
+type mode =
+  | Random of { gen : Bi_core.Gen.t; rates : rates; limit : int option }
+  | Script of decision array
+
+type t = {
+  mode : mode;
+  mutable site : int;
+  mutable rev_trace : decision list;
+  mutable fault_count : int;
+}
+
+let seeded ~name ~seed ?(rates = default_rates) ?limit () =
+  let gen = Bi_core.Gen.of_string (Printf.sprintf "plan/%s/%d" name seed) in
+  { mode = Random { gen; rates; limit }; site = 0; rev_trace = []; fault_count = 0 }
+
+let script ds =
+  { mode = Script (Array.of_list ds); site = 0; rev_trace = []; fault_count = 0 }
+
+(* Draw one decision from the seeded stream.  The per-mille thresholds are
+   checked in a fixed order against one uniform draw so the distribution is
+   exactly the configured rates (the remainder is Pass). *)
+let draw gen rates len =
+  let r = Bi_core.Gen.int gen 1000 in
+  let d = rates.drop in
+  let du = d + rates.duplicate in
+  let re = du + rates.reorder in
+  let co = re + rates.corrupt in
+  let st = co + rates.stall in
+  if r < d then Drop
+  else if r < du then Duplicate
+  else if r < re then Reorder
+  else if r < co then
+    let pos = if len <= 0 then 0 else Bi_core.Gen.int gen len in
+    Corrupt { pos; bits = 1 lsl Bi_core.Gen.int gen 8 }
+  else if r < st then Stall (1 + Bi_core.Gen.int gen (max 1 rates.max_stall))
+  else Pass
+
+let clamp_corrupt len = function
+  | Corrupt { pos; bits } when len > 0 ->
+      Corrupt { pos = ((pos mod len) + len) mod len; bits = bits land 0xff }
+  | Corrupt _ -> Pass (* nothing to corrupt in an empty payload *)
+  | d -> d
+
+let next ?(len = 0) t =
+  let d =
+    match t.mode with
+    | Script ds -> if t.site < Array.length ds then ds.(t.site) else Pass
+    | Random { gen; rates; limit } ->
+        let budget_left =
+          match limit with None -> true | Some l -> t.fault_count < l
+        in
+        if budget_left then draw gen rates len else Pass
+  in
+  let d = clamp_corrupt len d in
+  t.site <- t.site + 1;
+  t.rev_trace <- d :: t.rev_trace;
+  if d <> Pass then t.fault_count <- t.fault_count + 1;
+  d
+
+let trace t = List.rev t.rev_trace
+let sites t = t.site
+let faults t = t.fault_count
+let replay_of t = script (trace t)
+
+let enumerate ~sites ~choices =
+  if sites < 0 then invalid_arg "Fault_plan.enumerate: sites < 0";
+  let rec go n = if n = 0 then [ [] ] else
+    let rest = go (n - 1) in
+    List.concat_map (fun c -> List.map (fun p -> c :: p) rest) choices
+  in
+  go sites
+
+let shrink ~fails plan =
+  (* Greedy 1-minimal shrink: repeatedly try to neutralise each non-Pass
+     decision (left to right); keep a substitution iff the plan still fails.
+     Deterministic because the scan order is fixed. *)
+  let arr = Array.of_list plan in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i d ->
+        if d <> Pass then begin
+          let saved = arr.(i) in
+          arr.(i) <- Pass;
+          if fails (Array.to_list arr) then changed := true
+          else arr.(i) <- saved
+        end)
+      arr
+  done;
+  (* Trim trailing Pass decisions: they are the implicit default. *)
+  let l = ref (Array.to_list arr) in
+  let rec trim = function
+    | Pass :: rest when List.for_all (( = ) Pass) rest -> []
+    | x :: rest -> x :: trim rest
+    | [] -> []
+  in
+  l := trim !l;
+  !l
+
+let corrupt_bytes g b =
+  let b = Bytes.copy b in
+  let n = Bytes.length b in
+  if n = 0 then b
+  else
+    match Bi_core.Gen.int g 3 with
+    | 0 ->
+        (* Flip 1-4 random bits. *)
+        let flips = 1 + Bi_core.Gen.int g 4 in
+        for _ = 1 to flips do
+          let i = Bi_core.Gen.int g n in
+          let bit = Bi_core.Gen.int g 8 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+        done;
+        b
+    | 1 ->
+        (* Truncate to a strict prefix. *)
+        Bytes.sub b 0 (Bi_core.Gen.int g n)
+    | _ ->
+        (* Splice: overwrite a random span with random bytes. *)
+        let off = Bi_core.Gen.int g n in
+        let len = 1 + Bi_core.Gen.int g (n - off) in
+        for i = off to off + len - 1 do
+          Bytes.set b i (Char.chr (Bi_core.Gen.int g 256))
+        done;
+        b

@@ -1,0 +1,84 @@
+(** Deterministic fault plans: the seed of every injected fault.
+
+    A fault plan is an explicit schedule of injection decisions consumed
+    one {e site} at a time by a fault model ({!Faulty_disk},
+    {!Faulty_link}, the NR hooks): each time the model reaches an
+    injection point it asks the plan what to do there.  Plans come in two
+    forms — {!seeded} (decisions drawn from a named splitmix64 stream at
+    configured per-mille rates, optionally budget-limited so a bounded
+    plan cannot starve a protocol forever) and {!script} (an explicit
+    decision list, [Pass] beyond its end).
+
+    Mirroring [Explore]'s replay/shrink design for schedules: every plan
+    records the decisions it actually issued ({!trace}), any failing run
+    can be replayed exactly ({!replay_of}), and {!shrink} reduces a
+    failing script to a 1-minimal one.  {!enumerate} generates every plan
+    over a small decision space for exhaustive checking. *)
+
+type decision =
+  | Pass  (** no fault at this site *)
+  | Drop  (** lose the operation *)
+  | Duplicate  (** perform it twice *)
+  | Reorder  (** swap it before the previous in-flight operation *)
+  | Corrupt of { pos : int; bits : int }
+      (** XOR [bits] (low 8 bits used) into byte [pos] of the payload *)
+  | Stall of int  (** delay the operation by [n] subsequent sites *)
+
+val pp_decision : Format.formatter -> decision -> unit
+
+type rates = {
+  drop : int;
+  duplicate : int;
+  reorder : int;
+  corrupt : int;
+  stall : int;  (** all per-mille; the remainder to 1000 is [Pass] *)
+  max_stall : int;  (** stall duration drawn from [[1, max_stall]] *)
+}
+
+val no_faults : rates
+val default_rates : rates
+(** 5% drop, 3% duplicate, 3% reorder, 2% corrupt, 2% stall. *)
+
+type t
+
+val seeded :
+  name:string -> seed:int -> ?rates:rates -> ?limit:int -> unit -> t
+(** Decisions drawn from the stream [plan/<name>/<seed>]; equal
+    [(name, seed, rates, limit)] give byte-equal schedules.  [limit]
+    bounds the total non-[Pass] decisions, after which the plan only
+    passes — needed so retransmission-style protocols eventually win. *)
+
+val script : decision list -> t
+(** Play exactly these decisions, then [Pass] forever. *)
+
+val next : ?len:int -> t -> decision
+(** The decision for the next site.  [len] is the payload size: [Corrupt]
+    positions are drawn from / clamped to [[0, len)] ([Pass] when the
+    payload is empty).  The (clamped) decision is recorded in the
+    trace. *)
+
+val trace : t -> decision list
+(** Decisions issued so far, in site order — a replayable artifact. *)
+
+val sites : t -> int
+val faults : t -> int
+(** Sites consulted / non-[Pass] decisions issued so far. *)
+
+val replay_of : t -> t
+(** A script plan that replays [trace t] exactly. *)
+
+val enumerate : sites:int -> choices:decision list -> decision list list
+(** Every plan of length [sites] over [choices] ([|choices|^sites]
+    plans), in a fixed order. *)
+
+val shrink : fails:(decision list -> bool) -> decision list -> decision list
+(** Greedy 1-minimal shrink of a failing plan: repeatedly neutralise
+    single decisions to [Pass], keeping substitutions under which [fails]
+    still holds, until a fixed point; trailing [Pass]es are trimmed.
+    Deterministic.  The result still satisfies [fails] whenever the input
+    did. *)
+
+val corrupt_bytes : Bi_core.Gen.t -> bytes -> bytes
+(** Seeded corruption generator (bit flips, truncation, random splice)
+    shared with the serde fuzz VCs.  Never returns the input buffer
+    itself. *)

@@ -1,19 +1,52 @@
 module Disk = Bi_hw.Device.Disk
 
-type t = { disk : Disk.t }
+(* A block device is a record of operations so that fault models (e.g.
+   Bi_fault.Faulty_disk) can implement the same interface the filesystem
+   and WAL are written against.  [of_disk] is the ordinary backing. *)
+type t = {
+  v_blocks : int;
+  v_read : int -> bytes;
+  v_write : int -> bytes -> unit;
+  v_flush : unit -> unit;
+  v_crash : int option -> t;
+  v_crash_with : int -> t;
+  v_io_count : unit -> int;
+}
 
 let block_size = Disk.sector_size
 
-let of_disk disk = { disk }
-let blocks t = Disk.sectors t.disk
-let read t i = Disk.read_sector t.disk i
+let make ~blocks ~read ~write ~flush ~crash ~crash_with ~io_count =
+  {
+    v_blocks = blocks;
+    v_read = read;
+    v_write = write;
+    v_flush = flush;
+    v_crash = crash;
+    v_crash_with = (fun keep -> crash_with ~keep_unflushed:keep);
+    v_io_count = io_count;
+  }
+
+let rec of_disk disk =
+  {
+    v_blocks = Disk.sectors disk;
+    v_read = Disk.read_sector disk;
+    v_write = Disk.write_sector disk;
+    v_flush = (fun () -> Disk.flush disk);
+    v_crash = (fun seed -> of_disk (Disk.crash ?seed disk));
+    v_crash_with =
+      (fun keep -> of_disk (Disk.crash_with disk ~keep_unflushed:keep));
+    v_io_count = (fun () -> Disk.io_count disk);
+  }
+
+let blocks t = t.v_blocks
+let read t i = t.v_read i
 
 let write t i b =
   if Bytes.length b <> block_size then
     invalid_arg "Block_dev.write: buffer must be one block";
-  Disk.write_sector t.disk i b
+  t.v_write i b
 
-let flush t = Disk.flush t.disk
-let crash t = { disk = Disk.crash t.disk }
-let crash_with t ~keep_unflushed = { disk = Disk.crash_with t.disk ~keep_unflushed }
-let io_count t = Disk.io_count t.disk
+let flush t = t.v_flush ()
+let crash ?seed t = t.v_crash seed
+let crash_with t ~keep_unflushed = t.v_crash_with keep_unflushed
+let io_count t = t.v_io_count ()

@@ -1,9 +1,13 @@
 (** Block device: the filesystem's view of the disk.
 
-    Thin, block-granular layer over {!Bi_hw.Device.Disk} (one block = one
-    512-byte sector).  The crash-simulation entry points pass through to
-    the disk model so the filesystem's recovery VCs can cut the write
-    stream at arbitrary points. *)
+    Block-granular layer (one block = one 512-byte sector) that the
+    filesystem and WAL are written against.  The representation is a
+    record of operations, so besides the ordinary {!Bi_hw.Device.Disk}
+    backing ({!of_disk}) a fault model can implement the same interface
+    ({!make}) — torn writes, reordering, bit-rot — and every consumer
+    (WAL transactions, recovery, the whole filesystem) runs over it
+    unchanged.  The crash-simulation entry points let recovery VCs cut
+    the write stream at arbitrary points. *)
 
 type t
 
@@ -11,6 +15,20 @@ val block_size : int
 (** 512 bytes. *)
 
 val of_disk : Bi_hw.Device.Disk.t -> t
+
+val make :
+  blocks:int ->
+  read:(int -> bytes) ->
+  write:(int -> bytes -> unit) ->
+  flush:(unit -> unit) ->
+  crash:(int option -> t) ->
+  crash_with:(keep_unflushed:int -> t) ->
+  io_count:(unit -> int) ->
+  t
+(** Virtual constructor for alternative backings (fault-injecting disks,
+    op-stream recorders).  [crash] receives the optional seed of
+    {!crash}; [write] may assume the buffer is exactly {!block_size}
+    bytes (the wrapper validates). *)
 
 val blocks : t -> int
 
@@ -24,12 +42,14 @@ val write : t -> int -> bytes -> unit
 val flush : t -> unit
 (** Durability barrier. *)
 
-val crash : t -> t
+val crash : ?seed:int -> t -> t
 (** Crash copy: durable data plus a deterministic subset of un-flushed
-    writes (see {!Bi_hw.Device.Disk.crash}). *)
+    writes; [seed] sweeps distinct subsets (see
+    {!Bi_hw.Device.Disk.crash}). *)
 
 val crash_with : t -> keep_unflushed:int -> t
 (** Crash copy keeping exactly the first [keep_unflushed] un-flushed
-    writes in issue order. *)
+    writes in issue order, clamped to [[0, pending]] (negative keeps
+    nothing; beyond the pending count keeps everything). *)
 
 val io_count : t -> int

@@ -150,17 +150,27 @@ module Disk = struct
       io_count = 0;
     }
 
+  let pending_writes t = List.length t.unflushed
+
   let crash_with t ~keep_unflushed =
+    (* [keep_unflushed] is clamped to [0, pending]: negative keeps nothing,
+       larger-than-pending keeps every un-flushed write. *)
     let d = copy_durable t in
     let oldest_first = List.rev t.unflushed in
     let kept = List.filteri (fun i _ -> i < keep_unflushed) oldest_first in
     List.iter (fun { sector; data } -> d.durable.(sector) <- Bytes.copy data) kept;
     d
 
-  let crash t =
+  let crash ?seed t =
     (* Deterministic partial crash: keep each un-flushed write iff a seeded
-       coin derived from its position says so. *)
-    let g = Bi_core.Gen.of_string "disk/crash" in
+       coin derived from its position says so.  Without [seed] the stream is
+       the historical fixed one; with it, fault plans can sweep distinct
+       crash subsets while staying replayable. *)
+    let g =
+      match seed with
+      | None -> Bi_core.Gen.of_string "disk/crash"
+      | Some s -> Bi_core.Gen.of_string (Printf.sprintf "disk/crash/%d" s)
+    in
     let d = copy_durable t in
     let oldest_first = List.rev t.unflushed in
     List.iter
@@ -223,6 +233,17 @@ module Nic = struct
         n
 
   let drop_next_tx t = t.drop_next <- true
+
+  (* Tap points for fault-injecting links: pull a transmitted frame off the
+     wire before delivery, or push a frame straight into the RX ring (with
+     the RX interrupt), bypassing {!deliver}. *)
+  let take_tx t = Queue.take_opt t.wire
+
+  let inject_rx t frame =
+    Queue.push (Bytes.copy frame) t.rx;
+    match t.intr with
+    | None -> ()
+    | Some (intr, vector) -> Intr.raise_irq intr vector
 
   let receive t = Queue.take_opt t.rx
   let rx_pending t = Queue.length t.rx

@@ -74,15 +74,23 @@ module Disk : sig
   val flush : t -> unit
   (** Barrier: all previous writes become durable (see {!crash}). *)
 
-  val crash : t -> t
+  val crash : ?seed:int -> t -> t
   (** A copy of the disk holding only data durable at the last {!flush},
       with each un-flushed write independently either applied or dropped
       (deterministically, seeded by write order) — the prefix-crash model
-      the filesystem's recovery VCs quantify over. *)
+      the filesystem's recovery VCs quantify over.  [seed] selects a
+      different (still deterministic) survival subset, so fault plans can
+      sweep crash subsets; omitting it gives the historical fixed cut. *)
 
   val crash_with : t -> keep_unflushed:int -> t
   (** Deterministic crash keeping exactly the first [keep_unflushed]
-      un-flushed writes (in issue order). *)
+      un-flushed writes (in issue order).  [keep_unflushed] is clamped to
+      [[0, pending]]: a negative count keeps nothing, a count beyond the
+      pending writes keeps them all. *)
+
+  val pending_writes : t -> int
+  (** Un-flushed writes currently queued (the clamp bound of
+      {!crash_with}). *)
 
   val io_count : t -> int
 end
@@ -112,6 +120,15 @@ module Nic : sig
 
   val drop_next_tx : t -> unit
   (** Fault injection: silently lose the next transmitted frame. *)
+
+  val take_tx : t -> bytes option
+  (** Pull the oldest frame off this NIC's outbound wire queue without
+      delivering it — the tap a fault-injecting link uses to interpose on
+      delivery. *)
+
+  val inject_rx : t -> bytes -> unit
+  (** Push a frame straight into this NIC's RX ring, raising its RX
+      interrupt — the other half of a fault-injecting link. *)
 
   val receive : t -> bytes option
   (** Dequeue a received frame, if any. *)

@@ -1,3 +1,19 @@
+(* Fault-injection hooks, called from inside the combiner protocol.  A hook
+   that sleeps or spins models a stalled replica / delayed flat combiner;
+   the default does nothing and costs two indirect calls per combine. *)
+type hooks = {
+  on_combine : replica:int -> unit;
+      (* entered [combine] for this replica, before gathering requests *)
+  on_apply : replica:int -> index:int -> unit;
+      (* about to replay log entry [index] into this replica *)
+}
+
+let no_hooks =
+  {
+    on_combine = (fun ~replica:_ -> ());
+    on_apply = (fun ~replica:_ ~index:_ -> ());
+  }
+
 module Make (DS : Seq_ds.S) = struct
   type replica = {
     id : int;
@@ -16,10 +32,11 @@ module Make (DS : Seq_ds.S) = struct
     reps : replica array;
     tpr : int;
     combines : int Atomic.t;
+    hooks : hooks;
   }
 
   let create ?(replicas = 2) ?(threads_per_replica = 8)
-      ?(log_capacity = 1_048_576) () =
+      ?(log_capacity = 1_048_576) ?(hooks = no_hooks) () =
     if replicas <= 0 then invalid_arg "Nr.create: replicas <= 0";
     if threads_per_replica <= 0 then
       invalid_arg "Nr.create: threads_per_replica <= 0";
@@ -39,6 +56,7 @@ module Make (DS : Seq_ds.S) = struct
       reps = Array.init replicas make_replica;
       tpr = threads_per_replica;
       combines = Atomic.make 0;
+      hooks;
     }
 
   let replicas t = Array.length t.reps
@@ -52,6 +70,7 @@ module Make (DS : Seq_ds.S) = struct
   let apply_upto t r upto =
     let i = ref (Atomic.get r.ltail) in
     while !i < upto do
+      t.hooks.on_apply ~replica:r.id ~index:!i;
       let e = Log.get t.log !i in
       let ret = DS.apply r.ds e.Log.op in
       if e.Log.replica = r.id then
@@ -64,6 +83,7 @@ module Make (DS : Seq_ds.S) = struct
      them to the log in one reservation, then replay the log (including
      other replicas' entries) into the local replica. *)
   let combine t r =
+    t.hooks.on_combine ~replica:r.id;
     Atomic.incr t.combines;
     let batch = ref [] in
     for slot = t.tpr - 1 downto 0 do

@@ -13,13 +13,28 @@
     domains, records a timed history, and checks it with
     {!Bi_core.Linearizability}. *)
 
+type hooks = {
+  on_combine : replica:int -> unit;
+  on_apply : replica:int -> index:int -> unit;
+}
+(** Fault-injection hooks called from inside the combiner protocol:
+    [on_combine] when a thread becomes the flat combiner for a replica
+    (before it gathers requests), [on_apply] before each log entry is
+    replayed into a replica.  A hook that stalls models a slow replica or
+    a delayed combiner; linearizability must survive anything the hooks
+    do to timing.  Hooks run on the calling domain and must be
+    thread-safe. *)
+
+val no_hooks : hooks
+
 module Make (DS : Seq_ds.S) : sig
   type t
 
   val create :
-    ?replicas:int -> ?threads_per_replica:int -> ?log_capacity:int -> unit -> t
+    ?replicas:int -> ?threads_per_replica:int -> ?log_capacity:int ->
+    ?hooks:hooks -> unit -> t
   (** Defaults: 2 replicas ("NUMA nodes"), 8 threads per replica,
-      1_048_576-entry log. *)
+      1_048_576-entry log, {!no_hooks}. *)
 
   val execute : t -> thread:int -> DS.op -> DS.ret
   (** Run an operation on behalf of [thread] (in

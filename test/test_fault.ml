@@ -1,0 +1,268 @@
+(* Fault-injection subsystem tests: plan determinism/replay/shrinking,
+   the faulty disk and link models, crash-point exploration (including a
+   positive control showing the explorer passes a *correct* commit under
+   the exact config that catches the seeded mutants), and the fi VC
+   suite itself. *)
+
+module Fault_plan = Bi_fault.Fault_plan
+module Faulty_disk = Bi_fault.Faulty_disk
+module Faulty_link = Bi_fault.Faulty_link
+module Crash_explore = Bi_fault.Crash_explore
+module Block_dev = Bi_fs.Block_dev
+module Disk = Bi_hw.Device.Disk
+module Wal = Bi_fs.Wal
+
+let check = Alcotest.check
+let bs = Block_dev.block_size
+let blk c = Bytes.make bs c
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans *)
+
+let decisions plan n = List.init n (fun _ -> Fault_plan.next ~len:32 plan)
+
+let test_plan_seeded_deterministic () =
+  let mk () = Fault_plan.seeded ~name:"t" ~seed:1 () in
+  check Alcotest.bool "equal traces" true
+    (decisions (mk ()) 64 = decisions (mk ()) 64)
+
+let test_plan_replay () =
+  let p =
+    Fault_plan.seeded ~name:"t/replay" ~seed:9
+      ~rates:{ Fault_plan.default_rates with drop = 200 }
+      ()
+  in
+  let orig = decisions p 32 in
+  check Alcotest.bool "replay_of reproduces the trace" true
+    (decisions (Fault_plan.replay_of p) 32 = orig)
+
+let test_plan_limit () =
+  let p =
+    Fault_plan.seeded ~name:"t/limit" ~seed:0
+      ~rates:{ Fault_plan.no_faults with drop = 500 }
+      ~limit:3 ()
+  in
+  ignore (decisions p 200);
+  check Alcotest.int "fault budget respected" 3 (Fault_plan.faults p)
+
+let test_plan_shrink () =
+  let open Fault_plan in
+  (* Fails iff a Drop survives anywhere. *)
+  let fails p = List.mem Drop p in
+  let s = shrink ~fails [ Duplicate; Drop; Stall 2; Drop ] in
+  check Alcotest.bool "shrunk plan still fails" true (fails s);
+  check Alcotest.int "only load-bearing faults remain" 1
+    (List.length (List.filter (( <> ) Pass) s))
+
+let test_plan_enumerate () =
+  let open Fault_plan in
+  let plans = enumerate ~sites:2 ~choices:[ Pass; Drop ] in
+  check Alcotest.int "2^2 plans" 4 (List.length plans);
+  check Alcotest.int "all distinct" 4
+    (List.length (List.sort_uniq compare plans))
+
+(* ------------------------------------------------------------------ *)
+(* Faulty disk *)
+
+let test_disk_transparent_without_faults () =
+  let fd = Faulty_disk.create ~sectors:8 () in
+  let dev = Faulty_disk.to_block_dev fd in
+  Block_dev.write dev 3 (blk 'x');
+  check Alcotest.bool "read-own-write" true (Block_dev.read dev 3 = blk 'x');
+  Block_dev.flush dev;
+  let crashed = Block_dev.crash_with dev ~keep_unflushed:0 in
+  check Alcotest.bool "flushed data survives" true
+    (Block_dev.read crashed 3 = blk 'x')
+
+let test_disk_stall_respects_barrier () =
+  let fd =
+    Faulty_disk.create
+      ~plan:(Fault_plan.script [ Fault_plan.Stall 4 ])
+      ~sectors:4 ()
+  in
+  let dev = Faulty_disk.to_block_dev fd in
+  Block_dev.write dev 1 (blk 'z');
+  check Alcotest.int "write is stalled" 1 (Faulty_disk.stalled_count fd);
+  Block_dev.flush dev;
+  check Alcotest.int "barrier drains the stall" 0 (Faulty_disk.stalled_count fd);
+  check Alcotest.bool "durable after barrier" true
+    (Block_dev.read (Block_dev.crash_with dev ~keep_unflushed:0) 1 = blk 'z')
+
+(* ------------------------------------------------------------------ *)
+(* Crash exploration *)
+
+let wal_cfg ~mutate : string list Crash_explore.config =
+  {
+    Crash_explore.sectors = 64;
+    setup =
+      (fun dev ->
+        Block_dev.write dev 40 (blk 'A');
+        ignore (Wal.recover (Wal.create dev ~header_block:0) : int));
+    mutate;
+    view =
+      (fun dev ->
+        ignore (Wal.recover (Wal.create dev ~header_block:0) : int);
+        [ Bytes.to_string (Block_dev.read dev 40) ]);
+    equal = ( = );
+    pp = None;
+    tears = [ 7; 300 ];
+    crash_seeds = [ 0; 1 ];
+    explore_recovery = true;
+  }
+
+let test_explore_wal_commit_safe () =
+  let cfg =
+    wal_cfg ~mutate:(fun dev ->
+        let w = Wal.create dev ~header_block:0 in
+        let txn = Wal.begin_txn w in
+        Wal.txn_write txn 40 (blk 'B');
+        Wal.commit txn)
+  in
+  match Crash_explore.explore cfg with
+  | Ok s ->
+      (* 1-record commit: meta + data + header + install + header-clear
+         writes across 4 flush epochs. *)
+      check Alcotest.int "writes journaled" 5 s.Crash_explore.writes;
+      check Alcotest.int "flushes journaled" 4 s.Crash_explore.flushes;
+      check Alcotest.int "every boundary visited" 10 s.Crash_explore.crash_points;
+      check Alcotest.bool "recovery crash points explored" true
+        (s.Crash_explore.recovery_points > 0)
+  | Error e -> Alcotest.failf "correct commit rejected: %s" e
+
+(* Positive control for the mutation self-checks: raw unlogged writes are
+   NOT atomic, and the explorer must say so. *)
+let test_explore_catches_unlogged_writes () =
+  let cfg =
+    wal_cfg ~mutate:(fun dev ->
+        Block_dev.write dev 40 (blk 'B');
+        Block_dev.write dev 41 (blk 'C');
+        Block_dev.flush dev)
+  in
+  let cfg =
+    {
+      cfg with
+      Crash_explore.setup =
+        (fun dev ->
+          Block_dev.write dev 40 (blk 'A');
+          Block_dev.write dev 41 (blk 'A'));
+      view =
+        (fun dev ->
+          List.map (fun s -> Bytes.to_string (Block_dev.read dev s)) [ 40; 41 ]);
+      explore_recovery = false;
+    }
+  in
+  match Crash_explore.explore cfg with
+  | Ok _ -> Alcotest.fail "unlogged multi-block write passed as atomic"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Faulty link *)
+
+let payload = Bytes.init 1500 (fun i -> Char.chr (i land 0xff))
+
+let test_link_lossless_transfer () =
+  let got, _ =
+    Faulty_link.run_transfer ~plan_ab:(Fault_plan.script [])
+      ~plan_ba:(Fault_plan.script []) ~payload ~rounds:20 ()
+  in
+  check Alcotest.string "exact delivery" (Bytes.to_string payload) got
+
+let test_link_lossy_transfer_recovers () =
+  let rates = { Fault_plan.no_faults with drop = 200 } in
+  let got, stats =
+    Faulty_link.run_transfer
+      ~plan_ab:(Fault_plan.seeded ~name:"t/lossy/ab" ~seed:4 ~rates ~limit:6 ())
+      ~plan_ba:(Fault_plan.seeded ~name:"t/lossy/ba" ~seed:4 ~rates ~limit:6 ())
+      ~payload ~rounds:80 ()
+  in
+  check Alcotest.string "exact delivery despite loss"
+    (Bytes.to_string payload) got;
+  check Alcotest.bool "faults actually injected" true
+    (stats.Faulty_link.ab_faults + stats.Faulty_link.ba_faults > 0)
+
+let test_link_stacks_end_to_end () =
+  let module Nic = Bi_hw.Device.Nic in
+  let module Stack = Bi_net.Stack in
+  let a_nic = Nic.create ~mac:"\x02\x00\x00\x00\x00\x01" () in
+  let b_nic = Nic.create ~mac:"\x02\x00\x00\x00\x00\x02" () in
+  let sa = Stack.create ~nic:a_nic ~ip:0x0a000001l in
+  let sb = Stack.create ~nic:b_nic ~ip:0x0a000002l in
+  Stack.tcp_listen sb 80;
+  let rates = { Fault_plan.no_faults with drop = 150; duplicate = 100 } in
+  let l =
+    Faulty_link.link
+      ~plan_ab:(Fault_plan.seeded ~name:"t/stack/ab" ~seed:2 ~rates ~limit:5 ())
+      ~plan_ba:(Fault_plan.seeded ~name:"t/stack/ba" ~seed:2 ~rates ~limit:5 ())
+      a_nic b_nic
+  in
+  let cid = Stack.tcp_connect sa ~dst_ip:0x0a000002l ~dst_port:80 in
+  Stack.tcp_send sa cid payload;
+  let received = Buffer.create 1500 in
+  let accepted = ref None in
+  for _ = 1 to 120 do
+    ignore (Faulty_link.step_link l : int);
+    Stack.poll sa;
+    Stack.poll sb;
+    Stack.tick sa;
+    Stack.tick sb;
+    (match !accepted with
+    | None -> accepted := Stack.tcp_accept sb 80
+    | Some _ -> ());
+    match !accepted with
+    | Some c -> Buffer.add_bytes received (Stack.tcp_recv sb c)
+    | None -> ()
+  done;
+  check Alcotest.string "stack-level exact delivery"
+    (Bytes.to_string payload) (Buffer.contents received)
+
+(* ------------------------------------------------------------------ *)
+(* The fi VC suite, discharged in-process *)
+
+let vc_cases () =
+  let vcs = Bi_fault.Fi_check.vcs () in
+  List.map
+    (fun (vc : Bi_core.Vc.t) ->
+      Alcotest.test_case vc.Bi_core.Vc.id `Quick (fun () ->
+          match Bi_core.Vc.catch vc.Bi_core.Vc.check with
+          | Bi_core.Vc.Proved -> ()
+          | o ->
+              Alcotest.failf "%s: %a" vc.Bi_core.Vc.id Bi_core.Vc.pp_outcome o))
+    vcs
+
+let () =
+  Alcotest.run "bi_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "seeded deterministic" `Quick
+            test_plan_seeded_deterministic;
+          Alcotest.test_case "replay" `Quick test_plan_replay;
+          Alcotest.test_case "limit" `Quick test_plan_limit;
+          Alcotest.test_case "shrink" `Quick test_plan_shrink;
+          Alcotest.test_case "enumerate" `Quick test_plan_enumerate;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "transparent without faults" `Quick
+            test_disk_transparent_without_faults;
+          Alcotest.test_case "stall respects barrier" `Quick
+            test_disk_stall_respects_barrier;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "wal commit safe" `Quick
+            test_explore_wal_commit_safe;
+          Alcotest.test_case "catches unlogged writes" `Quick
+            test_explore_catches_unlogged_writes;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "lossless transfer" `Quick
+            test_link_lossless_transfer;
+          Alcotest.test_case "lossy transfer recovers" `Quick
+            test_link_lossy_transfer_recovers;
+          Alcotest.test_case "stacks end to end" `Quick
+            test_link_stacks_end_to_end;
+        ] );
+      ("vc-suite", vc_cases ());
+    ]

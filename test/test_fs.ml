@@ -264,6 +264,98 @@ let test_fs_sparse_read_zeros () =
       | Error e -> Alcotest.failf "hole read: %a" Fs.pp_error e)
 
 (* ------------------------------------------------------------------ *)
+(* Block_dev.crash_with edge cases: keep is clamped to [0, pending] *)
+
+let test_crash_with_edge_cases () =
+  let mk () =
+    let dev = fresh_dev () in
+    Block_dev.write dev 10 (Bytes.make Block_dev.block_size 'a');
+    Block_dev.write dev 11 (Bytes.make Block_dev.block_size 'b');
+    dev
+  in
+  let survivors keep =
+    let crashed = Block_dev.crash_with (mk ()) ~keep_unflushed:keep in
+    List.filter
+      (fun s ->
+        Bytes.get (Block_dev.read crashed s) 0 <> '\000')
+      [ 10; 11 ]
+  in
+  check (Alcotest.list Alcotest.int) "keep=0 loses everything" [] (survivors 0);
+  check (Alcotest.list Alcotest.int) "negative keep clamps to 0" []
+    (survivors (-3));
+  check (Alcotest.list Alcotest.int) "keep=1 keeps the oldest" [ 10 ]
+    (survivors 1);
+  check (Alcotest.list Alcotest.int) "keep=pending keeps all" [ 10; 11 ]
+    (survivors 2);
+  check (Alcotest.list Alcotest.int) "keep>pending clamps to all" [ 10; 11 ]
+    (survivors 99)
+
+(* ------------------------------------------------------------------ *)
+(* WAL recovery idempotence: crash recovery at every one of its own
+   write boundaries, re-run recovery, and demand a fixed point. *)
+
+let test_wal_recovery_idempotent_every_boundary () =
+  let targets = [ 40; 41 ] in
+  let base () =
+    let dev = fresh_dev () in
+    List.iter
+      (fun s -> Block_dev.write dev s (Bytes.make Block_dev.block_size 'o'))
+      targets;
+    ignore (Wal.recover (Wal.create dev ~header_block:0) : int);
+    Block_dev.flush dev;
+    dev
+  in
+  (* Journal the commit's write stream so it can be cut at each boundary. *)
+  let dev0 = base () in
+  let journal, commit_ops = Bi_fault.Crash_explore.record dev0 in
+  let w = Wal.create journal ~header_block:0 in
+  let txn = Wal.begin_txn w in
+  Wal.txn_write txn 40 (Bytes.make Block_dev.block_size 'n');
+  Wal.txn_write txn 41 (Bytes.make Block_dev.block_size 'n');
+  Wal.commit txn;
+  let ops = commit_ops () in
+  let replay dev l =
+    List.iter
+      (function
+        | Bi_fault.Crash_explore.W (s, b) -> Block_dev.write dev s b
+        | Bi_fault.Crash_explore.F -> Block_dev.flush dev)
+      l
+  in
+  let prefix l n = List.filteri (fun i _ -> i < n) l in
+  let view dev =
+    List.map (fun s -> Bytes.to_string (Block_dev.read dev s)) targets
+  in
+  let boundaries = ref 0 in
+  for i = 0 to List.length ops do
+    (* Crash the commit at boundary [i], then journal what recovery
+       itself writes from that state. *)
+    let crash_state () =
+      let dev = base () in
+      replay dev (prefix ops i);
+      Block_dev.crash_with dev ~keep_unflushed:max_int
+    in
+    let rj, rec_ops = Bi_fault.Crash_explore.record (crash_state ()) in
+    ignore (Wal.recover (Wal.create rj ~header_block:0) : int);
+    let rops = rec_ops () in
+    for j = 0 to List.length rops do
+      incr boundaries;
+      (* Crash recovery at boundary [j]; re-run recovery to completion. *)
+      let dev = crash_state () in
+      replay dev (prefix rops j);
+      let dev = Block_dev.crash_with dev ~keep_unflushed:max_int in
+      ignore (Wal.recover (Wal.create dev ~header_block:0) : int);
+      let v1 = view dev in
+      (* Fixed point: another recovery changes nothing. *)
+      ignore (Wal.recover (Wal.create dev ~header_block:0) : int);
+      let v2 = view dev in
+      if v1 <> v2 then
+        Alcotest.failf "recovery not idempotent at commit %d, recovery %d" i j
+    done
+  done;
+  check Alcotest.bool "explored interrupted-recovery boundaries" true
+    (!boundaries > List.length ops)
+
+(* ------------------------------------------------------------------ *)
 (* Random crash-recovery property over multi-op histories *)
 
 let prop_crash_recovery_consistent =
@@ -317,6 +409,8 @@ let () =
           Alcotest.test_case "size limit" `Quick test_wal_size_limit;
           Alcotest.test_case "all-or-nothing" `Quick test_wal_crash_before_commit_point;
           Alcotest.test_case "recover idempotent" `Quick test_wal_recover_idempotent;
+          Alcotest.test_case "recovery idempotent at every boundary" `Quick
+            test_wal_recovery_idempotent_every_boundary;
         ] );
       ( "fs",
         [
@@ -328,5 +422,10 @@ let () =
           Alcotest.test_case "inode reuse" `Quick test_fs_inode_reuse_no_leak;
           Alcotest.test_case "sparse zeros" `Quick test_fs_sparse_read_zeros;
         ] );
-      ("crash", [ prop_crash_recovery_consistent ]);
+      ( "crash",
+        [
+          Alcotest.test_case "crash_with clamps keep" `Quick
+            test_crash_with_edge_cases;
+          prop_crash_recovery_consistent;
+        ] );
     ]

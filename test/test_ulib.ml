@@ -69,6 +69,38 @@ let test_serde_map_bijection () =
   let codec = Serde.map Int64.to_int Int64.of_int Serde.u64 in
   check Alcotest.bool "mapped codec" true (roundtrip codec 123456)
 
+(* Fuzz decode on corrupted encodings with the same seeded corruption
+   generator the fault-injection suite uses: the decoder must stay total
+   (typed [option] result, no exception, no divergence). *)
+let test_serde_fuzz_corrupted_total () =
+  let g = Bi_core.Gen.of_string "test/serde/fuzz" in
+  let total (type a) (codec : a Serde.t) b =
+    match Serde.decode codec b with
+    | Some _ | None -> ()
+    | exception e ->
+        Alcotest.failf "decode raised %s on %S" (Printexc.to_string e)
+          (Bytes.to_string b)
+  in
+  for _ = 1 to 500 do
+    let corrupt b = Bi_fault.Fault_plan.corrupt_bytes g b in
+    total Serde.varint (corrupt (Serde.encode Serde.varint (Bi_core.Gen.int g 1_000_000)));
+    total Serde.u64 (corrupt (Serde.encode Serde.u64 (Bi_core.Gen.next64 g)));
+    total Serde.string
+      (corrupt
+         (Serde.encode Serde.string
+            (String.init (Bi_core.Gen.int g 24) (fun _ ->
+                 Char.chr (Bi_core.Gen.int g 256)))));
+    total
+      (Serde.list Serde.u16)
+      (corrupt
+         (Serde.encode (Serde.list Serde.u16)
+            (List.init (Bi_core.Gen.int g 6) (fun _ -> Bi_core.Gen.int g 65536))));
+    total
+      (Serde.option (Serde.pair Serde.varint Serde.bool))
+      (Bytes.init (Bi_core.Gen.int g 16) (fun _ ->
+           Char.chr (Bi_core.Gen.int g 256)))
+  done
+
 let test_serde_decode_prefix_streams () =
   let b = Bytes.cat (Serde.encode Serde.varint 7) (Serde.encode Serde.varint 300) in
   match Serde.decode_prefix Serde.varint b ~off:0 with
@@ -493,6 +525,8 @@ let () =
           Alcotest.test_case "trailing rejected" `Quick test_serde_rejects_trailing;
           Alcotest.test_case "truncated rejected" `Quick test_serde_rejects_truncated;
           Alcotest.test_case "map bijection" `Quick test_serde_map_bijection;
+          Alcotest.test_case "fuzz corrupted bytes total" `Quick
+            test_serde_fuzz_corrupted_total;
           Alcotest.test_case "decode_prefix streams" `Quick test_serde_decode_prefix_streams;
         ] );
       ( "ualloc",
