@@ -3,7 +3,7 @@
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all build test verify fmt-check bench bench-json discharge mc fi clean
+.PHONY: all build test verify fmt-check bench bench-json discharge mc fi rs clean
 
 all: build
 
@@ -39,6 +39,10 @@ mc:
 # The fault-injection suite alone (crash exploration, faulty disk/link).
 fi:
 	dune exec bin/verify.exe -- fi
+
+# The resilient-store suite alone (exactly-once, breaker, linearizability).
+rs:
+	dune exec bin/verify.exe -- rs
 
 bench:
 	dune exec bench/main.exe

@@ -814,6 +814,74 @@ let run_fi_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Resilient store: the price of surviving a faulty wire — retries per
+   operation, failover latency, breaker churn — on the fixed replicated
+   crash/restart scenario, plus the positive control and the cost of
+   the rs suite.                                                       *)
+
+let run_rs_bench () =
+  Format.fprintf ppf
+    "Resilient store: retries, failover, breaker churn under faults@.";
+  let s = Bi_app.Rs_check.bench_stats () in
+  Format.fprintf ppf
+    "    %d ops, %d attempts (%d retries, %.2f retries/op), %d dup-table \
+     hits, %d applied@."
+    s.Bi_app.Rs_check.ops s.Bi_app.Rs_check.attempts s.Bi_app.Rs_check.retries
+    (float_of_int s.Bi_app.Rs_check.retries
+    /. float_of_int s.Bi_app.Rs_check.ops)
+    s.Bi_app.Rs_check.dup_hits s.Bi_app.Rs_check.applied;
+  Format.fprintf ppf
+    "    %d failovers (post-crash read in %d simulated rounds), breaker %d \
+     opens / %d closes, %d rounds total@."
+    s.Bi_app.Rs_check.failovers s.Bi_app.Rs_check.failover_rounds
+    s.Bi_app.Rs_check.breaker_opens s.Bi_app.Rs_check.breaker_closes
+    s.Bi_app.Rs_check.rounds;
+  let c = Bi_app.Rs_check.positive_control () in
+  Format.fprintf ppf
+    "    positive control: plain lost=%b resilient ok=%b, plan shrunk to %d \
+     decision(s), replay fails=%b@."
+    c.Bi_app.Rs_check.plain_failed c.Bi_app.Rs_check.resilient_ok
+    (List.length c.Bi_app.Rs_check.shrunk)
+    c.Bi_app.Rs_check.replay_fails;
+  let suite = Bi_app.Rs_check.vcs () in
+  let rep = Bi_core.Verifier.discharge ~jobs:1 suite in
+  Format.fprintf ppf
+    "    rs suite: %d VCs in %.3f s wall (%d proved, slowest %.3f s)@."
+    (List.length suite) rep.Bi_core.Verifier.wall_time_s
+    rep.Bi_core.Verifier.proved rep.Bi_core.Verifier.max_time_s;
+  record "rs"
+    (Json.Obj
+       [
+         ("ops", Json.Int s.Bi_app.Rs_check.ops);
+         ("attempts", Json.Int s.Bi_app.Rs_check.attempts);
+         ("retries", Json.Int s.Bi_app.Rs_check.retries);
+         ( "retries_per_op",
+           Json.Float
+             (float_of_int s.Bi_app.Rs_check.retries
+             /. float_of_int s.Bi_app.Rs_check.ops) );
+         ("failovers", Json.Int s.Bi_app.Rs_check.failovers);
+         ("failover_rounds", Json.Int s.Bi_app.Rs_check.failover_rounds);
+         ("breaker_opens", Json.Int s.Bi_app.Rs_check.breaker_opens);
+         ("breaker_closes", Json.Int s.Bi_app.Rs_check.breaker_closes);
+         ("dup_table_hits", Json.Int s.Bi_app.Rs_check.dup_hits);
+         ("applied", Json.Int s.Bi_app.Rs_check.applied);
+         ("sim_rounds", Json.Int s.Bi_app.Rs_check.rounds);
+         ( "positive_control",
+           Json.Obj
+             [
+               ("plain_lost", Json.Bool c.Bi_app.Rs_check.plain_failed);
+               ("resilient_ok", Json.Bool c.Bi_app.Rs_check.resilient_ok);
+               ( "shrunk_decisions",
+                 Json.Int (List.length c.Bi_app.Rs_check.shrunk) );
+               ("replay_fails", Json.Bool c.Bi_app.Rs_check.replay_fails);
+             ] );
+         ("suite_vcs", Json.Int (List.length suite));
+         ("suite_proved", Json.Int rep.Bi_core.Verifier.proved);
+         ("suite_wall_s", Json.Float rep.Bi_core.Verifier.wall_time_s);
+         ("suite_max_vc_s", Json.Float rep.Bi_core.Verifier.max_time_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec split_json acc = function
@@ -848,6 +916,7 @@ let () =
     | "discharge" -> run_discharge_bench ()
     | "mc" -> run_mc_bench ()
     | "fi" -> run_fi_bench ()
+    | "rs" -> run_rs_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
         record_table1 ();
@@ -863,11 +932,13 @@ let () =
         Format.fprintf ppf "@.";
         run_fi_bench ();
         Format.fprintf ppf "@.";
+        run_rs_bench ();
+        Format.fprintf ppf "@.";
         run_micro ()
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|micro|all)@."
           other;
         exit 2
   in

@@ -28,6 +28,9 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ( "fi",
       "fault injection: plans, faulty disk/link, crash exploration + mutations",
       Bi_fault.Fi_check.vcs );
+    ( "rs",
+      "resilient store: exactly-once, breaker, linearizability + mutations",
+      Bi_app.Rs_check.vcs );
   ]
 
 (* The paper's headline suite must stay exactly 220 VCs: extension work

@@ -3,12 +3,17 @@ module P = Protocol
 
 type t = { sys : U.t; conn : int; mutable buf : bytes }
 
-type error = Connection of string | Remote of string | Corrupt
+type error =
+  | Connection of string
+  | Remote of P.err
+  | Corrupt
+  | Invalid_key
 
 let pp_error ppf = function
   | Connection m -> Format.fprintf ppf "connection: %s" m
-  | Remote m -> Format.fprintf ppf "remote: %s" m
+  | Remote e -> Format.fprintf ppf "remote: %a" P.pp_err e
   | Corrupt -> Format.pp_print_string ppf "corrupt value"
+  | Invalid_key -> Format.pp_print_string ppf "invalid key (rejected locally)"
 
 let connect sys ~ip =
   match U.tcp_connect sys ~ip ~port:Storage_node.port with
@@ -35,49 +40,56 @@ let rpc t req =
   | Error e -> Error (Connection (Format.asprintf "%a" Bi_kernel.Sysabi.pp_err e))
   | Ok _ -> read_resp t
 
+(* Client-side validation: an invalid key is rejected locally rather than
+   spending a round trip on a guaranteed remote [Err Bad_key]. *)
+let guard_key key k = if P.valid_key key then k () else Error Invalid_key
+
 let put t ~key ~value =
-  match rpc t (P.Put { key; value; crc = P.crc32 value }) with
-  | Ok P.Done -> Ok ()
-  | Ok (P.Err m) -> Error (Remote m)
-  | Ok _ -> Error (Remote "unexpected response")
-  | Error e -> Error e
+  guard_key key (fun () ->
+      match rpc t (P.Put { key; value; crc = P.crc32 value; txn = None }) with
+      | Ok P.Done -> Ok ()
+      | Ok (P.Err e) -> Error (Remote e)
+      | Ok _ -> Error (Connection "unexpected response")
+      | Error e -> Error e)
 
 let get t ~key =
-  match rpc t (P.Get key) with
-  | Ok (P.Value { value; crc }) ->
-      if P.crc32 value = crc then Ok (Some value) else Error Corrupt
-  | Ok P.Missing -> Ok None
-  | Ok (P.Err m) -> Error (Remote m)
-  | Ok _ -> Error (Remote "unexpected response")
-  | Error e -> Error e
+  guard_key key (fun () ->
+      match rpc t (P.Get key) with
+      | Ok (P.Value { value; crc }) ->
+          if P.crc32 value = crc then Ok (Some value) else Error Corrupt
+      | Ok P.Missing -> Ok None
+      | Ok (P.Err e) -> Error (Remote e)
+      | Ok _ -> Error (Connection "unexpected response")
+      | Error e -> Error e)
 
 let delete t ~key =
-  match rpc t (P.Delete key) with
-  | Ok P.Done -> Ok true
-  | Ok P.Missing -> Ok false
-  | Ok (P.Err m) -> Error (Remote m)
-  | Ok _ -> Error (Remote "unexpected response")
-  | Error e -> Error e
+  guard_key key (fun () ->
+      match rpc t (P.Delete { key; txn = None }) with
+      | Ok P.Done -> Ok true
+      | Ok P.Missing -> Ok false
+      | Ok (P.Err e) -> Error (Remote e)
+      | Ok _ -> Error (Connection "unexpected response")
+      | Error e -> Error e)
 
 let list t =
   match rpc t P.List with
   | Ok (P.Listing keys) -> Ok keys
-  | Ok (P.Err m) -> Error (Remote m)
-  | Ok _ -> Error (Remote "unexpected response")
+  | Ok (P.Err e) -> Error (Remote e)
+  | Ok _ -> Error (Connection "unexpected response")
   | Error e -> Error e
 
 let ping t =
   match rpc t P.Ping with
-  | Ok P.Pong -> Ok ()
-  | Ok (P.Err m) -> Error (Remote m)
-  | Ok _ -> Error (Remote "unexpected response")
+  | Ok (P.Pong { health; epoch }) -> Ok (health, epoch)
+  | Ok (P.Err e) -> Error (Remote e)
+  | Ok _ -> Error (Connection "unexpected response")
   | Error e -> Error e
 
 let shutdown t =
   match rpc t P.Shutdown with
   | Ok P.Done -> Ok ()
-  | Ok (P.Err m) -> Error (Remote m)
-  | Ok _ -> Error (Remote "unexpected response")
+  | Ok (P.Err e) -> Error (Remote e)
+  | Ok _ -> Error (Connection "unexpected response")
   | Error e -> Error e
 
 let close t = ignore (U.tcp_close t.sys ~conn:t.conn)

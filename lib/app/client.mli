@@ -1,13 +1,22 @@
 (** Block-store client library: typed operations over one TCP connection
     to a {!Storage_node}.  Computes and verifies value checksums on the
-    client side, so the integrity contract is end-to-end. *)
+    client side, so the integrity contract is end-to-end, and validates
+    keys locally before serializing, so a guaranteed remote rejection
+    never costs a round trip.
+
+    This is the {e one-shot} client: no retries, no deadline, no
+    failover — a connection error or fault surfaces immediately.  The
+    resilient contract (retries keyed by transaction ids, backoff,
+    circuit breaking, replica failover) lives in {!Resilient_client} and
+    {!Replica_set}. *)
 
 type t
 
 type error =
   | Connection of string
-  | Remote of string  (** The node answered [Err]. *)
+  | Remote of Protocol.err  (** The node answered [Err]. *)
   | Corrupt  (** Value failed its checksum on receipt. *)
+  | Invalid_key  (** Rejected locally by {!Protocol.valid_key}. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -22,7 +31,10 @@ val delete : t -> key:string -> (bool, error) result
 (** [Ok false] when the key was absent. *)
 
 val list : t -> (string list, error) result
-val ping : t -> (unit, error) result
+
+val ping : t -> (Protocol.health * int, error) result
+(** The node's health and restart epoch. *)
+
 val shutdown : t -> (unit, error) result
 (** Ask the node to stop serving (and close this connection). *)
 

@@ -1,0 +1,262 @@
+module P = Protocol
+module Fs = Bi_fs.Fs
+
+type stored = { value : string; crc : int32 }
+
+type store = {
+  load : string -> (stored option, P.err) result;
+  save : string -> stored -> (unit, P.err) result;
+  remove : string -> (bool, P.err) result;
+  keys : unit -> (string list, P.err) result;
+}
+
+let max_clients = 64
+
+type t = {
+  store : store;
+  dup_capacity : int;
+  epoch : int;
+  dups : (int, (int * P.resp) list) Hashtbl.t;
+  mutable recency : int list; (* client ids, most recently seen first *)
+  mutable degraded : bool;
+  mutable shutdown : bool;
+  mutable applied : int;
+  mutable dup_hits : int;
+}
+
+let create ?(dup_capacity = 8) ?(epoch = 0) store =
+  {
+    store;
+    dup_capacity;
+    epoch;
+    dups = Hashtbl.create 16;
+    recency = [];
+    degraded = false;
+    shutdown = false;
+    applied = 0;
+    dup_hits = 0;
+  }
+
+let wants_shutdown t = t.shutdown
+let degraded t = t.degraded
+let epoch t = t.epoch
+let applied t = t.applied
+let dup_hits t = t.dup_hits
+
+(* ------------------------------------------------------------------ *)
+(* Bounded per-client duplicate table                                  *)
+
+let touch t client =
+  t.recency <- client :: List.filter (( <> ) client) t.recency;
+  match List.filteri (fun i _ -> i >= max_clients) t.recency with
+  | [] -> ()
+  | evicted ->
+      List.iter (Hashtbl.remove t.dups) evicted;
+      t.recency <- List.filteri (fun i _ -> i < max_clients) t.recency
+
+let dup_lookup t = function
+  | None -> None
+  | Some { P.client; seq } -> (
+      match Hashtbl.find_opt t.dups client with
+      | None -> None
+      | Some entries ->
+          touch t client;
+          List.assoc_opt seq entries)
+
+let dup_record t txn resp =
+  match txn with
+  | None -> ()
+  | Some { P.client; seq } ->
+      let entries =
+        match Hashtbl.find_opt t.dups client with Some es -> es | None -> []
+      in
+      let entries =
+        List.filteri
+          (fun i _ -> i < t.dup_capacity - 1)
+          ((seq, resp) :: List.remove_assoc seq entries)
+      in
+      Hashtbl.replace t.dups client entries;
+      touch t client
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+(* The dedup check runs before the degraded check: a retry of a mutation
+   acknowledged just before the node degraded must still be answered
+   exactly-once from the table, not refused. *)
+let mutate t txn compute =
+  match dup_lookup t txn with
+  | Some resp ->
+      t.dup_hits <- t.dup_hits + 1;
+      resp
+  | None ->
+      if t.degraded then P.Err P.Read_only
+      else begin
+        let resp = compute () in
+        (match resp with
+        | P.Err (P.Io _) -> t.degraded <- true
+        | _ -> ());
+        dup_record t txn resp;
+        resp
+      end
+
+let handle t req =
+  match req with
+  | P.Put { key; value; crc; txn } ->
+      if not (P.valid_key key) then P.Err P.Bad_key
+      else if String.length value > P.max_value_size then P.Err P.Too_large
+      else if P.crc32 value <> crc then P.Err P.Bad_crc
+      else
+        mutate t txn (fun () ->
+            match t.store.save key { value; crc } with
+            | Ok () ->
+                t.applied <- t.applied + 1;
+                P.Done
+            | Error e -> P.Err e)
+  | P.Get key ->
+      if not (P.valid_key key) then P.Err P.Bad_key
+      else begin
+        match t.store.load key with
+        | Ok None -> P.Missing
+        | Ok (Some { value; crc }) ->
+            if P.crc32 value <> crc then P.Err P.Integrity
+            else P.Value { value; crc }
+        | Error e -> P.Err e
+      end
+  | P.Delete { key; txn } ->
+      if not (P.valid_key key) then P.Err P.Bad_key
+      else
+        mutate t txn (fun () ->
+            match t.store.remove key with
+            | Ok true ->
+                t.applied <- t.applied + 1;
+                P.Done
+            | Ok false -> P.Missing
+            | Error e -> P.Err e)
+  | P.List -> (
+      match t.store.keys () with
+      | Ok ks -> P.Listing (List.sort compare ks)
+      | Error e -> P.Err e)
+  | P.Ping ->
+      P.Pong
+        { health = (if t.degraded then P.Degraded else P.Serving); epoch = t.epoch }
+  | P.Shutdown ->
+      t.shutdown <- true;
+      P.Done
+
+(* ------------------------------------------------------------------ *)
+(* Stores                                                              *)
+
+let mem_store ?write_faults () =
+  let tbl : (string, stored) Hashtbl.t = Hashtbl.create 16 in
+  let fault () =
+    match write_faults with
+    | None -> false
+    | Some plan -> Bi_fault.Fault_plan.next plan <> Bi_fault.Fault_plan.Pass
+  in
+  {
+    load = (fun k -> Ok (Hashtbl.find_opt tbl k));
+    save =
+      (fun k v ->
+        if fault () then Error (P.Io "injected write failure")
+        else begin
+          Hashtbl.replace tbl k v;
+          Ok ()
+        end);
+    remove =
+      (fun k ->
+        if fault () then Error (P.Io "injected write failure")
+        else begin
+          let existed = Hashtbl.mem tbl k in
+          Hashtbl.remove tbl k;
+          Ok existed
+        end);
+    keys = (fun () -> Ok (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []));
+  }
+
+let mem_contents s =
+  match s.keys () with
+  | Error _ -> []
+  | Ok ks ->
+      List.filter_map
+        (fun k ->
+          match s.load k with
+          | Ok (Some { value; _ }) -> Some (k, value)
+          | _ -> None)
+        (List.sort compare ks)
+
+let fs_store fs =
+  let io e = P.Io (Format.asprintf "%a" Fs.pp_error e) in
+  let key_path key = "/blocks/" ^ key in
+  let crc_path key = "/blocks/" ^ key ^ ".crc" in
+  (match Fs.mkdir fs "/blocks" with Ok () | Error _ -> ());
+  let write_file path data =
+    let ensure () =
+      match Fs.resolve fs path with
+      | Ok ino -> Ok ino
+      | Error Fs.Not_found -> (
+          match Fs.create fs path with
+          | Ok () -> Fs.resolve fs path
+          | Error e -> Error e)
+      | Error e -> Error e
+    in
+    match ensure () with
+    | Error e -> Error (io e)
+    | Ok ino -> (
+        match Fs.truncate_ino fs ~ino 0 with
+        | Error e -> Error (io e)
+        | Ok () -> (
+            match Fs.write_ino fs ~ino ~off:0 (Bytes.of_string data) with
+            | Ok () -> Ok ()
+            | Error e -> Error (io e)))
+  in
+  let read_file path =
+    match Fs.resolve fs path with
+    | Error Fs.Not_found -> Ok None
+    | Error e -> Error (io e)
+    | Ok ino -> (
+        match Fs.stat_ino fs ino with
+        | Error e -> Error (io e)
+        | Ok { Fs.size; _ } -> (
+            match Fs.read_ino fs ~ino ~off:0 ~len:size with
+            | Ok b -> Ok (Some (Bytes.to_string b))
+            | Error e -> Error (io e)))
+  in
+  {
+    load =
+      (fun key ->
+        match read_file (key_path key) with
+        | Error e -> Error e
+        | Ok None -> Ok None
+        | Ok (Some value) -> (
+            match read_file (crc_path key) with
+            | Error e -> Error e
+            | Ok None -> Error P.No_crc
+            | Ok (Some crc_text) -> (
+                match Int32.of_string_opt ("0x" ^ String.trim crc_text) with
+                | None -> Error P.No_crc
+                | Some crc -> Ok (Some { value; crc }))));
+    save =
+      (fun key { value; crc } ->
+        match write_file (key_path key) value with
+        | Error e -> Error e
+        | Ok () -> write_file (crc_path key) (Printf.sprintf "%08lx" crc));
+    remove =
+      (fun key ->
+        match Fs.unlink fs (key_path key) with
+        | Error Fs.Not_found -> Ok false
+        | Error e -> Error (io e)
+        | Ok () ->
+            (match Fs.unlink fs (crc_path key) with Ok () | Error _ -> ());
+            Ok true);
+    keys =
+      (fun () ->
+        match Fs.readdir fs "/blocks" with
+        | Error e -> Error (io e)
+        | Ok names ->
+            Ok
+              (List.filter
+                 (fun n ->
+                   not (String.length n > 4 && Filename.check_suffix n ".crc"))
+                 names));
+  }

@@ -1,0 +1,73 @@
+(** The storage node's request-handling core, factored out of the
+    transport so the same logic serves three homes: the real
+    {!Storage_node} kernel program (over the Usys filesystem), the
+    fault-injected model nodes of the [rs] verify suite (over an
+    in-memory store whose writes fail on a {!Bi_fault.Fault_plan}
+    schedule), and direct {!Bi_fs.Fs} instances (e.g. over a
+    {!Bi_fault.Faulty_disk}).
+
+    Two resilience mechanisms live here:
+
+    {b Exactly-once mutations.}  A bounded per-client duplicate table
+    remembers the response of each recent transaction id.  A retried
+    [Put]/[Delete] carrying a [txn] already in the table is answered from
+    the table and never re-applied — the rely-guarantee a client retry
+    loop needs across its retry boundary.
+
+    {b Degraded read-only mode.}  A backing-store write failure flips the
+    node to degraded: mutations are refused with [Err Read_only], reads
+    keep being served, and [Pong] reports [Degraded].  The node never
+    dies, and never loses an acknowledged write (the failed write was
+    never acknowledged). *)
+
+type stored = { value : string; crc : int32 }
+
+type store = {
+  load : string -> (stored option, Protocol.err) result;
+      (** [Ok None] when absent. *)
+  save : string -> stored -> (unit, Protocol.err) result;
+  remove : string -> (bool, Protocol.err) result;
+      (** [Ok false] when absent. *)
+  keys : unit -> (string list, Protocol.err) result;
+}
+
+type t
+
+val create : ?dup_capacity:int -> ?epoch:int -> store -> t
+(** [dup_capacity] bounds both the per-client entry count and the number
+    of distinct clients tracked (default 8 entries for each of up to 64
+    clients; oldest evicted first). *)
+
+val handle : t -> Protocol.req -> Protocol.resp
+(** Total: every request gets a response.  [Shutdown] answers [Done];
+    transports decide what to do with their connection ({!wants_shutdown}
+    is sticky). *)
+
+val wants_shutdown : t -> bool
+val degraded : t -> bool
+val epoch : t -> int
+
+val applied : t -> int
+(** Mutations actually applied to the store — the exactly-once VCs
+    compare this against the number of distinct acknowledged mutations,
+    however many times each was retried. *)
+
+val dup_hits : t -> int
+(** Retried mutations answered from the duplicate table. *)
+
+val mem_store : ?write_faults:Bi_fault.Fault_plan.t -> unit -> store
+(** In-memory store.  Each [save]/[remove] consults [write_faults] (one
+    site per mutation); any non-[Pass] decision makes that write fail
+    with [Err (Io _)] — the injection that drives a node into degraded
+    mode.  Reads never fail. *)
+
+val mem_contents : store -> (string * string) list
+(** Sorted [(key, value)] snapshot of any store (via [keys] + [load];
+    unreadable entries are skipped); the degraded-mode monotonicity VCs
+    compare these snapshots across the degradation point. *)
+
+val fs_store : Bi_fs.Fs.t -> store
+(** Blocks under [/blocks/<key>] with the checksum in a sidecar
+    [/blocks/<key>.crc], over a directly mounted filesystem — mount one
+    on a {!Bi_fault.Faulty_disk} to exercise the read-integrity path
+    under bit rot. *)

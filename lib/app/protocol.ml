@@ -1,9 +1,22 @@
 module Serde = Bi_ulib.Serde
 
+type txn = { client : int; seq : int }
+
+type err =
+  | Bad_key
+  | Too_large
+  | Bad_crc
+  | No_crc
+  | Integrity
+  | Read_only
+  | Io of string
+
+type health = Serving | Degraded
+
 type req =
-  | Put of { key : string; value : string; crc : int32 }
+  | Put of { key : string; value : string; crc : int32; txn : txn option }
   | Get of string
-  | Delete of string
+  | Delete of { key : string; txn : txn option }
   | List
   | Ping
   | Shutdown
@@ -13,8 +26,27 @@ type resp =
   | Value of { value : string; crc : int32 }
   | Missing
   | Listing of string list
-  | Pong
-  | Err of string
+  | Pong of { health : health; epoch : int }
+  | Err of err
+
+let pp_err ppf = function
+  | Bad_key -> Format.pp_print_string ppf "invalid key"
+  | Too_large -> Format.pp_print_string ppf "value too large"
+  | Bad_crc -> Format.pp_print_string ppf "checksum mismatch on write"
+  | No_crc -> Format.pp_print_string ppf "missing checksum"
+  | Integrity -> Format.pp_print_string ppf "integrity violation detected"
+  | Read_only -> Format.pp_print_string ppf "node degraded: read-only"
+  | Io m -> Format.fprintf ppf "io: %s" m
+
+let pp_health ppf = function
+  | Serving -> Format.pp_print_string ppf "serving"
+  | Degraded -> Format.pp_print_string ppf "degraded"
+
+let pp_txn ppf { client; seq } = Format.fprintf ppf "%d.%d" client seq
+
+let retryable = function
+  | Bad_crc -> true
+  | Bad_key | Too_large | No_crc | Integrity | Read_only | Io _ -> false
 
 let max_value_size = 60_000
 
@@ -53,49 +85,84 @@ let valid_key k =
 (* ------------------------------------------------------------------ *)
 (* Codecs                                                              *)
 
+let txn_codec : txn option Serde.t =
+  let open Serde in
+  map
+    (Option.map (fun (client, seq) -> { client; seq }))
+    (Option.map (fun { client; seq } -> (client, seq)))
+    (option (pair varint varint))
+
 let req_codec : req Serde.t =
   let open Serde in
-  let inj (tag, (a, (b, (c, ns)))) =
-    ignore ns;
+  let inj (tag, (a, (b, (c, t)))) =
     match tag with
-    | 0 -> Put { key = a; value = b; crc = c }
+    | 0 -> Put { key = a; value = b; crc = c; txn = t }
     | 1 -> Get a
-    | 2 -> Delete a
+    | 2 -> Delete { key = a; txn = t }
     | 3 -> List
     | 4 -> Ping
     | _ -> Shutdown
   in
   let prj = function
-    | Put { key; value; crc } -> (0, (key, (value, (crc, []))))
-    | Get k -> (1, (k, ("", (0l, []))))
-    | Delete k -> (2, (k, ("", (0l, []))))
-    | List -> (3, ("", ("", (0l, []))))
-    | Ping -> (4, ("", ("", (0l, []))))
-    | Shutdown -> (5, ("", ("", (0l, []))))
+    | Put { key; value; crc; txn } -> (0, (key, (value, (crc, txn))))
+    | Get k -> (1, (k, ("", (0l, None))))
+    | Delete { key; txn } -> (2, (key, ("", (0l, txn))))
+    | List -> (3, ("", ("", (0l, None))))
+    | Ping -> (4, ("", ("", (0l, None))))
+    | Shutdown -> (5, ("", ("", (0l, None))))
   in
-  map inj prj
-    (pair varint (pair string (pair string (pair u32 (list string)))))
+  map inj prj (pair varint (pair string (pair string (pair u32 txn_codec))))
+
+let err_tag = function
+  | Bad_key -> 0
+  | Too_large -> 1
+  | Bad_crc -> 2
+  | No_crc -> 3
+  | Integrity -> 4
+  | Read_only -> 5
+  | Io _ -> 6
+
+let err_of_tag tag detail =
+  match tag with
+  | 0 -> Bad_key
+  | 1 -> Too_large
+  | 2 -> Bad_crc
+  | 3 -> No_crc
+  | 4 -> Integrity
+  | 5 -> Read_only
+  | _ -> Io detail
+
+let health_tag = function Serving -> 0 | Degraded -> 1
+let health_of_tag = function 0 -> Serving | _ -> Degraded
 
 let resp_codec : resp Serde.t =
   let open Serde in
-  let inj (tag, (a, (c, ns))) =
+  let inj (tag, (a, (c, (ns, ((h, epoch), (et, detail)))))) =
     match tag with
     | 0 -> Done
     | 1 -> Value { value = a; crc = c }
     | 2 -> Missing
     | 3 -> Listing ns
-    | 4 -> Pong
-    | _ -> Err a
+    | 4 -> Pong { health = health_of_tag h; epoch }
+    | _ -> Err (err_of_tag et detail)
   in
+  let zero = ((0, 0), (0, "")) in
   let prj = function
-    | Done -> (0, ("", (0l, [])))
-    | Value { value; crc } -> (1, (value, (crc, [])))
-    | Missing -> (2, ("", (0l, [])))
-    | Listing ns -> (3, ("", (0l, ns)))
-    | Pong -> (4, ("", (0l, [])))
-    | Err m -> (5, (m, (0l, [])))
+    | Done -> (0, ("", (0l, ([], zero))))
+    | Value { value; crc } -> (1, (value, (crc, ([], zero))))
+    | Missing -> (2, ("", (0l, ([], zero))))
+    | Listing ns -> (3, ("", (0l, (ns, zero))))
+    | Pong { health; epoch } ->
+        (4, ("", (0l, ([], ((health_tag health, epoch), (0, ""))))))
+    | Err e ->
+        let detail = match e with Io m -> m | _ -> "" in
+        (5, ("", (0l, ([], ((0, 0), (err_tag e, detail))))))
   in
-  map inj prj (pair varint (pair string (pair u32 (list string))))
+  map inj prj
+    (pair varint
+       (pair string
+          (pair u32
+             (pair (list string) (pair (pair varint varint) (pair varint string))))))
 
 (* Frames: varint body length + body bytes. *)
 let frame body =

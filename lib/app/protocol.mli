@@ -5,12 +5,40 @@
     formal methods for the S3 storage node (Section 1).  This protocol is
     that node's client interface: length-framed {!Bi_ulib.Serde} messages
     over TCP, with a CRC-32 on every value so integrity violations are
-    detected end-to-end. *)
+    detected end-to-end.
+
+    Mutations carry an optional transaction id — client id × sequence
+    number — so a node can keep a per-client duplicate table and make
+    retried [Put]/[Delete] exactly-once: the retry of an applied mutation
+    is answered from the table, never re-applied.  Errors are a typed
+    enum, not strings, so clients can decide retryability ([Bad_crc] means
+    the wire corrupted an otherwise-valid request; [Read_only] means the
+    node has entered degraded mode). *)
+
+type txn = { client : int; seq : int }
+(** Request identity for exactly-once retries.  All attempts of one
+    logical mutation carry the same [txn]; distinct mutations from one
+    client carry strictly increasing [seq]. *)
+
+type err =
+  | Bad_key  (** Key fails {!valid_key}. *)
+  | Too_large  (** Value exceeds {!max_value_size}. *)
+  | Bad_crc
+      (** The request's own checksum did not match its value: the wire
+          (not the client) corrupted the request — safe to retry. *)
+  | No_crc  (** Stored value has lost its checksum sidecar. *)
+  | Integrity  (** Stored data failed its checksum: corruption detected. *)
+  | Read_only
+      (** The node is in degraded mode after a backing-store write
+          failure: it serves reads but accepts no mutations. *)
+  | Io of string  (** Backing-store failure, with detail. *)
+
+type health = Serving | Degraded
 
 type req =
-  | Put of { key : string; value : string; crc : int32 }
+  | Put of { key : string; value : string; crc : int32; txn : txn option }
   | Get of string
-  | Delete of string
+  | Delete of { key : string; txn : txn option }
   | List
   | Ping
   | Shutdown  (** Stop the storage node (test/benchmark teardown). *)
@@ -20,8 +48,19 @@ type resp =
   | Value of { value : string; crc : int32 }
   | Missing
   | Listing of string list
-  | Pong
-  | Err of string
+  | Pong of { health : health; epoch : int }
+      (** [epoch] increments across node restarts, so a client can detect
+          that a replica crashed and lost its duplicate table. *)
+  | Err of err
+
+val pp_err : Format.formatter -> err -> unit
+val pp_health : Format.formatter -> health -> unit
+val pp_txn : Format.formatter -> txn -> unit
+
+val retryable : err -> bool
+(** [true] for errors a client may safely retry ([Bad_crc]: the wire, not
+    the request, was at fault).  Definitive rejections ([Bad_key],
+    [Too_large], [Read_only], ...) are not retryable. *)
 
 val crc32 : string -> int32
 (** IEEE 802.3 CRC-32. *)

@@ -1,0 +1,67 @@
+(** Replication over {!Resilient_client}s: fan every [Put]/[Delete] to N
+    storage nodes under one shared transaction id, fail reads over to a
+    live replica, and fence replicas the moment their state is suspect.
+
+    {b Fencing.}  A replica is fenced ("stale") when it misses an
+    acknowledged mutation, when a mutation's outcome on it is ambiguous
+    (retries exhausted, deadline — it may or may not have applied), or
+    when {!check_health} sees its epoch move (it restarted, losing its
+    duplicate table and possibly mutations applied while it was down).
+    Fenced replicas serve no reads — a stale read would break
+    linearizability — and receive no writes until {!resync} rebuilds
+    them from a synced peer.
+
+    {b Exactly-once across the set.}  All replicas see one mutation
+    under the {e same} txn, so a retry that lands twice on one replica
+    is absorbed by that node's duplicate table, and [resync]'s copies
+    use fresh txns that cannot collide with client mutations. *)
+
+type t
+
+type error =
+  | Invalid_key
+  | No_synced_replica
+  | Op_failed of (string * Resilient_client.error) list
+      (** Per-replica failures of the synced replicas consulted. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  ?config:Resilient_client.config ->
+  client:int ->
+  Resilient_client.clock ->
+  Resilient_client.endpoint list ->
+  t
+(** One {!Resilient_client} (own breaker, own stats) per endpoint; the
+    first endpoint is the preferred read replica. *)
+
+val put : t -> key:string -> value:string -> (unit, error) result
+(** Succeeds iff at least one synced replica acks; every synced replica
+    that did not ack is fenced. *)
+
+val delete : t -> key:string -> (bool, error) result
+
+val get : t -> key:string -> (string option, error) result
+(** Served by the first synced replica that answers; replicas that fail
+    are skipped (failover), not fenced. *)
+
+val list : t -> (string list, error) result
+
+val check_health :
+  t ->
+  (string * [ `Ok of Protocol.health * int | `Err of Resilient_client.error ])
+  list
+(** Ping every replica (fenced ones included), recording epochs and
+    fencing synced replicas whose epoch moved. *)
+
+val resync : t -> (int, error) result
+(** Rebuild every fenced replica from a synced source (the first replica
+    that answers [List] is promoted if none is synced); returns how many
+    replicas were repaired and unfenced. *)
+
+val synced_names : t -> string list
+val failovers : t -> int
+(** Reads that skipped at least one replica before succeeding. *)
+
+val stats : t -> Resilient_client.stats
+(** Summed over all replicas' clients. *)

@@ -6,6 +6,8 @@ let port = 9000
 let key_path key = "/blocks/" ^ key
 let crc_path key = "/blocks/" ^ key ^ ".crc"
 
+let io_err e = P.Io (Format.asprintf "%a" Bi_kernel.Sysabi.pp_err e)
+
 let read_file s path =
   match U.openf s path with
   | Error e -> Error e
@@ -38,80 +40,66 @@ let write_file s path data =
               ignore (U.close s fd);
               (match r with Ok _ -> Ok () | Error e -> Error e)))
 
-let handle_put s ~key ~value ~crc =
-  if not (P.valid_key key) then P.Err "invalid key"
-  else if String.length value > P.max_value_size then P.Err "value too large"
-  else if P.crc32 value <> crc then P.Err "checksum mismatch on write"
-  else begin
-    match write_file s (key_path key) value with
-    | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
-    | Ok () -> (
-        let crc_text = Printf.sprintf "%08lx" crc in
-        match write_file s (crc_path key) crc_text with
-        | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
-        | Ok () -> P.Done)
-  end
+(* The node's backing store, through the syscall interface: blocks as
+   files, checksums in sidecars — every access crosses the marshalled ABI
+   into the verified filesystem. *)
+let usys_store s : Node_core.store =
+  {
+    load =
+      (fun key ->
+        match read_file s (key_path key) with
+        | Error Bi_kernel.Sysabi.E_noent -> Ok None
+        | Error e -> Error (io_err e)
+        | Ok value -> (
+            match read_file s (crc_path key) with
+            | Error _ -> Error P.No_crc
+            | Ok crc_text -> (
+                match Int32.of_string_opt ("0x" ^ String.trim crc_text) with
+                | None -> Error P.No_crc
+                | Some crc -> Ok (Some { Node_core.value; crc }))));
+    save =
+      (fun key { Node_core.value; crc } ->
+        match write_file s (key_path key) value with
+        | Error e -> Error (io_err e)
+        | Ok () -> (
+            match write_file s (crc_path key) (Printf.sprintf "%08lx" crc) with
+            | Error e -> Error (io_err e)
+            | Ok () -> Ok ()));
+    remove =
+      (fun key ->
+        match U.unlink s (key_path key) with
+        | Error Bi_kernel.Sysabi.E_noent -> Ok false
+        | Error e -> Error (io_err e)
+        | Ok () ->
+            ignore (U.unlink s (crc_path key));
+            Ok true);
+    keys =
+      (fun () ->
+        match U.readdir s "/blocks" with
+        | Error e -> Error (io_err e)
+        | Ok names ->
+            Ok
+              (List.filter
+                 (fun n ->
+                   not (String.length n > 4 && Filename.check_suffix n ".crc"))
+                 names));
+  }
 
-let handle_get s key =
-  if not (P.valid_key key) then P.Err "invalid key"
-  else begin
-    match read_file s (key_path key) with
-    | Error Bi_kernel.Sysabi.E_noent -> P.Missing
-    | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
-    | Ok value -> (
-        match read_file s (crc_path key) with
-        | Error _ -> P.Err "missing checksum"
-        | Ok crc_text ->
-            let stored = Int32.of_string ("0x" ^ crc_text) in
-            let actual = P.crc32 value in
-            if stored <> actual then P.Err "integrity violation detected"
-            else P.Value { value; crc = actual })
-  end
-
-let handle_delete s key =
-  if not (P.valid_key key) then P.Err "invalid key"
-  else begin
-    match U.unlink s (key_path key) with
-    | Error Bi_kernel.Sysabi.E_noent -> P.Missing
-    | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
-    | Ok () ->
-        ignore (U.unlink s (crc_path key));
-        P.Done
-  end
-
-let handle_list s =
-  match U.readdir s "/blocks" with
-  | Error e -> P.Err (Format.asprintf "io: %a" Bi_kernel.Sysabi.pp_err e)
-  | Ok names ->
-      let keys =
-        List.filter
-          (fun n -> not (String.length n > 4 && Filename.check_suffix n ".crc"))
-          names
-      in
-      P.Listing (List.sort compare keys)
+(* Epochs count node (re)starts, so a client that pings across a restart
+   sees the epoch move and knows the duplicate table was lost. *)
+let epochs = Atomic.make 0
 
 (* Serve one connection; returns [`Shutdown] if asked to stop. *)
-let serve_conn s conn =
+let serve_conn s core conn =
   let buf = ref Bytes.empty in
-  let stop = ref `Continue in
   let connection_open = ref true in
   while !connection_open do
     match P.decode_req !buf ~off:0 with
-    | Some (req, consumed) -> (
+    | Some (req, consumed) ->
         buf := Bytes.sub !buf consumed (Bytes.length !buf - consumed);
-        let resp =
-          match req with
-          | P.Put { key; value; crc } -> handle_put s ~key ~value ~crc
-          | P.Get key -> handle_get s key
-          | P.Delete key -> handle_delete s key
-          | P.List -> handle_list s
-          | P.Ping -> P.Pong
-          | P.Shutdown ->
-              stop := `Shutdown;
-              P.Done
-        in
+        let resp = Node_core.handle core req in
         ignore (U.tcp_send s ~conn (Bytes.to_string (P.encode_resp resp)));
-        if !stop = `Shutdown then connection_open := false)
+        if Node_core.wants_shutdown core then connection_open := false
     | None -> (
         match U.tcp_recv s conn with
         | Ok "" -> connection_open := false (* peer closed *)
@@ -119,7 +107,7 @@ let serve_conn s conn =
         | Error _ -> connection_open := false)
   done;
   ignore (U.tcp_close s ~conn);
-  !stop
+  if Node_core.wants_shutdown core then `Shutdown else `Continue
 
 let program s _arg =
   (match U.mkdir s "/blocks" with
@@ -127,6 +115,9 @@ let program s _arg =
   | Error e ->
       U.log s (Format.asprintf "storage_node: mkdir failed: %a"
                  Bi_kernel.Sysabi.pp_err e));
+  let core =
+    Node_core.create ~epoch:(Atomic.fetch_and_add epochs 1) (usys_store s)
+  in
   (match U.tcp_listen s port with
   | Ok () -> ()
   | Error _ -> U.log s "storage_node: listen failed");
@@ -135,7 +126,7 @@ let program s _arg =
   while !running do
     match U.tcp_accept s port with
     | Ok conn -> (
-        match serve_conn s conn with
+        match serve_conn s core conn with
         | `Shutdown ->
             U.log s "storage_node: shutdown requested";
             running := false

@@ -7,14 +7,20 @@
     the property Amazon's S3 work checks with lightweight formal methods
     (paper Section 1).  Everything the node does goes through the
     {!Bi_kernel.Usys} syscall interface: TCP for transport, the
-    filesystem for persistence. *)
+    filesystem for persistence.
+
+    Request semantics (duplicate suppression for retried mutations,
+    degraded read-only mode after a backing-store write failure, epochs
+    across restarts) live in {!Node_core}; this module is the transport
+    shell plus the Usys-backed store. *)
 
 val port : int
 (** 9000. *)
 
 val program : Bi_kernel.Usys.t -> string -> unit
 (** The node's main; register as a kernel program and [Spawn] it.  Serves
-    connections sequentially until a [Shutdown] request arrives. *)
+    connections sequentially until a [Shutdown] request arrives.  Each
+    run takes a fresh epoch, reported in [Pong]. *)
 
 val install : Bi_kernel.Kernel.t -> unit
 (** [register_program kernel "storage_node" program] plus the [/blocks]

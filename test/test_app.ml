@@ -43,9 +43,14 @@ let with_store body =
 (* Protocol *)
 
 let test_crc32_vectors () =
-  (* Standard IEEE CRC-32 check value. *)
+  (* Known-answer vectors for IEEE 802.3 CRC-32; "123456789" is the
+     standard check value every implementation must hit. *)
   check Alcotest.int32 "123456789" 0xCBF43926l (P.crc32 "123456789");
-  check Alcotest.int32 "empty" 0l (P.crc32 "")
+  check Alcotest.int32 "empty" 0l (P.crc32 "");
+  check Alcotest.int32 "a" 0xE8B7BE43l (P.crc32 "a");
+  check Alcotest.int32 "abc" 0x352441C2l (P.crc32 "abc");
+  check Alcotest.int32 "quick brown fox" 0x414FA339l
+    (P.crc32 "The quick brown fox jumps over the lazy dog")
 
 let test_valid_key () =
   check Alcotest.bool "simple" true (P.valid_key "block-01_a");
@@ -57,16 +62,24 @@ let test_valid_key () =
 let gen_key =
   QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 24))
 
+let gen_txn =
+  QCheck2.Gen.(
+    opt
+      (map2
+         (fun client seq -> { P.client; seq })
+         (int_range 0 99) (int_range 1 999)))
+
 let gen_req =
   QCheck2.Gen.(
     oneof
       [
-        map2
-          (fun key value -> P.Put { key; value; crc = P.crc32 value })
+        map3
+          (fun key value txn -> P.Put { key; value; crc = P.crc32 value; txn })
           gen_key
-          (string_size ~gen:(char_range '\000' '\255') (int_range 0 200));
+          (string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+          gen_txn;
         map (fun k -> P.Get k) gen_key;
-        map (fun k -> P.Delete k) gen_key;
+        map2 (fun key txn -> P.Delete { key; txn }) gen_key gen_txn;
         return P.List;
         return P.Ping;
         return P.Shutdown;
@@ -79,6 +92,16 @@ let prop_req_frame_roundtrip =
           r' = r && consumed = Bytes.length (P.encode_req r)
       | None -> false)
 
+let gen_err =
+  QCheck2.Gen.(
+    oneof
+      [
+        oneofl
+          [ P.Bad_key; P.Too_large; P.Bad_crc; P.No_crc; P.Integrity;
+            P.Read_only ];
+        map (fun m -> P.Io m) (string_size ~gen:printable (int_range 0 30));
+      ])
+
 let gen_resp =
   QCheck2.Gen.(
     oneof
@@ -89,8 +112,11 @@ let gen_resp =
           (string_size ~gen:(char_range '\000' '\255') (int_range 0 200));
         return P.Missing;
         map (fun ks -> P.Listing ks) (list_size (int_range 0 6) gen_key);
-        return P.Pong;
-        map (fun m -> P.Err m) (string_size ~gen:printable (int_range 0 30));
+        map2
+          (fun health epoch -> P.Pong { health; epoch })
+          (oneofl [ P.Serving; P.Degraded ])
+          (int_range 0 1000);
+        map (fun e -> P.Err e) gen_err;
       ])
 
 let prop_resp_frame_roundtrip =
@@ -185,11 +211,20 @@ let test_e2e_oversized_rejected () =
          | _ -> Alcotest.fail "oversize must be rejected remotely"))
 
 let test_e2e_invalid_key_rejected () =
+  (* The client now rejects malformed keys locally, before any bytes hit
+     the wire — no round-trip is spent on a request the node would
+     definitively refuse. *)
   ignore
     (with_store (fun _s c ->
-         match Client.put c ~key:"NOT VALID" ~value:"x" with
-         | Error (Client.Remote _) -> ()
-         | _ -> Alcotest.fail "invalid key must be rejected"))
+         (match Client.put c ~key:"NOT VALID" ~value:"x" with
+         | Error Client.Invalid_key -> ()
+         | _ -> Alcotest.fail "invalid put key must be rejected locally");
+         (match Client.get c ~key:"a/b" with
+         | Error Client.Invalid_key -> ()
+         | _ -> Alcotest.fail "invalid get key must be rejected locally");
+         match Client.delete c ~key:"" with
+         | Error Client.Invalid_key -> ()
+         | _ -> Alcotest.fail "invalid delete key must be rejected locally"))
 
 (* Random op sequence replayed against the abstract store spec. *)
 let test_e2e_refines_store_spec () =
@@ -263,7 +298,8 @@ let test_e2e_corruption_detected () =
                 (Bi_fs.Fs.write_ino fs ~ino ~off:0 (Bytes.of_string "Xristine"))
           | Error _ -> outcome := "corruption setup failed");
           (match Client.get c ~key:"victim" with
-          | Error (Client.Remote msg) -> outcome := "detected: " ^ msg
+          | Error (Client.Remote e) ->
+              outcome := Format.asprintf "detected: %a" P.pp_err e
           | Ok (Some _) -> outcome := "served corrupt data"
           | Ok None -> outcome := "missing"
           | Error e -> outcome := Format.asprintf "%a" Client.pp_error e);
@@ -322,6 +358,167 @@ let test_e2e_persistence_across_mount () =
       | Error _ -> Alcotest.fail "read back")
 
 (* ------------------------------------------------------------------ *)
+(* Resilience layer *)
+
+module RC = Bi_app.Resilient_client
+module Rs = Bi_app.Rs_check
+
+(* Every error constructor of every layer must render: a resilience bug
+   report that crashes while formatting its own error is worse than the
+   bug.  Exact strings for the enums; prefix checks where a payload is
+   interpolated. *)
+let test_pp_error_coverage () =
+  let p fmt v = Format.asprintf "%a" fmt v in
+  let prefix pre s =
+    String.length s >= String.length pre
+    && String.sub s 0 (String.length pre) = pre
+  in
+  check Alcotest.string "P.Bad_key" "invalid key" (p P.pp_err P.Bad_key);
+  check Alcotest.string "P.Too_large" "value too large" (p P.pp_err P.Too_large);
+  check Alcotest.string "P.Bad_crc" "checksum mismatch on write"
+    (p P.pp_err P.Bad_crc);
+  check Alcotest.string "P.No_crc" "missing checksum" (p P.pp_err P.No_crc);
+  check Alcotest.string "P.Integrity" "integrity violation detected"
+    (p P.pp_err P.Integrity);
+  check Alcotest.string "P.Read_only" "node degraded: read-only"
+    (p P.pp_err P.Read_only);
+  check Alcotest.string "P.Io" "io: disk on fire" (p P.pp_err (P.Io "disk on fire"));
+  check Alcotest.string "P.Serving" "serving" (p P.pp_health P.Serving);
+  check Alcotest.string "P.Degraded" "degraded" (p P.pp_health P.Degraded);
+  check Alcotest.string "P.txn" "7.42" (p P.pp_txn { P.client = 7; seq = 42 });
+  check Alcotest.bool "Client.Connection" true
+    (prefix "connection: " (p Client.pp_error (Client.Connection "refused")));
+  check Alcotest.bool "Client.Remote" true
+    (prefix "remote: " (p Client.pp_error (Client.Remote P.Integrity)));
+  check Alcotest.string "Client.Corrupt" "corrupt value"
+    (p Client.pp_error Client.Corrupt);
+  check Alcotest.string "Client.Invalid_key" "invalid key (rejected locally)"
+    (p Client.pp_error Client.Invalid_key);
+  check Alcotest.string "RC.Invalid_key" "invalid key (rejected locally)"
+    (p RC.pp_error RC.Invalid_key);
+  check Alcotest.string "RC.Breaker_open" "breaker open"
+    (p RC.pp_error RC.Breaker_open);
+  check Alcotest.string "RC.Deadline" "deadline exceeded"
+    (p RC.pp_error RC.Deadline);
+  check Alcotest.bool "RC.Exhausted" true
+    (prefix "retries exhausted: " (p RC.pp_error (RC.Exhausted "timeout")));
+  check Alcotest.bool "RC.Remote" true
+    (prefix "remote: " (p RC.pp_error (RC.Remote P.Read_only)));
+  check Alcotest.string "Rset.Invalid_key" "invalid key (rejected locally)"
+    (p Bi_app.Replica_set.pp_error Bi_app.Replica_set.Invalid_key);
+  check Alcotest.string "Rset.No_synced_replica" "no synced replica"
+    (p Bi_app.Replica_set.pp_error Bi_app.Replica_set.No_synced_replica);
+  check Alcotest.bool "Rset.Op_failed" true
+    (prefix "operation failed"
+       (p Bi_app.Replica_set.pp_error
+          (Bi_app.Replica_set.Op_failed [ ("n0", RC.Deadline) ])))
+
+let test_retryable () =
+  check Alcotest.bool "Bad_crc retryable" true (P.retryable P.Bad_crc);
+  List.iter
+    (fun e -> check Alcotest.bool "definitive" false (P.retryable e))
+    [ P.Bad_key; P.Too_large; P.No_crc; P.Integrity; P.Read_only; P.Io "x" ]
+
+let test_backoff_determinism () =
+  let cfg = { RC.default_config with seed = 42; jitter_pm = 3 } in
+  let sched c = List.init 8 (fun i -> RC.backoff c ~attempt:(i + 1)) in
+  (* Same seed: bit-identical schedule, run to run. *)
+  check (Alcotest.list Alcotest.int) "same seed, same schedule" (sched cfg)
+    (sched cfg);
+  (* A different seed moves each step by at most the jitter amplitude:
+     the capped-exponential shape is seed-independent. *)
+  let cfg' = { cfg with seed = 43 } in
+  check Alcotest.bool "seeds differ somewhere" true (sched cfg <> sched cfg');
+  List.iter2
+    (fun a b ->
+      check Alcotest.bool "seeds perturb only jitter" true
+        (abs (a - b) <= 2 * cfg.jitter_pm))
+    (sched cfg) (sched cfg');
+  (* With jitter off, the schedule is exactly the capped exponential. *)
+  let nojit = { cfg with jitter_pm = 0 } in
+  check (Alcotest.list Alcotest.int) "capped exponential"
+    [ 2; 4; 8; 16; 16; 16; 16; 16 ] (sched nojit);
+  List.iter
+    (fun a -> check Alcotest.bool "never negative" true (RC.backoff cfg ~attempt:a >= 0))
+    [ 1; 2; 3; 10; 30; 62 ]
+
+(* Drive a resilient client on a manual clock through the full breaker
+   cycle, and prove half-open admits exactly one probe: a reentrant call
+   issued from inside the probe itself must fast-fail. *)
+let test_breaker_half_open_single_probe () =
+  let t_now = ref 0 in
+  let clock =
+    { RC.now = (fun () -> !t_now); sleep = (fun n -> t_now := !t_now + n) }
+  in
+  let cfg =
+    {
+      RC.default_config with
+      max_attempts = 1;
+      breaker_threshold = 2;
+      breaker_cooldown = 10;
+      deadline = 1_000_000;
+    }
+  in
+  let failing = ref true in
+  let probes = ref 0 in
+  let self = ref None in
+  let ep =
+    {
+      RC.name = "flaky";
+      rpc =
+        (fun _req ->
+          (match !self with
+          | Some c when RC.breaker_state c = RC.Half_open -> (
+              incr probes;
+              match RC.get c ~key:"other" with
+              | Error RC.Breaker_open -> ()
+              | _ -> Alcotest.fail "second call admitted during the probe")
+          | _ -> ());
+          if !failing then Error "endpoint down"
+          else Ok (P.Value { value = "v"; crc = P.crc32 "v" }));
+    }
+  in
+  let c = RC.create ~config:cfg ~client:9 clock ep in
+  self := Some c;
+  (match RC.get c ~key:"k" with
+  | Error (RC.Exhausted _) -> ()
+  | _ -> Alcotest.fail "first failure");
+  check Alcotest.bool "still closed below threshold" true
+    (RC.breaker_state c = RC.Closed);
+  (match RC.get c ~key:"k" with
+  | Error (RC.Exhausted _) -> ()
+  | _ -> Alcotest.fail "second failure");
+  (match RC.breaker_state c with
+  | RC.Open_until _ -> ()
+  | _ -> Alcotest.fail "breaker must open at the threshold");
+  (match RC.get c ~key:"k" with
+  | Error RC.Breaker_open -> ()
+  | _ -> Alcotest.fail "open breaker must fast-fail");
+  check Alcotest.int "fast-fail makes no attempt" 2 (RC.stats c).RC.attempts;
+  (* Cooldown elapses; the endpoint recovers; the single probe recloses. *)
+  t_now := !t_now + 11;
+  failing := false;
+  (match RC.get c ~key:"k" with
+  | Ok (Some "v") -> ()
+  | _ -> Alcotest.fail "probe should succeed");
+  check Alcotest.int "exactly one probe ran" 1 !probes;
+  check Alcotest.bool "reclosed" true (RC.breaker_state c = RC.Closed);
+  let s = RC.stats c in
+  check Alcotest.int "one open" 1 s.RC.breaker_opens;
+  check Alcotest.int "one close" 1 s.RC.breaker_closes
+
+(* The fault-injection positive control: under a scripted noisy plan a
+   plain one-shot request is lost, the resilient client completes, and
+   the plan shrinks to a single decision that still reproduces. *)
+let test_fi_positive_control () =
+  let c = Rs.positive_control () in
+  check Alcotest.bool "plain client loses its request" true c.Rs.plain_failed;
+  check Alcotest.bool "resilient client completes" true c.Rs.resilient_ok;
+  check Alcotest.int "plan shrinks to one decision" 1 (List.length c.Rs.shrunk);
+  check Alcotest.bool "shrunk plan still kills the plain client" true
+    c.Rs.replay_fails
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "bi_app"
@@ -350,5 +547,15 @@ let () =
           Alcotest.test_case "corruption detected" `Quick test_e2e_corruption_detected;
           Alcotest.test_case "sequential clients" `Quick test_e2e_sequential_clients;
           Alcotest.test_case "persistence across mount" `Quick test_e2e_persistence_across_mount;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "pp_error coverage" `Quick test_pp_error_coverage;
+          Alcotest.test_case "retryable classification" `Quick test_retryable;
+          Alcotest.test_case "backoff determinism" `Quick test_backoff_determinism;
+          Alcotest.test_case "breaker half-open single probe" `Quick
+            test_breaker_half_open_single_probe;
+          Alcotest.test_case "fault-injection positive control" `Quick
+            test_fi_positive_control;
         ] );
     ]
