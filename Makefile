@@ -3,7 +3,7 @@
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all build test verify fmt-check bench bench-json discharge mc fi rs clean
+.PHONY: all build test verify fmt-check bench bench-json discharge mc fi rs sh clean
 
 all: build
 
@@ -43,6 +43,10 @@ fi:
 # The resilient-store suite alone (exactly-once, breaker, linearizability).
 rs:
 	dune exec bin/verify.exe -- rs
+
+# The sharded-store suite alone (routing + live migration).
+sh:
+	dune exec bin/verify.exe -- sh
 
 bench:
 	dune exec bench/main.exe

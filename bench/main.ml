@@ -882,6 +882,68 @@ let run_rs_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Sharded store: throughput vs shard spread on rate-limited nodes, and
+   the client-visible cost of a live shard migration — write-pause
+   rounds, keys and duplicate-table entries carried, re-routes.        *)
+
+let run_shard_bench () =
+  Format.fprintf ppf
+    "Sharded store: throughput vs shard spread, live-migration pause@.";
+  let s = Bi_app.Sh_check.bench_stats () in
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "    %d node(s), %d shards: %d ops in %d rounds (%d ops/kround)@."
+        p.Bi_app.Sh_check.bp_nodes p.Bi_app.Sh_check.bp_nshards
+        p.Bi_app.Sh_check.bp_ops p.Bi_app.Sh_check.bp_rounds
+        p.Bi_app.Sh_check.bp_ops_per_kround)
+    s.Bi_app.Sh_check.points;
+  Format.fprintf ppf
+    "    live migration: %d keys + %d dup entries carried, %d pause \
+     rounds, %d client re-routes, %d rounds total@."
+    s.Bi_app.Sh_check.mig_keys_moved s.Bi_app.Sh_check.mig_dups_carried
+    s.Bi_app.Sh_check.mig_pause_rounds
+    s.Bi_app.Sh_check.mig_wrong_shard_retries s.Bi_app.Sh_check.mig_rounds;
+  let suite = Bi_app.Sh_check.vcs () in
+  let rep = Bi_core.Verifier.discharge ~jobs:1 suite in
+  Format.fprintf ppf
+    "    sh suite: %d VCs in %.3f s wall (%d proved, slowest %.3f s)@."
+    (List.length suite) rep.Bi_core.Verifier.wall_time_s
+    rep.Bi_core.Verifier.proved rep.Bi_core.Verifier.max_time_s;
+  record "shard"
+    (Json.Obj
+       [
+         ( "throughput",
+           Json.List
+             (List.map
+                (fun p ->
+                  Json.Obj
+                    [
+                      ("nodes", Json.Int p.Bi_app.Sh_check.bp_nodes);
+                      ("nshards", Json.Int p.Bi_app.Sh_check.bp_nshards);
+                      ("ops", Json.Int p.Bi_app.Sh_check.bp_ops);
+                      ("rounds", Json.Int p.Bi_app.Sh_check.bp_rounds);
+                      ( "ops_per_kround",
+                        Json.Int p.Bi_app.Sh_check.bp_ops_per_kround );
+                    ])
+                s.Bi_app.Sh_check.points) );
+         ( "migration",
+           Json.Obj
+             [
+               ("keys_moved", Json.Int s.Bi_app.Sh_check.mig_keys_moved);
+               ("dups_carried", Json.Int s.Bi_app.Sh_check.mig_dups_carried);
+               ("pause_rounds", Json.Int s.Bi_app.Sh_check.mig_pause_rounds);
+               ( "wrong_shard_retries",
+                 Json.Int s.Bi_app.Sh_check.mig_wrong_shard_retries );
+               ("sim_rounds", Json.Int s.Bi_app.Sh_check.mig_rounds);
+             ] );
+         ("suite_vcs", Json.Int (List.length suite));
+         ("suite_proved", Json.Int rep.Bi_core.Verifier.proved);
+         ("suite_wall_s", Json.Float rep.Bi_core.Verifier.wall_time_s);
+         ("suite_max_vc_s", Json.Float rep.Bi_core.Verifier.max_time_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec split_json acc = function
@@ -917,6 +979,7 @@ let () =
     | "mc" -> run_mc_bench ()
     | "fi" -> run_fi_bench ()
     | "rs" -> run_rs_bench ()
+    | "shard" -> run_shard_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
         record_table1 ();
@@ -934,11 +997,13 @@ let () =
         Format.fprintf ppf "@.";
         run_rs_bench ();
         Format.fprintf ppf "@.";
+        run_shard_bench ();
+        Format.fprintf ppf "@.";
         run_micro ()
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|shard|micro|all)@."
           other;
         exit 2
   in

@@ -31,6 +31,9 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ( "rs",
       "resilient store: exactly-once, breaker, linearizability + mutations",
       Bi_app.Rs_check.vcs );
+    ( "sh",
+      "sharded store: routing, live migration, linearizability + mutations",
+      Bi_app.Sh_check.vcs );
   ]
 
 (* The paper's headline suite must stay exactly 220 VCs: extension work

@@ -12,12 +12,28 @@ type store = {
 
 let max_clients = 64
 
+(* Shard ownership, when the node is part of a sharded cluster.  [owned]
+   is what this node serves; [frozen] marks shards mid-migration on the
+   source side: reads are still served (the copy itself reads through
+   the protocol) but mutations are refused with [Wrong_shard], to be
+   re-routed by the client once the map flips. *)
+type sharding = {
+  nshards : int;
+  mutable map_version : int;
+  owned : bool array;
+  frozen : bool array;
+}
+
 type t = {
   store : store;
   dup_capacity : int;
   epoch : int;
-  dups : (int, (int * P.resp) list) Hashtbl.t;
+  (* client -> [(seq, (shard, resp))]: each entry remembers the shard of
+     the key it mutated, so a migration can carry exactly the entries
+     that move with the shard. *)
+  dups : (int, (int * (int * P.resp)) list) Hashtbl.t;
   mutable recency : int list; (* client ids, most recently seen first *)
+  mutable sharding : sharding option;
   mutable degraded : bool;
   mutable shutdown : bool;
   mutable applied : int;
@@ -31,6 +47,7 @@ let create ?(dup_capacity = 8) ?(epoch = 0) store =
     epoch;
     dups = Hashtbl.create 16;
     recency = [];
+    sharding = None;
     degraded = false;
     shutdown = false;
     applied = 0;
@@ -42,6 +59,72 @@ let degraded t = t.degraded
 let epoch t = t.epoch
 let applied t = t.applied
 let dup_hits t = t.dup_hits
+
+(* ------------------------------------------------------------------ *)
+(* Sharding control plane                                              *)
+
+let enable_sharding t ~nshards ~version ~owned =
+  if nshards < 1 then invalid_arg "Node_core.enable_sharding: nshards < 1";
+  let sh =
+    {
+      nshards;
+      map_version = version;
+      owned = Array.make nshards false;
+      frozen = Array.make nshards false;
+    }
+  in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= nshards then
+        invalid_arg "Node_core.enable_sharding: shard out of range";
+      sh.owned.(s) <- true)
+    owned;
+  t.sharding <- Some sh
+
+let shard_state t =
+  match t.sharding with
+  | None -> None
+  | Some sh ->
+      let list_of mask =
+        Array.to_list (Array.mapi (fun s b -> (s, b)) mask)
+        |> List.filter_map (fun (s, b) -> if b then Some s else None)
+      in
+      Some (sh.map_version, list_of sh.owned, list_of sh.frozen)
+
+let with_sharding t f =
+  match t.sharding with
+  | None -> invalid_arg "Node_core: node is not sharded"
+  | Some sh -> f sh
+
+let set_map_version t version =
+  with_sharding t (fun sh -> sh.map_version <- version)
+
+let freeze t ~shard = with_sharding t (fun sh -> sh.frozen.(shard) <- true)
+let unfreeze t ~shard = with_sharding t (fun sh -> sh.frozen.(shard) <- false)
+
+let adopt t ~shard =
+  with_sharding t (fun sh ->
+      sh.owned.(shard) <- true;
+      sh.frozen.(shard) <- false)
+
+(* Which shard a key belongs to on this node: the map's hash when
+   sharded, a single catch-all shard 0 otherwise (so the dup table is
+   uniformly tagged either way). *)
+let shard_of_key t key =
+  match t.sharding with
+  | None -> 0
+  | Some sh -> Shard_map.shard_of ~nshards:sh.nshards key
+
+(* [Ok shard] when this node may perform the request on [key];
+   [Error (Wrong_shard v)] otherwise.  Reads are served on frozen shards
+   (the migration copy reads through this path); mutations are not. *)
+let route t key ~mutation =
+  match t.sharding with
+  | None -> Ok 0
+  | Some sh ->
+      let s = Shard_map.shard_of ~nshards:sh.nshards key in
+      if sh.owned.(s) && not (mutation && sh.frozen.(s)) then Ok s
+      else Error (P.Wrong_shard sh.map_version)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded per-client duplicate table                                  *)
@@ -61,9 +144,9 @@ let dup_lookup t = function
       | None -> None
       | Some entries ->
           touch t client;
-          List.assoc_opt seq entries)
+          Option.map snd (List.assoc_opt seq entries))
 
-let dup_record t txn resp =
+let dup_record t txn ~shard resp =
   match txn with
   | None -> ()
   | Some { P.client; seq } ->
@@ -71,34 +154,88 @@ let dup_record t txn resp =
         match Hashtbl.find_opt t.dups client with Some es -> es | None -> []
       in
       let entries =
+        (* Keep exactly [dup_capacity] entries, newest first. *)
         List.filteri
-          (fun i _ -> i < t.dup_capacity - 1)
-          ((seq, resp) :: List.remove_assoc seq entries)
+          (fun i _ -> i < t.dup_capacity)
+          ((seq, (shard, resp)) :: List.remove_assoc seq entries)
       in
       Hashtbl.replace t.dups client entries;
       touch t client
 
+let export_dups t ~shard =
+  Hashtbl.fold
+    (fun client entries acc ->
+      List.fold_left
+        (fun acc (seq, (s, resp)) ->
+          if s = shard then ({ P.client; seq }, resp) :: acc else acc)
+        acc entries)
+    t.dups []
+  |> List.sort compare
+
+let import_dups t ~shard entries =
+  List.iter
+    (fun (txn, resp) -> dup_record t (Some txn) ~shard resp)
+    entries
+
+let prune_dups t ~shard =
+  Hashtbl.filter_map_inplace
+    (fun _client entries ->
+      match List.filter (fun (_, (s, _)) -> s <> shard) entries with
+      | [] -> None
+      | kept -> Some kept)
+    t.dups
+
+(* Drop ownership of a migrated-away shard: its keys leave the store,
+   its duplicate-table entries leave the table (their exported copies
+   now live with the new owner). *)
+let release t ~shard =
+  with_sharding t (fun sh ->
+      sh.owned.(shard) <- false;
+      sh.frozen.(shard) <- false);
+  prune_dups t ~shard;
+  match t.store.keys () with
+  | Error e -> Error e
+  | Ok ks ->
+      let rec drop = function
+        | [] -> Ok ()
+        | k :: rest ->
+            if shard_of_key t k <> shard then drop rest
+            else (
+              match t.store.remove k with
+              | Ok _ -> drop rest
+              | Error e -> Error e)
+      in
+      drop ks
+
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
 
-(* The dedup check runs before the degraded check: a retry of a mutation
-   acknowledged just before the node degraded must still be answered
-   exactly-once from the table, not refused. *)
-let mutate t txn compute =
+(* The dedup check runs before everything else: a retry of a mutation
+   acknowledged just before the node degraded (or froze the shard for
+   migration) must still be answered exactly-once from the table, not
+   refused.  Only side-effecting outcomes ([Done]/[Missing]) enter the
+   table — caching a failure would answer a future retry with an error
+   for a mutation that never happened, instead of re-evaluating it. *)
+let mutate t txn key compute =
   match dup_lookup t txn with
   | Some resp ->
       t.dup_hits <- t.dup_hits + 1;
       resp
-  | None ->
-      if t.degraded then P.Err P.Read_only
-      else begin
-        let resp = compute () in
-        (match resp with
-        | P.Err (P.Io _) -> t.degraded <- true
-        | _ -> ());
-        dup_record t txn resp;
-        resp
-      end
+  | None -> (
+      match route t key ~mutation:true with
+      | Error e -> P.Err e
+      | Ok shard ->
+          if t.degraded then P.Err P.Read_only
+          else begin
+            let resp = compute () in
+            (match resp with
+            | P.Err (P.Io _) -> t.degraded <- true
+            | _ -> ());
+            (match resp with
+            | P.Done | P.Missing -> dup_record t txn ~shard resp
+            | _ -> ());
+            resp
+          end)
 
 let handle t req =
   match req with
@@ -107,26 +244,28 @@ let handle t req =
       else if String.length value > P.max_value_size then P.Err P.Too_large
       else if P.crc32 value <> crc then P.Err P.Bad_crc
       else
-        mutate t txn (fun () ->
+        mutate t txn key (fun () ->
             match t.store.save key { value; crc } with
             | Ok () ->
                 t.applied <- t.applied + 1;
                 P.Done
             | Error e -> P.Err e)
-  | P.Get key ->
+  | P.Get key -> (
       if not (P.valid_key key) then P.Err P.Bad_key
-      else begin
-        match t.store.load key with
-        | Ok None -> P.Missing
-        | Ok (Some { value; crc }) ->
-            if P.crc32 value <> crc then P.Err P.Integrity
-            else P.Value { value; crc }
+      else
+        match route t key ~mutation:false with
         | Error e -> P.Err e
-      end
+        | Ok _ -> (
+            match t.store.load key with
+            | Ok None -> P.Missing
+            | Ok (Some { value; crc }) ->
+                if P.crc32 value <> crc then P.Err P.Integrity
+                else P.Value { value; crc }
+            | Error e -> P.Err e))
   | P.Delete { key; txn } ->
       if not (P.valid_key key) then P.Err P.Bad_key
       else
-        mutate t txn (fun () ->
+        mutate t txn key (fun () ->
             match t.store.remove key with
             | Ok true ->
                 t.applied <- t.applied + 1;
@@ -135,7 +274,20 @@ let handle t req =
             | Error e -> P.Err e)
   | P.List -> (
       match t.store.keys () with
-      | Ok ks -> P.Listing (List.sort compare ks)
+      | Ok ks ->
+          (* A sharded node advertises only the keys it serves: keys of a
+             released shard may still be mid-deletion if the release hit
+             a store error, and must not resurface through [List]. *)
+          let ks =
+            match t.sharding with
+            | None -> ks
+            | Some sh ->
+                List.filter
+                  (fun k ->
+                    sh.owned.(Shard_map.shard_of ~nshards:sh.nshards k))
+                  ks
+          in
+          P.Listing (List.sort compare ks)
       | Error e -> P.Err e)
   | P.Ping ->
       P.Pong
@@ -147,6 +299,11 @@ let handle t req =
 (* ------------------------------------------------------------------ *)
 (* Stores                                                              *)
 
+(* Fault-site contract (see {!Bi_fault.Fault_plan}): exactly one decision
+   is consumed per attempted state-changing write — every [save], and
+   every [remove] of a present key.  A [remove] of an absent key changes
+   nothing and consumes nothing, so a scripted plan's site numbering
+   stays aligned with the writes an observer can see. *)
 let mem_store ?write_faults () =
   let tbl : (string, stored) Hashtbl.t = Hashtbl.create 16 in
   let fault () =
@@ -165,11 +322,11 @@ let mem_store ?write_faults () =
         end);
     remove =
       (fun k ->
-        if fault () then Error (P.Io "injected write failure")
+        if not (Hashtbl.mem tbl k) then Ok false
+        else if fault () then Error (P.Io "injected write failure")
         else begin
-          let existed = Hashtbl.mem tbl k in
           Hashtbl.remove tbl k;
-          Ok existed
+          Ok true
         end);
     keys = (fun () -> Ok (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []));
   }

@@ -12,13 +12,27 @@
     remembers the response of each recent transaction id.  A retried
     [Put]/[Delete] carrying a [txn] already in the table is answered from
     the table and never re-applied — the rely-guarantee a client retry
-    loop needs across its retry boundary.
+    loop needs across its retry boundary.  Only side-effecting outcomes
+    ([Done]/[Missing]) are recorded: a failed mutation was never applied,
+    so its retry must be re-evaluated, not answered with a cached error.
+    Each entry is tagged with the shard of the key it mutated, so a
+    migration can carry exactly the entries that move with the shard
+    ({!export_dups}/{!import_dups}).
 
     {b Degraded read-only mode.}  A backing-store write failure flips the
     node to degraded: mutations are refused with [Err Read_only], reads
     keep being served, and [Pong] reports [Degraded].  The node never
     dies, and never loses an acknowledged write (the failed write was
-    never acknowledged). *)
+    never acknowledged).
+
+    {b Shard ownership.}  An unsharded node (the default) serves every
+    key.  After {!enable_sharding}, requests for keys outside the node's
+    owned shards — and mutations on shards frozen mid-migration — are
+    refused with [Err (Wrong_shard v)], where [v] is the shard-map
+    version this node last learned; the {!Shard_router} treats that as
+    "refresh the map and re-route".  The duplicate-table check still runs
+    first: a retry of an already-acknowledged mutation is answered from
+    the table even on a frozen or released shard. *)
 
 type stored = { value : string; crc : int32 }
 
@@ -47,6 +61,50 @@ val wants_shutdown : t -> bool
 val degraded : t -> bool
 val epoch : t -> int
 
+(** {2 Shard ownership and migration handoff}
+
+    The control-plane surface the migration protocol drives.  All of
+    these raise [Invalid_argument] on an unsharded node (except
+    {!enable_sharding} itself) or an out-of-range shard. *)
+
+val enable_sharding :
+  t -> nshards:int -> version:int -> owned:int list -> unit
+(** Join a sharded cluster: serve exactly [owned] of the [nshards]
+    hash shards ({!Shard_map.shard_of}), quoting map [version] in
+    [Wrong_shard] refusals.  A restarted node calls this again with the
+    then-current map — ownership is control-plane state, not durable
+    state. *)
+
+val shard_state : t -> (int * int list * int list) option
+(** [(map_version, owned shards, frozen shards)], [None] when
+    unsharded. *)
+
+val set_map_version : t -> int -> unit
+val freeze : t -> shard:int -> unit
+(** Source side of a migration: mutations on [shard] are refused with
+    [Wrong_shard] (retries of already-acked mutations still answer from
+    the duplicate table); reads are still served so the copy can read
+    through the protocol. *)
+
+val unfreeze : t -> shard:int -> unit
+(** Abort path: lift a freeze without releasing the shard. *)
+
+val adopt : t -> shard:int -> unit
+(** Target side: begin accepting [shard] (the copy's writes land here
+    while the map still routes clients to the source). *)
+
+val release : t -> shard:int -> (unit, Protocol.err) result
+(** Drain after the map flipped away: drop ownership, prune the shard's
+    duplicate-table entries, delete its keys from the store.  The first
+    store error aborts the sweep (the shard stays un-owned; [List]
+    already hides its keys). *)
+
+val export_dups : t -> shard:int -> (Protocol.txn * Protocol.resp) list
+(** The duplicate-table entries for mutations on [shard], sorted — the
+    exactly-once state that must move with the shard. *)
+
+val import_dups : t -> shard:int -> (Protocol.txn * Protocol.resp) list -> unit
+
 val applied : t -> int
 (** Mutations actually applied to the store — the exactly-once VCs
     compare this against the number of distinct acknowledged mutations,
@@ -56,10 +114,13 @@ val dup_hits : t -> int
 (** Retried mutations answered from the duplicate table. *)
 
 val mem_store : ?write_faults:Bi_fault.Fault_plan.t -> unit -> store
-(** In-memory store.  Each [save]/[remove] consults [write_faults] (one
-    site per mutation); any non-[Pass] decision makes that write fail
-    with [Err (Io _)] — the injection that drives a node into degraded
-    mode.  Reads never fail. *)
+(** In-memory store.  [write_faults] follows the {!Bi_fault.Fault_plan}
+    site-numbering contract: exactly one decision is consumed per
+    attempted state-changing write — every [save], and every [remove] of
+    a present key; a [remove] of an absent key consumes none.  Any
+    non-[Pass] decision makes that write fail with [Err (Io _)] — the
+    injection that drives a node into degraded mode.  Reads never
+    fail. *)
 
 val mem_contents : store -> (string * string) list
 (** Sorted [(key, value)] snapshot of any store (via [keys] + [load];

@@ -9,6 +9,7 @@ type err =
   | No_crc
   | Integrity
   | Read_only
+  | Wrong_shard of int
   | Io of string
 
 type health = Serving | Degraded
@@ -36,6 +37,7 @@ let pp_err ppf = function
   | No_crc -> Format.pp_print_string ppf "missing checksum"
   | Integrity -> Format.pp_print_string ppf "integrity violation detected"
   | Read_only -> Format.pp_print_string ppf "node degraded: read-only"
+  | Wrong_shard v -> Format.fprintf ppf "wrong shard (map version %d)" v
   | Io m -> Format.fprintf ppf "io: %s" m
 
 let pp_health ppf = function
@@ -44,9 +46,14 @@ let pp_health ppf = function
 
 let pp_txn ppf { client; seq } = Format.fprintf ppf "%d.%d" client seq
 
+(* [Wrong_shard] is not transient-retryable: resending the same bytes to
+   the same node cannot help.  The shard router handles it specially by
+   refreshing its map and re-routing (same txn, different node). *)
 let retryable = function
   | Bad_crc -> true
-  | Bad_key | Too_large | No_crc | Integrity | Read_only | Io _ -> false
+  | Bad_key | Too_large | No_crc | Integrity | Read_only | Wrong_shard _
+  | Io _ ->
+      false
 
 let max_value_size = 60_000
 
@@ -121,8 +128,9 @@ let err_tag = function
   | Integrity -> 4
   | Read_only -> 5
   | Io _ -> 6
+  | Wrong_shard _ -> 7
 
-let err_of_tag tag detail =
+let err_of_tag tag arg detail =
   match tag with
   | 0 -> Bad_key
   | 1 -> Too_large
@@ -130,6 +138,7 @@ let err_of_tag tag detail =
   | 3 -> No_crc
   | 4 -> Integrity
   | 5 -> Read_only
+  | 7 -> Wrong_shard arg
   | _ -> Io detail
 
 let health_tag = function Serving -> 0 | Degraded -> 1
@@ -137,32 +146,34 @@ let health_of_tag = function 0 -> Serving | _ -> Degraded
 
 let resp_codec : resp Serde.t =
   let open Serde in
-  let inj (tag, (a, (c, (ns, ((h, epoch), (et, detail)))))) =
+  let inj (tag, (a, (c, (ns, ((h, epoch), (et, (arg, detail))))))) =
     match tag with
     | 0 -> Done
     | 1 -> Value { value = a; crc = c }
     | 2 -> Missing
     | 3 -> Listing ns
     | 4 -> Pong { health = health_of_tag h; epoch }
-    | _ -> Err (err_of_tag et detail)
+    | _ -> Err (err_of_tag et arg detail)
   in
-  let zero = ((0, 0), (0, "")) in
+  let zero = ((0, 0), (0, (0, ""))) in
   let prj = function
     | Done -> (0, ("", (0l, ([], zero))))
     | Value { value; crc } -> (1, (value, (crc, ([], zero))))
     | Missing -> (2, ("", (0l, ([], zero))))
     | Listing ns -> (3, ("", (0l, (ns, zero))))
     | Pong { health; epoch } ->
-        (4, ("", (0l, ([], ((health_tag health, epoch), (0, ""))))))
+        (4, ("", (0l, ([], ((health_tag health, epoch), (0, (0, "")))))))
     | Err e ->
         let detail = match e with Io m -> m | _ -> "" in
-        (5, ("", (0l, ([], ((0, 0), (err_tag e, detail))))))
+        let arg = match e with Wrong_shard v -> v | _ -> 0 in
+        (5, ("", (0l, ([], ((0, 0), (err_tag e, (arg, detail)))))))
   in
   map inj prj
     (pair varint
        (pair string
           (pair u32
-             (pair (list string) (pair (pair varint varint) (pair varint string))))))
+             (pair (list string)
+                (pair (pair varint varint) (pair varint (pair varint string)))))))
 
 (* Frames: varint body length + body bytes. *)
 let frame body =

@@ -31,6 +31,11 @@ type err =
   | Read_only
       (** The node is in degraded mode after a backing-store write
           failure: it serves reads but accepts no mutations. *)
+  | Wrong_shard of int
+      (** The key's shard is not served here (not owned, or frozen for a
+          mutation mid-migration).  Carries the responder's shard-map
+          version; a router refreshes its map and re-routes under the
+          same txn.  Not {!retryable} at the same node. *)
   | Io of string  (** Backing-store failure, with detail. *)
 
 type health = Serving | Degraded

@@ -192,8 +192,14 @@ let run t req interp =
   and next attempt msg =
     if attempt >= t.cfg.max_attempts then Error (Exhausted msg)
     else (
-      t.clock.sleep (backoff t.cfg ~attempt);
-      go (attempt + 1))
+      (* Clamp the backoff to the remaining deadline budget: sleeping past
+         the deadline only delays the [Deadline] verdict the next [go]
+         will reach anyway. *)
+      let remaining = deadline_at - t.clock.now () in
+      if remaining <= 0 then Error Deadline
+      else (
+        t.clock.sleep (min (backoff t.cfg ~attempt) remaining);
+        go (attempt + 1)))
   in
   go 1
 

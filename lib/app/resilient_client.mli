@@ -16,9 +16,10 @@
     [Read_only], ...) return immediately.
 
     {b Deadline.}  A call stops starting new attempts once
-    [config.deadline] clock units have elapsed since it began; it can
-    overshoot by at most the one attempt and backoff step already in
-    flight when the deadline passed.
+    [config.deadline] clock units have elapsed since it began, and every
+    backoff sleep is clamped to the remaining budget — the client never
+    sleeps past its own deadline.  A call can overshoot by at most the
+    one attempt already in flight when the deadline passed.
 
     {b Breaker.}  Consecutive transient failures ≥ [breaker_threshold]
     open the breaker: calls fail fast with [Breaker_open] for

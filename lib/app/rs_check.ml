@@ -685,9 +685,10 @@ let deadline_sound seed =
            outcome := RC.put client ~key:"k" ~value:"v";
            duration := s.Sim.now - t0);
        ]);
-  (* One attempt and one backoff step may already be in flight when the
-     budget runs out — nothing more. *)
-  let slack = attempt_timeout + cfg.RC.backoff_cap + cfg.RC.jitter_pm in
+  (* Backoff sleeps are clamped to the remaining budget, so the only
+     thing that can outlive the deadline is the one attempt already in
+     flight when it passes — nothing more. *)
+  let slack = attempt_timeout in
   !duration <= cfg.RC.deadline + slack
   && match !outcome with Ok () | Error RC.Deadline -> true | Error _ -> false
 
@@ -804,7 +805,7 @@ let sample_reqs =
 let sample_errs =
   [
     P.Bad_key; P.Too_large; P.Bad_crc; P.No_crc; P.Integrity; P.Read_only;
-    P.Io "disk on fire";
+    P.Io "disk on fire"; P.Wrong_shard 0; P.Wrong_shard 3;
   ]
 
 let sample_resps =
@@ -901,6 +902,31 @@ let node_vcs =
             r3 = P.Done && hits = 1 && r1 = P.Done
             && Node_core.dup_hits core = 1
             && Node_core.applied core = 4));
+    Vc.prop ~id:"rs/node/dedup/capacity-exact" ~category:cat_node (fun () ->
+        with_mem_node ~dup_capacity:2 (fun core _ ->
+            (* Regression: the table must hold exactly [dup_capacity]
+               entries per client.  An off-by-one that keeps capacity−1
+               evicts seq 1 as soon as seq 2 arrives, and its retry
+               re-applies. *)
+            ignore (Node_core.handle core (put_txn_req ~client:1 ~seq:1 "k1" "a"));
+            ignore (Node_core.handle core (put_txn_req ~client:1 ~seq:2 "k2" "b"));
+            let r = Node_core.handle core (put_txn_req ~client:1 ~seq:1 "k1" "a") in
+            r = P.Done && Node_core.applied core = 2
+            && Node_core.dup_hits core = 1));
+    Vc.prop ~id:"rs/node/dedup/no-cached-errors" ~category:cat_node (fun () ->
+        let faults = FP.script [ FP.Drop ] in
+        with_mem_node ~write_faults:faults (fun core _ ->
+            (* Regression: a failed mutation was never applied, so its
+               outcome must not enter the duplicate table — a cached
+               [Err (Io _)] would answer every retry with the same error
+               forever.  The retry re-evaluates and sees the node's
+               current (degraded) refusal instead. *)
+            let first = Node_core.handle core (put_txn_req ~client:1 ~seq:1 "k" "v") in
+            let retry = Node_core.handle core (put_txn_req ~client:1 ~seq:1 "k" "v") in
+            (match first with P.Err (P.Io _) -> true | _ -> false)
+            && retry = P.Err P.Read_only
+            && Node_core.dup_hits core = 0
+            && Node_core.applied core = 0));
     Vc.prop ~id:"rs/node/validate" ~category:cat_node (fun () ->
         with_mem_node (fun core _ ->
             let put ?(crc_delta = 0l) key value =
@@ -1134,6 +1160,29 @@ let client_vcs =
         r = Ok () && applied = 1 && retries >= 1);
     Vc.prop ~id:"rs/client/deadline-sound" ~category:cat_client
       (Vc.forall_list [ 1; 2; 3; 4; 5; 6 ] deadline_sound);
+    Vc.prop ~id:"rs/client/deadline/no-post-deadline-sleep" ~category:cat_client
+      (fun () ->
+        (* Regression: with an instantly-failing endpoint and a backoff
+           step (100) far larger than the whole budget (10), an unclamped
+           sleep would park the call at t=100; the clamp caps the total
+           elapsed time at exactly the deadline. *)
+        let clock, t = manual_clock () in
+        let ep = { RC.name = "down"; rpc = (fun _ -> Error "down") } in
+        let cfg =
+          {
+            RC.max_attempts = 5;
+            backoff_base = 100;
+            backoff_cap = 100;
+            jitter_pm = 0;
+            breaker_threshold = 10_000;
+            breaker_cooldown = 50;
+            deadline = 10;
+            seed = 1;
+          }
+        in
+        let c = RC.create ~config:cfg ~client:1 clock ep in
+        let r = RC.put c ~key:"k" ~value:"v" in
+        r = Error RC.Deadline && !t <= cfg.RC.deadline);
   ]
 
 let exactly_once_vc ~family ~rates =

@@ -1,0 +1,47 @@
+(* Versioned key → shard → node assignment.  The map is a pure value:
+   [assign] returns a new map with the version bumped, so every routing
+   decision can be traced to the exact map version that made it and a
+   "refresh" is just re-reading the cluster's current value. *)
+
+type t = { version : int; nodes : int array }
+
+let shard_of ~nshards key =
+  if nshards <= 1 then 0
+  else
+    Int32.to_int (Int32.logand (Protocol.crc32 key) 0x7FFFFFFFl) mod nshards
+
+let create ~nshards ~nodes =
+  if nshards < 1 then invalid_arg "Shard_map.create: nshards < 1";
+  if nodes < 1 then invalid_arg "Shard_map.create: nodes < 1";
+  { version = 0; nodes = Array.init nshards (fun s -> s mod nodes) }
+
+let version t = t.version
+let nshards t = Array.length t.nodes
+
+let node_of t ~shard =
+  if shard < 0 || shard >= Array.length t.nodes then
+    invalid_arg "Shard_map.node_of: shard out of range";
+  t.nodes.(shard)
+
+let shard_of_key t key = shard_of ~nshards:(Array.length t.nodes) key
+let node_of_key t key = t.nodes.(shard_of_key t key)
+
+let assign t ~shard ~node =
+  if shard < 0 || shard >= Array.length t.nodes then
+    invalid_arg "Shard_map.assign: shard out of range";
+  if node < 0 then invalid_arg "Shard_map.assign: negative node";
+  let nodes = Array.copy t.nodes in
+  nodes.(shard) <- node;
+  { version = t.version + 1; nodes }
+
+let shards_of_node t ~node =
+  Array.to_list t.nodes
+  |> List.mapi (fun s n -> (s, n))
+  |> List.filter_map (fun (s, n) -> if n = node then Some s else None)
+
+let pp ppf t =
+  Format.fprintf ppf "v%d{" t.version;
+  Array.iteri
+    (fun s n -> Format.fprintf ppf "%s%d->n%d" (if s = 0 then "" else " ") s n)
+    t.nodes;
+  Format.pp_print_string ppf "}"

@@ -1,0 +1,120 @@
+(** The routing tier of the sharded block store.
+
+    A {!cluster} is the shared, client-visible face of a set of nodes:
+    the current {!Shard_map.t} (a mutable cell — the "map service"), one
+    {!Resilient_client.endpoint} per node for the data plane, and one
+    {!admin} per node for the control plane the migration protocol
+    drives.  Each client {!connect}s its own router [t], which keeps a
+    {!Resilient_client.t} per node so breaker state and retry budgets
+    stay per-endpoint.
+
+    {b Routing.}  Every operation hashes its key through the cluster's
+    current map and calls the owning node.  A node that answers
+    [Err (Wrong_shard v)] is telling the router its map is stale (or a
+    migration has the shard frozen): the router sleeps [route_wait],
+    re-reads the cluster map, and re-routes — {e reusing the same
+    transaction id} — up to [route_retries] times before giving up with
+    [Exhausted].  Reusing the txn is what makes a mutation whose retry
+    lands on the {e new} owner still exactly-once: the migration carried
+    the duplicate table with the shard.
+
+    {b Migration} ({!migrate}) moves one shard live:
+
+    {v
+      freeze(src)  — mutations refused, reads still served
+      adopt(tgt)   — target accepts the shard's writes
+      copy         — src keys read / re-put through the normal
+                     resilient-client machinery (checksummed end to end)
+      carry dups   — export_dups(src) → import_dups(tgt)
+      flip         — map.assign bumps the version; pushed to every node
+      drain        — release(src): delete moved keys, prune dup entries
+    v}
+
+    Writers stall (bounded by the routing loop) only during
+    freeze→flip; readers are never refused.  [carry_dups:false] and
+    [flip_before_copy:true] are deliberate protocol mutations for the
+    [sh] suite's self-checks — each must be caught by a VC. *)
+
+module P = Protocol
+module RC = Resilient_client
+
+type admin = {
+  a_name : string;
+  freeze : shard:int -> unit;
+  unfreeze : shard:int -> unit;
+  adopt : shard:int -> unit;
+  release : shard:int -> (unit, string) result;
+  export_dups : shard:int -> (P.txn * P.resp) list;
+  import_dups : shard:int -> (P.txn * P.resp) list -> unit;
+  set_version : int -> unit;
+}
+(** Control-plane surface of one node ({!Node_core}'s shard-ownership
+    API behind closures; an admin RPC channel in a deployment).  The
+    closures must dereference the node's {e current} core so a
+    crash-restarted node is still reachable. *)
+
+type migration_stats = {
+  mutable migrations : int;  (** Completed migrations. *)
+  mutable keys_moved : int;
+  mutable dups_carried : int;  (** Duplicate-table entries re-homed. *)
+  mutable pause_rounds : int;
+      (** Total clock units shards spent write-frozen. *)
+  mutable last_pause : int;  (** Freeze → flip of the last migration. *)
+}
+
+type cluster
+
+val cluster :
+  map:Shard_map.t ->
+  admins:admin array ->
+  endpoints:RC.endpoint array ->
+  cluster
+(** Raises [Invalid_argument] unless [admins] and [endpoints] have the
+    same length (one of each per node). *)
+
+val map : cluster -> Shard_map.t
+val migration_stats : cluster -> migration_stats
+
+type t
+
+val connect :
+  ?config:RC.config ->
+  ?route_retries:int ->
+  ?route_wait:int ->
+  client:int ->
+  cluster ->
+  RC.clock ->
+  t
+(** A router for one client.  [client] obeys the same uniqueness rule as
+    {!RC.create}.  Defaults: [route_retries = 200], [route_wait = 1]. *)
+
+val put : t -> key:string -> value:string -> (unit, RC.error) result
+val get : t -> key:string -> (string option, RC.error) result
+val delete : t -> key:string -> (bool, RC.error) result
+
+val list : t -> (string list, RC.error) result
+(** Scatter-gather over every node, deduplicated union — a key mid-copy
+    may briefly exist on both source and target.  Fails only if every
+    node fails. *)
+
+val migrate :
+  ?carry_dups:bool ->
+  ?flip_before_copy:bool ->
+  t ->
+  shard:int ->
+  to_:int ->
+  (unit, string) result
+(** Move [shard] to node [to_] (no-op [Ok] if it already lives there).
+    On a copy failure the freeze is lifted and the map left unflipped —
+    the source still owns the shard and the call can be retried.  The
+    mutation knobs default to the correct protocol; see the module
+    doc. *)
+
+type stats = {
+  rc : RC.stats;  (** Aggregated over every per-node client. *)
+  wrong_shard_retries : int;
+      (** [Wrong_shard] answers that triggered a re-route. *)
+  map_refreshes : int;  (** Map re-reads performed by the routing loop. *)
+}
+
+val stats : t -> stats

@@ -13,7 +13,19 @@
     records the decisions it actually issued ({!trace}), any failing run
     can be replayed exactly ({!replay_of}), and {!shrink} reduces a
     failing script to a 1-minimal one.  {!enumerate} generates every plan
-    over a small decision space for exhaustive checking. *)
+    over a small decision space for exhaustive checking.
+
+    {b Site-numbering contract.}  Scripted plans are only as precise as
+    the mapping from script positions to injection sites, so every fault
+    model must consume decisions at {e observable} events only, exactly
+    one decision per event, in the order an observer of the model would
+    see them.  Concretely: a faulty link consumes one decision per frame
+    submitted; a faulty disk one per block write reaching the device; a
+    faulty store ({!Bi_app.Node_core.mem_store}) one per attempted
+    state-changing write — every save, and every remove of a {e present}
+    key.  Operations that cannot change state (a remove of an absent
+    key, a read) consume none: consuming there would silently shift
+    every later script position off the write it was aimed at. *)
 
 type decision =
   | Pass  (** no fault at this site *)

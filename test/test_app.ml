@@ -100,6 +100,7 @@ let gen_err =
           [ P.Bad_key; P.Too_large; P.Bad_crc; P.No_crc; P.Integrity;
             P.Read_only ];
         map (fun m -> P.Io m) (string_size ~gen:printable (int_range 0 30));
+        map (fun v -> P.Wrong_shard v) (int_range 0 64);
       ])
 
 let gen_resp =
@@ -383,6 +384,8 @@ let test_pp_error_coverage () =
   check Alcotest.string "P.Read_only" "node degraded: read-only"
     (p P.pp_err P.Read_only);
   check Alcotest.string "P.Io" "io: disk on fire" (p P.pp_err (P.Io "disk on fire"));
+  check Alcotest.string "P.Wrong_shard" "wrong shard (map version 3)"
+    (p P.pp_err (P.Wrong_shard 3));
   check Alcotest.string "P.Serving" "serving" (p P.pp_health P.Serving);
   check Alcotest.string "P.Degraded" "degraded" (p P.pp_health P.Degraded);
   check Alcotest.string "P.txn" "7.42" (p P.pp_txn { P.client = 7; seq = 42 });
@@ -417,7 +420,10 @@ let test_retryable () =
   check Alcotest.bool "Bad_crc retryable" true (P.retryable P.Bad_crc);
   List.iter
     (fun e -> check Alcotest.bool "definitive" false (P.retryable e))
-    [ P.Bad_key; P.Too_large; P.No_crc; P.Integrity; P.Read_only; P.Io "x" ]
+    [
+      P.Bad_key; P.Too_large; P.No_crc; P.Integrity; P.Read_only; P.Io "x";
+      P.Wrong_shard 3;
+    ]
 
 let test_backoff_determinism () =
   let cfg = { RC.default_config with seed = 42; jitter_pm = 3 } in
@@ -441,6 +447,106 @@ let test_backoff_determinism () =
   List.iter
     (fun a -> check Alcotest.bool "never negative" true (RC.backoff cfg ~attempt:a >= 0))
     [ 1; 2; 3; 10; 30; 62 ]
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate-table boundaries *)
+
+module NC = Bi_app.Node_core
+
+let put_txn_req ~client ~seq key value =
+  P.Put { key; value; crc = P.crc32 value; txn = Some { P.client; seq } }
+
+(* The per-client table keeps exactly [dup_capacity] entries (default 8):
+   after seqs 1..8 every retry answers from the table; a 9th entry
+   evicts only the oldest, whose retry then re-applies. *)
+let test_dup_table_capacity_boundary () =
+  let n = NC.create (NC.mem_store ()) in
+  for seq = 1 to 8 do
+    match NC.handle n (put_txn_req ~client:1 ~seq (Printf.sprintf "k%d" seq) "v") with
+    | P.Done -> ()
+    | _ -> Alcotest.fail "put refused"
+  done;
+  check Alcotest.int "eight applied" 8 (NC.applied n);
+  for seq = 1 to 8 do
+    ignore (NC.handle n (put_txn_req ~client:1 ~seq (Printf.sprintf "k%d" seq) "v"))
+  done;
+  check Alcotest.int "all eight retries hit the table" 8 (NC.dup_hits n);
+  check Alcotest.int "no retry re-applied" 8 (NC.applied n);
+  ignore (NC.handle n (put_txn_req ~client:1 ~seq:9 "k9" "v"));
+  check Alcotest.int "ninth entry applies" 9 (NC.applied n);
+  ignore (NC.handle n (put_txn_req ~client:1 ~seq:2 "k2" "v"));
+  check Alcotest.int "seq 2 survived the eviction" 9 (NC.dup_hits n);
+  ignore (NC.handle n (put_txn_req ~client:1 ~seq:1 "k1" "v"));
+  check Alcotest.int "evicted seq 1 re-applies" 10 (NC.applied n)
+
+(* The table tracks at most 64 distinct clients; the 65th evicts the
+   least recently seen one. *)
+let test_dup_table_client_lru () =
+  let n = NC.create (NC.mem_store ()) in
+  for client = 1 to 64 do
+    ignore
+      (NC.handle n (put_txn_req ~client ~seq:1 (Printf.sprintf "c%d" client) "v"))
+  done;
+  check Alcotest.int "sixty-four applied" 64 (NC.applied n);
+  ignore (NC.handle n (put_txn_req ~client:65 ~seq:1 "c65" "v"));
+  ignore (NC.handle n (put_txn_req ~client:2 ~seq:1 "c2" "v"));
+  check Alcotest.int "client 2 still cached" 1 (NC.dup_hits n);
+  ignore (NC.handle n (put_txn_req ~client:1 ~seq:1 "c1" "v"));
+  check Alcotest.int "oldest client 1 was evicted: re-applied" 66 (NC.applied n)
+
+(* A duplicate-table lookup refreshes the client's recency: a client
+   whose retry just hit the table survives the 65th client's arrival;
+   an untouched one is the eviction victim instead. *)
+let test_dup_lookup_touch_ordering () =
+  let n = NC.create (NC.mem_store ()) in
+  for client = 1 to 64 do
+    ignore
+      (NC.handle n (put_txn_req ~client ~seq:1 (Printf.sprintf "c%d" client) "v"))
+  done;
+  ignore (NC.handle n (put_txn_req ~client:1 ~seq:1 "c1" "v"));
+  check Alcotest.int "retry hits" 1 (NC.dup_hits n);
+  ignore (NC.handle n (put_txn_req ~client:65 ~seq:1 "c65" "v"));
+  ignore (NC.handle n (put_txn_req ~client:1 ~seq:1 "c1" "v"));
+  check Alcotest.int "touched client 1 survives" 2 (NC.dup_hits n);
+  ignore (NC.handle n (put_txn_req ~client:2 ~seq:1 "c2" "v"));
+  check Alcotest.int "untouched client 2 was the victim: re-applied" 66
+    (NC.applied n)
+
+(* Against a dead endpoint with an oversized backoff, every sleep is
+   clamped to the remaining deadline budget: on a manual clock the call
+   ends at exactly [deadline] (the pre-clamp client overshot by a full
+   backoff step), and the whole schedule is deterministic run to run. *)
+let test_clamped_backoff_deadline () =
+  let run () =
+    let t_now = ref 0 in
+    let clock =
+      { RC.now = (fun () -> !t_now); sleep = (fun n -> t_now := !t_now + n) }
+    in
+    let ep = { RC.name = "down"; rpc = (fun _ -> Error "endpoint down") } in
+    let cfg =
+      {
+        RC.default_config with
+        max_attempts = 50;
+        backoff_base = 100;
+        backoff_cap = 400;
+        jitter_pm = 7;
+        breaker_threshold = 1_000;
+        deadline = 250;
+        seed = 11;
+      }
+    in
+    let c = RC.create ~config:cfg ~client:3 clock ep in
+    let r = RC.get c ~key:"k" in
+    (r, !t_now, (RC.stats c).RC.attempts)
+  in
+  let r1, elapsed1, attempts1 = run () in
+  (match r1 with
+  | Error RC.Deadline -> ()
+  | _ -> Alcotest.fail "expected Deadline");
+  check Alcotest.int "clamp lands exactly on the deadline" 250 elapsed1;
+  let _, elapsed2, attempts2 = run () in
+  check Alcotest.int "same seed, same elapsed" elapsed1 elapsed2;
+  check Alcotest.int "same seed, same attempts" attempts1 attempts2
 
 (* Drive a resilient client on a manual clock through the full breaker
    cycle, and prove half-open admits exactly one probe: a reentrant call
@@ -553,6 +659,14 @@ let () =
           Alcotest.test_case "pp_error coverage" `Quick test_pp_error_coverage;
           Alcotest.test_case "retryable classification" `Quick test_retryable;
           Alcotest.test_case "backoff determinism" `Quick test_backoff_determinism;
+          Alcotest.test_case "dup-table capacity boundary" `Quick
+            test_dup_table_capacity_boundary;
+          Alcotest.test_case "dup-table client LRU" `Quick
+            test_dup_table_client_lru;
+          Alcotest.test_case "dup-lookup touch ordering" `Quick
+            test_dup_lookup_touch_ordering;
+          Alcotest.test_case "clamped backoff stops at deadline" `Quick
+            test_clamped_backoff_deadline;
           Alcotest.test_case "breaker half-open single probe" `Quick
             test_breaker_half_open_single_probe;
           Alcotest.test_case "fault-injection positive control" `Quick
