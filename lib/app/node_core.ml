@@ -102,11 +102,6 @@ let set_map_version t version =
 let freeze t ~shard = with_sharding t (fun sh -> sh.frozen.(shard) <- true)
 let unfreeze t ~shard = with_sharding t (fun sh -> sh.frozen.(shard) <- false)
 
-let adopt t ~shard =
-  with_sharding t (fun sh ->
-      sh.owned.(shard) <- true;
-      sh.frozen.(shard) <- false)
-
 (* Which shard a key belongs to on this node: the map's hash when
    sharded, a single catch-all shard 0 otherwise (so the dup table is
    uniformly tagged either way). *)
@@ -114,6 +109,38 @@ let shard_of_key t key =
   match t.sharding with
   | None -> 0
   | Some sh -> Shard_map.shard_of ~nshards:sh.nshards key
+
+(* Best-effort sweep of [shard]'s keys out of the store: every key is
+   attempted even if some removes fail, and the first error (if any) is
+   returned — a partial sweep leaves as little residue as possible. *)
+let sweep_shard t ~shard =
+  match t.store.keys () with
+  | Error e -> Error e
+  | Ok ks ->
+      List.fold_left
+        (fun acc k ->
+          if shard_of_key t k <> shard then acc
+          else
+            match t.store.remove k with
+            | Ok _ -> acc
+            | Error e -> ( match acc with Ok () -> Error e | _ -> acc))
+        (Ok ()) ks
+
+let adopt t ~shard =
+  with_sharding t (fun sh ->
+      (* Pre-adopt reconcile: any stored keys of [shard] are stale
+         residue — an aborted inbound copy, or a release sweep that hit
+         a store error after the shard migrated away.  They must be
+         purged before ownership flips, or a key meanwhile deleted at
+         the real owner would be served and listed here again once this
+         node re-owns the shard.  A failed purge refuses the adoption:
+         the shard stays un-owned and its residue stays hidden. *)
+      match sweep_shard t ~shard with
+      | Error _ as e -> e
+      | Ok () ->
+          sh.owned.(shard) <- true;
+          sh.frozen.(shard) <- false;
+          Ok ())
 
 (* [Ok shard] when this node may perform the request on [key];
    [Error (Wrong_shard v)] otherwise.  Reads are served on frozen shards
@@ -172,9 +199,25 @@ let export_dups t ~shard =
     t.dups []
   |> List.sort compare
 
+(* Merge the carried entries with the target's own table, per client,
+   keeping the [dup_capacity] highest seqs.  Per-client seqs are
+   monotone, so highest = newest: exactly the acks an in-flight retry
+   can still ask about.  Recording imports through [dup_record] instead
+   would give them unconditional recency priority and could evict the
+   target's freshest entries for its other shards. *)
 let import_dups t ~shard entries =
   List.iter
-    (fun (txn, resp) -> dup_record t (Some txn) ~shard resp)
+    (fun ({ P.client; seq }, resp) ->
+      let existing =
+        match Hashtbl.find_opt t.dups client with Some es -> es | None -> []
+      in
+      let merged =
+        (seq, (shard, resp)) :: List.remove_assoc seq existing
+        |> List.sort (fun ((s1 : int), _) ((s2 : int), _) -> compare s2 s1)
+        |> List.filteri (fun i _ -> i < t.dup_capacity)
+      in
+      Hashtbl.replace t.dups client merged;
+      touch t client)
     entries
 
 let prune_dups t ~shard =
@@ -187,25 +230,15 @@ let prune_dups t ~shard =
 
 (* Drop ownership of a migrated-away shard: its keys leave the store,
    its duplicate-table entries leave the table (their exported copies
-   now live with the new owner). *)
+   now live with the new owner).  Keys a failed sweep leaves behind stay
+   hidden while the shard is un-owned, and {!adopt}'s pre-own reconcile
+   purges them before this node could ever serve the shard again. *)
 let release t ~shard =
   with_sharding t (fun sh ->
       sh.owned.(shard) <- false;
       sh.frozen.(shard) <- false);
   prune_dups t ~shard;
-  match t.store.keys () with
-  | Error e -> Error e
-  | Ok ks ->
-      let rec drop = function
-        | [] -> Ok ()
-        | k :: rest ->
-            if shard_of_key t k <> shard then drop rest
-            else (
-              match t.store.remove k with
-              | Ok _ -> drop rest
-              | Error e -> Error e)
-      in
-      drop ks
+  sweep_shard t ~shard
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)

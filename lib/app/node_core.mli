@@ -89,21 +89,31 @@ val freeze : t -> shard:int -> unit
 val unfreeze : t -> shard:int -> unit
 (** Abort path: lift a freeze without releasing the shard. *)
 
-val adopt : t -> shard:int -> unit
+val adopt : t -> shard:int -> (unit, Protocol.err) result
 (** Target side: begin accepting [shard] (the copy's writes land here
-    while the map still routes clients to the source). *)
+    while the map still routes clients to the source).  Any keys of
+    [shard] already in the store are stale residue (an aborted inbound
+    copy, or a {!release} sweep that hit a store error) and are purged
+    before ownership flips — otherwise a key meanwhile deleted at the
+    real owner could be resurrected here.  If the purge fails the
+    adoption is refused and the shard stays un-owned. *)
 
 val release : t -> shard:int -> (unit, Protocol.err) result
 (** Drain after the map flipped away: drop ownership, prune the shard's
-    duplicate-table entries, delete its keys from the store.  The first
-    store error aborts the sweep (the shard stays un-owned; [List]
-    already hides its keys). *)
+    duplicate-table entries, delete its keys from the store.  The sweep
+    is best-effort — every key is attempted and the first store error
+    returned; whatever it leaves behind stays hidden ([List] filters
+    un-owned shards) until {!adopt}'s reconcile purges it. *)
 
 val export_dups : t -> shard:int -> (Protocol.txn * Protocol.resp) list
 (** The duplicate-table entries for mutations on [shard], sorted — the
     exactly-once state that must move with the shard. *)
 
 val import_dups : t -> shard:int -> (Protocol.txn * Protocol.resp) list -> unit
+(** Merge carried entries into the table, keeping the [dup_capacity]
+    highest seqs per client (per-client seqs are monotone, so highest =
+    newest) — an import never evicts a fresher entry the target already
+    holds for one of its other shards. *)
 
 val applied : t -> int
 (** Mutations actually applied to the store — the exactly-once VCs

@@ -141,6 +141,11 @@ module World = struct
     n.up <- false;
     Queue.clear n.inbox
 
+  (* Partition heal: resume serving with the node's existing core — in
+     contrast to [restart], no state is lost.  Models a transient link
+     outage rather than a process crash. *)
+  let revive t i = t.nodes.(i).up <- true
+
   (* The store is durable across a crash; the duplicate table, degraded
      flag and inbox are not.  A restarted node re-learns its shard
      ownership from the then-current map — ownership is control-plane
@@ -306,7 +311,11 @@ let admin_of (w : World.t) i : SR.admin =
     SR.a_name = w.World.nodes.(i).World.name;
     freeze = (fun ~shard -> Node_core.freeze (core ()) ~shard);
     unfreeze = (fun ~shard -> Node_core.unfreeze (core ()) ~shard);
-    adopt = (fun ~shard -> Node_core.adopt (core ()) ~shard);
+    adopt =
+      (fun ~shard ->
+        match Node_core.adopt (core ()) ~shard with
+        | Ok () -> Ok ()
+        | Error e -> Error (Format.asprintf "%a" P.pp_err e));
     release =
       (fun ~shard ->
         match Node_core.release (core ()) ~shard with
@@ -739,8 +748,10 @@ let node_vcs =
         let core, _ = sharded_core ~nshards:4 ~owned:[] () in
         let k = key_in ~nshards:4 2 in
         let before = Node_core.handle core (put_req k "v") in
-        Node_core.adopt core ~shard:2;
-        before = P.Err (P.Wrong_shard 0) && direct_put core k "v");
+        let adopted = Node_core.adopt core ~shard:2 in
+        before = P.Err (P.Wrong_shard 0)
+        && adopted = Ok ()
+        && direct_put core k "v");
     Vc.prop ~id:"sh/node/release-drops" ~category:cat_node (fun () ->
         let core, store = sharded_core ~nshards:4 ~owned:[ 0; 1; 2; 3 ] () in
         let k0 = key_in ~nshards:4 0 and k1 = key_in ~nshards:4 1 in
@@ -797,6 +808,65 @@ let node_vcs =
         && released = Ok ()
         && gone_retry = P.Err (P.Wrong_shard 0)
         && Node_core.applied core = 1);
+    Vc.prop ~id:"sh/node/adopt-reconciles-stale-keys" ~category:cat_node
+      (fun () ->
+        (* Regression: a release whose sweep hits a store error leaves
+           the shard's keys behind (hidden while un-owned).  Re-adopting
+           the shard must purge them before taking ownership — pre-fix,
+           a key meanwhile deleted at the interim owner was served here
+           again — and a failed purge must refuse the adoption. *)
+        let store =
+          Node_core.mem_store
+            ~write_faults:(FP.script [ FP.Pass; FP.Drop; FP.Drop ]) ()
+        in
+        let core = Node_core.create ~epoch:0 store in
+        Node_core.enable_sharding core ~nshards:4 ~version:0 ~owned:[ 0 ];
+        let k = key_in ~nshards:4 0 in
+        let ok = direct_put core k "v" in (* site 1: pass *)
+        let rel = Node_core.release core ~shard:0 in (* site 2: fail *)
+        let residue = Node_core.mem_contents store in
+        let refused = Node_core.adopt core ~shard:0 in (* site 3: fail *)
+        let still_refusing = Node_core.handle core (put_req k "w") in
+        let adopted = Node_core.adopt core ~shard:0 in (* site 4: pass *)
+        ok
+        && (match rel with Error (P.Io _) -> true | _ -> false)
+        && residue = [ (k, "v") ]
+        && (match refused with Error (P.Io _) -> true | _ -> false)
+        && still_refusing = P.Err (P.Wrong_shard 0)
+        && adopted = Ok ()
+        && Node_core.handle core (P.Get k) = P.Missing
+        && Node_core.handle core P.List = P.Listing []);
+    Vc.prop ~id:"sh/node/import-merges-by-seq" ~category:cat_node (fun () ->
+        (* Regression: importing carried entries must not evict the
+           target's freshest acks for its other shards — the merge keeps
+           the [dup_capacity] highest seqs per client (seqs are
+           monotone, so highest = newest), wherever they came from. *)
+        let store = Node_core.mem_store () in
+        let b = Node_core.create ~dup_capacity:2 ~epoch:0 store in
+        Node_core.enable_sharding b ~nshards:4 ~version:0 ~owned:[ 0; 1 ];
+        let k0 = key_in ~nshards:4 0 and k1 = key_in ~nshards:4 1 in
+        let put ~seq key v =
+          Node_core.handle b (put_req ~txn:{ P.client = 7; seq } key v)
+        in
+        let a1 = put ~seq:10 k1 "a" in
+        let a2 = put ~seq:11 k1 "b" in
+        (* Older carried entries lose to the target's newer own acks... *)
+        Node_core.import_dups b ~shard:0
+          [
+            ({ P.client = 7; seq = 1 }, P.Done);
+            ({ P.client = 7; seq = 2 }, P.Done);
+          ];
+        let r11 = put ~seq:11 k1 "b" in
+        let r10 = put ~seq:10 k1 "a" in
+        (* ...while a newer carried entry wins a slot and answers a
+           retry landing on the new owner of the migrated shard. *)
+        Node_core.import_dups b ~shard:0
+          [ ({ P.client = 7; seq = 12 }, P.Done) ];
+        let r12 = put ~seq:12 k0 "c" in
+        a1 = P.Done && a2 = P.Done
+        && r11 = P.Done && r10 = P.Done && r12 = P.Done
+        && Node_core.dup_hits b = 3
+        && Node_core.applied b = 2);
   ]
 
 let router_vcs =
@@ -1056,6 +1126,84 @@ let migrate_vcs =
           copy_window_reads ~flip_before_copy:false ()
         in
         mig_ok && nones = 0 && errors = 0 && somes = 40);
+    Vc.prop ~id:"sh/migrate/abort-drops-target-residue" ~category:cat_migrate
+      (fun () ->
+        (* Regression: a migration aborted mid-copy (here the target
+           partitions away after the first key lands) must leave no
+           trace of the partial copy on the target — pre-fix the target
+           kept the adopted shard and its copied keys, so they surfaced
+           in [list]'s union, and a source-side delete before the retry
+           resurrected the deleted key on the eventual new owner. *)
+        let nshards = 4 in
+        let env = quiet_cluster ~nshards ~tag:"abortres" () in
+        let c = env.cluster and w = env.world in
+        let shard = 0 in
+        let keys = keys_in ~nshards shard 3 in
+        (* The copy walks the source's sorted listing, so the sorted-
+           first key is the one that lands before the partition. *)
+        let kdel = List.hd (List.sort compare keys) in
+        let from_ = SM.node_of (SR.map c) ~shard in
+        let to_ = 1 - from_ in
+        let r = router ~config:(patient_config 2) ~client:1 env in
+        let mig = router ~config:(patient_config 3) ~client:99 env in
+        let tgt_residue () =
+          List.filter
+            (fun (k, _) -> SM.shard_of ~nshards k = shard)
+            (Node_core.mem_contents w.World.nodes.(to_).World.store)
+        in
+        let mig1 = ref (Ok ()) in
+        let mig2 = ref (Error "not run") in
+        let residue = ref [ ("sentinel", "x") ] in
+        let tgt_owns = ref true in
+        let listing = ref (Error RC.Breaker_open) in
+        let deleted = ref (Ok false) in
+        let partitioned = ref false in
+        ignore
+          (run_world env
+             [
+               (fun () ->
+                 List.iter
+                   (fun k -> ignore (SR.put r ~key:k ~value:("v" ^ k)))
+                   keys;
+                 mig1 := SR.migrate mig ~shard ~to_;
+                 residue := tgt_residue ();
+                 tgt_owns :=
+                   (match Node_core.shard_state (core_of env to_) with
+                   | Some (_, owned, _) -> List.mem shard owned
+                   | None -> true);
+                 listing := SR.list r;
+                 deleted := SR.delete r ~key:kdel;
+                 World.revive w to_;
+                 mig2 := SR.migrate mig ~shard ~to_);
+               (fun () ->
+                 (* Partition the target as soon as the first copied key
+                    lands; bounded, so a copy that never starts fails
+                    the VC through [mig1] instead of hanging the sim. *)
+                 let tries = ref 0 in
+                 while tgt_residue () = [] && !tries < 400 do
+                   incr tries;
+                   Sim.sleep 1
+                 done;
+                 if tgt_residue () <> [] then begin
+                   partitioned := true;
+                   World.crash w to_
+                 end);
+             ]);
+        !partitioned
+        && (match !mig1 with Error _ -> true | Ok () -> false)
+        && !residue = []
+        && (not !tgt_owns)
+        && !listing = Ok (List.sort compare keys)
+        && !deleted = Ok true
+        && !mig2 = Ok ()
+        && SM.node_of (SR.map c) ~shard = to_
+        && Node_core.handle (core_of env to_) (P.Get kdel) = P.Missing
+        && List.for_all
+             (fun k ->
+               k = kdel
+               || Node_core.handle (core_of env to_) (P.Get k)
+                  = value_resp ("v" ^ k))
+             keys);
   ]
 
 let lin_vc ~family ~rates ?deletes ?crash () =

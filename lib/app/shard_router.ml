@@ -8,7 +8,7 @@ type admin = {
   a_name : string;
   freeze : shard:int -> unit;
   unfreeze : shard:int -> unit;
-  adopt : shard:int -> unit;
+  adopt : shard:int -> (unit, string) result;
   release : shard:int -> (unit, string) result;
   export_dups : shard:int -> (P.txn * P.resp) list;
   import_dups : shard:int -> (P.txn * P.resp) list -> unit;
@@ -182,7 +182,14 @@ let migrate ?(carry_dups = true) ?(flip_before_copy = false) t ~shard ~to_ =
         c.mig.pause_rounds <- c.mig.pause_rounds + c.mig.last_pause
       in
       src.freeze ~shard;
-      tgt.adopt ~shard;
+      match tgt.adopt ~shard with
+      | Error msg ->
+          (* The target could not purge stale residue of the shard (see
+             {!Node_core.adopt}); it never took ownership, so only the
+             freeze needs lifting. *)
+          src.unfreeze ~shard;
+          Error (Printf.sprintf "adopt %s: %s" tgt.a_name msg)
+      | Ok () ->
       if flip_before_copy then flip ();
       let nshards = Shard_map.nshards c.map in
       let copy () =
@@ -217,10 +224,16 @@ let migrate ?(carry_dups = true) ?(flip_before_copy = false) t ~shard ~to_ =
       in
       match copy () with
       | Error msg ->
-          (* Abort: lift the freeze; the map never flipped (correct
-             path), so the source is still the owner and the target's
-             partial copy is unreachable garbage it will overwrite on the
-             next attempt. *)
+          (* Abort: first drop the shard on the target — releasing it
+             unsets ownership and sweeps the partial copy, so the stale
+             keys neither surface in [list]'s scatter-gather union nor
+             survive to be resurrected by a later retry (a key deleted
+             at the source after the abort would never be overwritten by
+             the retry's copy).  Only then lift the freeze; the map
+             never flipped, so the source still owns the shard.  If the
+             target's sweep itself fails, the residue stays hidden
+             (un-owned) and the next attempt's adopt purges it. *)
+          (match tgt.release ~shard with Ok () | Error _ -> ());
           src.unfreeze ~shard;
           Error msg
       | Ok () ->

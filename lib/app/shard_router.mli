@@ -42,7 +42,7 @@ type admin = {
   a_name : string;
   freeze : shard:int -> unit;
   unfreeze : shard:int -> unit;
-  adopt : shard:int -> unit;
+  adopt : shard:int -> (unit, string) result;
   release : shard:int -> (unit, string) result;
   export_dups : shard:int -> (P.txn * P.resp) list;
   import_dups : shard:int -> (P.txn * P.resp) list -> unit;
@@ -105,10 +105,13 @@ val migrate :
   to_:int ->
   (unit, string) result
 (** Move [shard] to node [to_] (no-op [Ok] if it already lives there).
-    On a copy failure the freeze is lifted and the map left unflipped —
-    the source still owns the shard and the call can be retried.  The
-    mutation knobs default to the correct protocol; see the module
-    doc. *)
+    On a copy failure the abort path first releases the shard on the
+    target — dropping the adopted ownership and sweeping the partial
+    copy, so no stale key can surface in {!list} or be resurrected by a
+    retry after a source-side delete — and only then lifts the freeze;
+    the map was never flipped, so the source still owns the shard and
+    the call can be retried.  The mutation knobs default to the correct
+    protocol; see the module doc. *)
 
 type stats = {
   rc : RC.stats;  (** Aggregated over every per-node client. *)
