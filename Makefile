@@ -3,7 +3,7 @@
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all build test verify fmt-check bench bench-json discharge mc fi rs sh clean
+.PHONY: all build test verify fmt-check bench bench-json bench-hp discharge mc fi rs sh hp clean
 
 all: build
 
@@ -48,11 +48,20 @@ rs:
 sh:
 	dune exec bin/verify.exe -- sh
 
+# The hot-path suite alone (batch apply, zero-copy framing, buffer pool).
+hp:
+	dune exec bin/verify.exe -- hp
+
 bench:
 	dune exec bench/main.exe
 
 bench-json:
 	dune exec bench/main.exe -- all --json BENCH_pr2.json
+
+# Hot-path numbers (plus the end-to-end shard throughput they must not
+# regress), as committed in BENCH_pr7.json.
+bench-hp:
+	dune exec bench/main.exe -- hp shard --json BENCH_pr7.json
 
 discharge:
 	dune exec bench/main.exe -- discharge

@@ -34,19 +34,37 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ( "sh",
       "sharded store: routing, live migration, linearizability + mutations",
       Bi_app.Sh_check.vcs );
+    ( "hp",
+      "hot path: batch apply, zero-copy framing, buffer pool parity",
+      Bi_app.Hp_check.vcs );
   ]
 
-(* The paper's headline suite must stay exactly 220 VCs: extension work
-   lands in its own suites, never inflates (or deflates) the number the
-   reproduction quotes. *)
-let expected_count = function "pt" -> Some 220 | _ -> None
+(* Every suite's VC count is pinned: the paper's headline pt suite must
+   stay exactly 220, and no other suite may gain or lose a VC without
+   this table saying so — silent drift (a VC dropped in a refactor, a
+   loop bound halved) would otherwise look like a pass. *)
+let expected_count = function
+  | "pt" -> Some 220
+  | "ptx" -> Some 24
+  | "ptb" -> Some 41
+  | "pwc" -> Some 18
+  | "nr" -> Some 19
+  | "fs" -> Some 28
+  | "net" -> Some 17
+  | "abi" -> Some 5
+  | "mc" -> Some 39
+  | "fi" -> Some 52
+  | "rs" -> Some 57
+  | "sh" -> Some 41
+  | "hp" -> Some 45
+  | _ -> None
 
 let run_suite ~jobs ?timeout_s verbose (name, descr, vcs) =
   let vcs = vcs () in
   (match expected_count name with
   | Some n when List.length vcs <> n ->
-      Format.printf "%-5s suite drifted: %d VCs, the paper's count is %d@."
-        name (List.length vcs) n;
+      Format.printf "%-5s suite drifted: %d VCs, pinned count is %d@." name
+        (List.length vcs) n;
       exit 1
   | _ -> ());
   let rep = Bi_core.Verifier.discharge ~jobs ?timeout_s vcs in

@@ -22,6 +22,14 @@ module Kv = struct
     | Get k -> Found (Hashtbl.find_opt t k)
     | Size -> Count (Hashtbl.length t)
 
+  include Bi_nr.Seq_ds.Batch_of_apply (struct
+    type nonrec t = t
+    type nonrec op = op
+    type nonrec ret = ret
+
+    let apply = apply
+  end)
+
   let is_read_only = function Get _ | Size -> true | Put _ -> false
 end
 

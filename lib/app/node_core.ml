@@ -26,6 +26,8 @@ type sharding = {
 
 type t = {
   store : store;
+  pool : Bi_ulib.Ualloc.Pool.t option;
+      (* request/response buffer pool for the byte-level entry point *)
   dup_capacity : int;
   epoch : int;
   (* client -> [(seq, (shard, resp))]: each entry remembers the shard of
@@ -40,9 +42,10 @@ type t = {
   mutable dup_hits : int;
 }
 
-let create ?(dup_capacity = 8) ?(epoch = 0) store =
+let create ?pool ?(dup_capacity = 8) ?(epoch = 0) store =
   {
     store;
+    pool;
     dup_capacity;
     epoch;
     dups = Hashtbl.create 16;
@@ -328,6 +331,39 @@ let handle t req =
   | P.Shutdown ->
       t.shutdown <- true;
       P.Done
+
+(* Byte-level entry point: unseal the transport envelope, decode the
+   request, handle it, seal the response — the full request/response
+   buffer lifecycle in one place.  With a pool, request and response
+   scratch buffers are pool-allocated for the duration and always freed
+   (the hp leak VC checks live blocks return to zero); the response is
+   built as an iovec and materialized once. *)
+let handle_frame t frame =
+  let scratch n =
+    match t.pool with
+    | None -> None
+    | Some p -> Bi_ulib.Ualloc.Pool.alloc p n
+  in
+  let release = function
+    | Some off -> (
+        match t.pool with
+        | Some p -> Bi_ulib.Ualloc.Pool.free p off
+        | None -> ())
+    | None -> ()
+  in
+  let req_buf = scratch (Bytes.length frame) in
+  Fun.protect ~finally:(fun () -> release req_buf) @@ fun () ->
+  match P.unseal frame with
+  | None -> None
+  | Some (id, body) -> (
+      match P.decode_req body ~off:0 with
+      | None -> None
+      | Some (req, _) ->
+          let resp = handle t req in
+          let iov = P.seal_iov ~id (P.encode_resp_iov resp) in
+          let resp_buf = scratch (Bi_net.Pkt.Iov.length iov) in
+          Fun.protect ~finally:(fun () -> release resp_buf) @@ fun () ->
+          Some (Bi_net.Pkt.Iov.materialize iov))
 
 (* ------------------------------------------------------------------ *)
 (* Stores                                                              *)

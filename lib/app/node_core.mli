@@ -47,15 +47,27 @@ type store = {
 
 type t
 
-val create : ?dup_capacity:int -> ?epoch:int -> store -> t
+val create :
+  ?pool:Bi_ulib.Ualloc.Pool.t -> ?dup_capacity:int -> ?epoch:int -> store -> t
 (** [dup_capacity] bounds both the per-client entry count and the number
     of distinct clients tracked (default 8 entries for each of up to 64
-    clients; oldest evicted first). *)
+    clients; oldest evicted first).  [pool] backs {!handle_frame}'s
+    request/response scratch buffers (shared across cores is fine — the
+    worlds are single-domain). *)
 
 val handle : t -> Protocol.req -> Protocol.resp
 (** Total: every request gets a response.  [Shutdown] answers [Done];
     transports decide what to do with their connection ({!wants_shutdown}
     is sticky). *)
+
+val handle_frame : t -> bytes -> bytes option
+(** Byte-level {!handle}: {!Protocol.unseal} the envelope, decode the
+    request, handle it, and {!Protocol.seal_iov} the response under the
+    same id, materialized once.  [None] if the envelope or request does
+    not parse (corrupt frames are dropped, not answered).  Request and
+    response scratch buffers come from the node's pool when it has one,
+    and are freed before returning — pooled live blocks return to zero
+    (the hp leak VC). *)
 
 val wants_shutdown : t -> bool
 val degraded : t -> bool

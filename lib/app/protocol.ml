@@ -69,17 +69,26 @@ let crc_table =
          done;
          !c))
 
-let crc32 s =
+let crc_step c code =
   let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx =
-        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
-      in
-      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+  let idx =
+    Int32.to_int (Int32.logand (Int32.logxor c (Int32.of_int code)) 0xFFl)
+  in
+  Int32.logxor table.(idx) (Int32.shift_right_logical c 8)
+
+let crc_init = 0xFFFFFFFFl
+let crc_finish c = Int32.logxor c 0xFFFFFFFFl
+
+let crc32 s =
+  let c = ref crc_init in
+  String.iter (fun ch -> c := crc_step !c (Char.code ch)) s;
+  crc_finish !c
+
+(* CRC folds byte-at-a-time, so it strides slice lists for free. *)
+let crc32_iov iov =
+  let c = ref crc_init in
+  Bi_net.Pkt.Iov.iter_bytes iov (fun b -> c := crc_step !c b);
+  crc_finish !c
 
 let valid_key k =
   let n = String.length k in
@@ -194,7 +203,61 @@ let deframe buf ~off decode_body =
         | None -> None
       end
 
+(* Vectored framing: the varint length header is its own slice, the body
+   is referenced, not copied.  Materializes to exactly [frame body]. *)
+let frame_iov body =
+  let hdr = Serde.encode Serde.varint (Bi_net.Pkt.Iov.length body) in
+  Bi_net.Pkt.Iov.slice hdr :: body
+
 let encode_req r = frame (Serde.encode req_codec r)
 let decode_req buf ~off = deframe buf ~off (Serde.decode req_codec)
 let encode_resp r = frame (Serde.encode resp_codec r)
 let decode_resp buf ~off = deframe buf ~off (Serde.decode resp_codec)
+
+let encode_req_iov r =
+  frame_iov (Bi_net.Pkt.Iov.of_bytes (Serde.encode req_codec r))
+
+let encode_resp_iov r =
+  frame_iov (Bi_net.Pkt.Iov.of_bytes (Serde.encode resp_codec r))
+
+(* ------------------------------------------------------------------ *)
+(* Transport envelope                                                  *)
+
+(* 8-byte header — 4-byte request id, 4-byte CRC-32 of the whole
+   envelope computed with the CRC field zeroed — followed by the body.
+   This is the framing the resilient-store and shard worlds put on every
+   channel message so corrupted deliveries are dropped, not decoded. *)
+
+let seal ~id body =
+  let n = Bytes.length body in
+  let f = Bytes.create (8 + n) in
+  Bytes.set_int32_be f 0 (Int32.of_int id);
+  Bytes.set_int32_be f 4 0l;
+  Bytes.blit body 0 f 8 n;
+  Bytes.set_int32_be f 4 (crc32 (Bytes.to_string f));
+  f
+
+(* Zero-copy [seal]: the header is one slice and the CRC strides the
+   slices; the body is never moved.  Materializes to [seal]'s bytes. *)
+let seal_iov ~id body =
+  let h = Bytes.create 8 in
+  Bytes.set_int32_be h 0 (Int32.of_int id);
+  Bytes.set_int32_be h 4 0l;
+  let iov = Bi_net.Pkt.Iov.slice h :: body in
+  Bytes.set_int32_be h 4 (crc32_iov iov);
+  iov
+
+let unseal f =
+  let n = Bytes.length f in
+  if n < 8 then None
+  else begin
+    let crc = Bytes.get_int32_be f 4 in
+    (* CRC with the checksum field zeroed, without copying the frame. *)
+    let c = ref crc_init in
+    for i = 0 to n - 1 do
+      let b = if i >= 4 && i < 8 then 0 else Char.code (Bytes.get f i) in
+      c := crc_step !c b
+    done;
+    if crc_finish !c <> crc then None
+    else Some (Int32.to_int (Bytes.get_int32_be f 0), Bytes.sub f 8 (n - 8))
+  end

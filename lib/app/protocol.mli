@@ -70,6 +70,10 @@ val retryable : err -> bool
 val crc32 : string -> int32
 (** IEEE 802.3 CRC-32. *)
 
+val crc32_iov : Bi_net.Pkt.Iov.t -> int32
+(** {!crc32} striding an iovec without materializing — bit-identical to
+    [crc32 (Bytes.to_string (Pkt.Iov.materialize iov))]. *)
+
 val valid_key : string -> bool
 (** Keys: 1–24 chars from [a-z0-9_-]. *)
 
@@ -82,6 +86,26 @@ val decode_req : bytes -> off:int -> (req * int) option
 
 val encode_resp : resp -> bytes
 val decode_resp : bytes -> off:int -> (resp * int) option
+
+val encode_req_iov : req -> Bi_net.Pkt.Iov.t
+(** Zero-copy {!encode_req}: varint header slice + body slice.
+    Materializes to exactly [encode_req r]. *)
+
+val encode_resp_iov : resp -> Bi_net.Pkt.Iov.t
+
+val seal : id:int -> bytes -> bytes
+(** Transport envelope: 4-byte request id, 4-byte CRC-32 of the whole
+    envelope (CRC field zeroed during computation), then the body.  The
+    resilient-store and shard worlds wrap every channel message in this
+    so corrupted deliveries are dropped, not decoded. *)
+
+val seal_iov : id:int -> Bi_net.Pkt.Iov.t -> Bi_net.Pkt.Iov.t
+(** Zero-copy {!seal}: header slice + body iovec, CRC strided.
+    Materializes to exactly [seal ~id body]. *)
+
+val unseal : bytes -> (int * bytes) option
+(** Check the envelope CRC (without copying) and split it into
+    [(id, body)]; [None] on truncation or mismatch. *)
 
 val max_value_size : int
 (** Largest storable value (bounded by the filesystem's max file size). *)

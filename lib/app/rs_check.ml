@@ -96,6 +96,8 @@ module World = struct
     mutable next_id : int;
   }
 
+  let fresh_pool () = Bi_ulib.Ualloc.Pool.create ~size:65536 ()
+
   let node ~name ?store ~req_plan ~resp_plan () =
     let store =
       match store with Some s -> s | None -> Node_core.mem_store ()
@@ -103,7 +105,7 @@ module World = struct
     {
       name;
       store;
-      core = Node_core.create ~epoch:0 store;
+      core = Node_core.create ~pool:(fresh_pool ()) ~epoch:0 store;
       up = true;
       node_epoch = 0;
       req_ch = FL.channel req_plan;
@@ -118,28 +120,6 @@ module World = struct
       next_id = 1;
     }
 
-  let envelope id body =
-    let n = Bytes.length body in
-    let f = Bytes.create (8 + n) in
-    Bytes.set_int32_be f 0 (Int32.of_int id);
-    Bytes.set_int32_be f 4 0l;
-    Bytes.blit body 0 f 8 n;
-    Bytes.set_int32_be f 4 (P.crc32 (Bytes.to_string f));
-    f
-
-  let unseal f =
-    if Bytes.length f < 8 then None
-    else begin
-      let crc = Bytes.get_int32_be f 4 in
-      let g = Bytes.copy f in
-      Bytes.set_int32_be g 4 0l;
-      if P.crc32 (Bytes.to_string g) <> crc then None
-      else
-        Some
-          ( Int32.to_int (Bytes.get_int32_be f 0),
-            Bytes.sub f 8 (Bytes.length f - 8) )
-    end
-
   let crash t i = t.nodes.(i).up <- false
 
   (* The store is durable across a crash; the duplicate table and the
@@ -148,7 +128,7 @@ module World = struct
   let restart t i =
     let n = t.nodes.(i) in
     n.node_epoch <- n.node_epoch + 1;
-    n.core <- Node_core.create ~epoch:n.node_epoch n.store;
+    n.core <- Node_core.create ~pool:(fresh_pool ()) ~epoch:n.node_epoch n.store;
     n.up <- true
 
   let tick t =
@@ -158,18 +138,13 @@ module World = struct
         if n.up then
           List.iter
             (fun frame ->
-              match unseal frame with
+              match Node_core.handle_frame n.core frame with
               | None -> ()
-              | Some (id, body) -> (
-                  match P.decode_req body ~off:0 with
-                  | None -> ()
-                  | Some (req, _) ->
-                      let resp = Node_core.handle n.core req in
-                      FL.send n.resp_ch (envelope id (P.encode_resp resp))))
+              | Some resp_frame -> FL.send n.resp_ch resp_frame)
             reqs;
         List.iter
           (fun frame ->
-            match unseal frame with
+            match P.unseal frame with
             | None -> ()
             | Some (id, body) -> (
                 match P.decode_resp body ~off:0 with
@@ -193,7 +168,7 @@ module World = struct
           t.next_id <- id + 1;
           let slot = ref None in
           Hashtbl.replace t.pending id slot;
-          FL.send n.req_ch (envelope id (P.encode_req req));
+          FL.send n.req_ch (P.seal ~id (P.encode_req req));
           let deadline = t.sched.Sim.now + attempt_timeout in
           let rec wait () =
             match !slot with

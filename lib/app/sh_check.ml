@@ -114,28 +114,6 @@ module World = struct
       next_id = 1;
     }
 
-  let envelope id body =
-    let n = Bytes.length body in
-    let f = Bytes.create (8 + n) in
-    Bytes.set_int32_be f 0 (Int32.of_int id);
-    Bytes.set_int32_be f 4 0l;
-    Bytes.blit body 0 f 8 n;
-    Bytes.set_int32_be f 4 (P.crc32 (Bytes.to_string f));
-    f
-
-  let unseal f =
-    if Bytes.length f < 8 then None
-    else begin
-      let crc = Bytes.get_int32_be f 4 in
-      let g = Bytes.copy f in
-      Bytes.set_int32_be g 4 0l;
-      if P.crc32 (Bytes.to_string g) <> crc then None
-      else
-        Some
-          ( Int32.to_int (Bytes.get_int32_be f 0),
-            Bytes.sub f 8 (Bytes.length f - 8) )
-    end
-
   let crash t i =
     let n = t.nodes.(i) in
     n.up <- false;
@@ -166,7 +144,7 @@ module World = struct
         (* Arrivals land in the inbox... *)
         List.iter
           (fun frame ->
-            match unseal frame with
+            match P.unseal frame with
             | None -> ()
             | Some (id, body) -> (
                 match P.decode_req body ~off:0 with
@@ -180,12 +158,14 @@ module World = struct
             decr budget;
             let id, req = Queue.pop n.inbox in
             let resp = Node_core.handle n.core req in
-            FL.send n.resp_ch (envelope id (P.encode_resp resp))
+            FL.send n.resp_ch
+              (Bi_net.Pkt.Iov.materialize
+                 (P.seal_iov ~id (P.encode_resp_iov resp)))
           done
         end;
         List.iter
           (fun frame ->
-            match unseal frame with
+            match P.unseal frame with
             | None -> ()
             | Some (id, body) -> (
                 match P.decode_resp body ~off:0 with
@@ -209,7 +189,7 @@ module World = struct
           t.next_id <- id + 1;
           let slot = ref None in
           Hashtbl.replace t.pending id slot;
-          FL.send n.req_ch (envelope id (P.encode_req req));
+          FL.send n.req_ch (P.seal ~id (P.encode_req req));
           let deadline = t.sched.Sim.now + attempt_timeout in
           let rec wait () =
             match !slot with

@@ -64,6 +64,14 @@ module Counter = struct
         !t
     | Read -> !t
 
+  include Bi_nr.Seq_ds.Batch_of_apply (struct
+    type nonrec t = t
+    type nonrec op = op
+    type nonrec ret = ret
+
+    let apply = apply
+  end)
+
   let is_read_only = function Read -> true | Incr -> false
 end
 

@@ -29,6 +29,20 @@ let apply t = function
       Unit
   | Length -> Len (length t)
 
+(* Explicit ascending loop: batch order is load-bearing for the NR
+   batched-replay parity checks, and bi_kernel cannot depend on bi_nr's
+   [Seq_ds.Batch_of_apply] (the dependency runs the other way). *)
+let apply_batch t ops =
+  let n = Array.length ops in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (apply t ops.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- apply t ops.(i)
+    done;
+    out
+  end
+
 let is_read_only = function
   | Length -> true
   | Enqueue _ | Dequeue | Remove _ -> false

@@ -14,6 +14,11 @@ type ret = Unit | Tid of int option | Len of int
 
 val create : unit -> t
 val apply : t -> op -> ret
+
+val apply_batch : t -> op array -> ret array
+(** Batched {!apply}, in array order (required by {!Bi_nr.Seq_ds.S}'s
+    batched replay path). *)
+
 val is_read_only : op -> bool
 
 val enqueue : t -> int -> unit

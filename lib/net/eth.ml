@@ -14,6 +14,18 @@ let encode t =
   Pkt.W.bytes w t.payload;
   Pkt.W.contents w
 
+(* Vectored encode: 14-byte header slice prepended to the payload iovec,
+   no payload copy.  Must materialize to exactly [encode]'s bytes — the
+   hp parity VCs check this. *)
+let frame_iov ~dst ~src ~ethertype payload =
+  if String.length dst <> 6 || String.length src <> 6 then
+    invalid_arg "Eth.frame_iov: MACs must be 6 bytes";
+  let h = Bytes.create 14 in
+  Bytes.blit_string dst 0 h 0 6;
+  Bytes.blit_string src 0 h 6 6;
+  Pkt.set_u16 h 12 ethertype;
+  Pkt.Iov.slice h :: payload
+
 let decode frame =
   match Pkt.R.of_bytes frame with
   | r -> (

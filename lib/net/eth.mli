@@ -11,6 +11,11 @@ val broadcast : string
 
 val encode : t -> bytes
 
+val frame_iov :
+  dst:string -> src:string -> ethertype:int -> Pkt.Iov.t -> Pkt.Iov.t
+(** Zero-copy {!encode}: prepends a header slice to the payload iovec.
+    Materializes to exactly [encode]'s bytes. *)
+
 val decode : bytes -> t option
 (** [None] on truncated frames. *)
 

@@ -51,6 +51,26 @@ let encode t =
   Bytes.set b 11 (Char.chr (csum land 0xFF));
   b
 
+(* Vectored encode: the IPv4 checksum covers the header only, so the
+   payload iovec is never touched — a 20-byte header slice is built,
+   checksummed in place, and consed on. *)
+let packet_iov ~src ~dst ~proto ~ttl payload =
+  let total = header_len + Pkt.Iov.length payload in
+  let h = Bytes.create header_len in
+  Bytes.set h 0 '\x45' (* v4, ihl 5 *);
+  Bytes.set h 1 '\x00' (* dscp *);
+  Pkt.set_u16 h 2 total;
+  Pkt.set_u16 h 4 0 (* id *);
+  Pkt.set_u16 h 6 0 (* flags/frag *);
+  Bytes.set h 8 (Char.chr (ttl land 0xFF));
+  Bytes.set h 9 (Char.chr (proto land 0xFF));
+  Pkt.set_u16 h 10 0 (* checksum placeholder *);
+  Pkt.set_u32 h 12 src;
+  Pkt.set_u32 h 16 dst;
+  let csum = Pkt.checksum h ~off:0 ~len:header_len in
+  Pkt.set_u16 h 10 csum;
+  Pkt.Iov.slice h :: payload
+
 let decode b =
   if Bytes.length b < header_len then None
   else begin

@@ -21,5 +21,10 @@ val string_of_addr : int32 -> string
 val encode : t -> bytes
 (** Computes the header checksum. *)
 
+val packet_iov :
+  src:int32 -> dst:int32 -> proto:int -> ttl:int -> Pkt.Iov.t -> Pkt.Iov.t
+(** Zero-copy {!encode}: header slice (checksummed in place — IPv4 covers
+    the header only) prepended to the payload iovec. *)
+
 val decode : bytes -> t option
 (** [None] on truncation, non-v4, options present, or bad checksum. *)

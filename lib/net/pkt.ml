@@ -1,3 +1,21 @@
+(* Copy accounting: every primitive that moves payload bytes into or out
+   of a buffer reports here, so the bench ablation can compare bytes
+   copied per framed message between the copying and iovec paths.  Plain
+   refs — the counters are only read from single-domain benches/VCs. *)
+let copied_bytes_ctr = ref 0
+let copies_ctr = ref 0
+
+let count_copy n =
+  incr copies_ctr;
+  copied_bytes_ctr := !copied_bytes_ctr + n
+
+let reset_copy_stats () =
+  copied_bytes_ctr := 0;
+  copies_ctr := 0
+
+let copied_bytes () = !copied_bytes_ctr
+let copies () = !copies_ctr
+
 module W = struct
   type t = Buffer.t
 
@@ -12,9 +30,18 @@ module W = struct
     u16 b (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF);
     u16 b (Int32.to_int v land 0xFFFF)
 
-  let bytes b x = Buffer.add_bytes b x
-  let string b x = Buffer.add_string b x
-  let contents b = Buffer.to_bytes b
+  let bytes b x =
+    count_copy (Bytes.length x);
+    Buffer.add_bytes b x
+
+  let string b x =
+    count_copy (String.length x);
+    Buffer.add_string b x
+
+  let contents b =
+    count_copy (Buffer.length b);
+    Buffer.to_bytes b
+
   let length = Buffer.length
 end
 
@@ -46,12 +73,71 @@ module R = struct
   let take t n =
     need t n;
     let b = Bytes.sub t.data t.pos n in
+    count_copy n;
     t.pos <- t.pos + n;
     b
 
   let remaining t = Bytes.length t.data - t.pos
   let rest t = take t (remaining t)
 end
+
+module Iov = struct
+  type slice = { base : bytes; off : int; len : int }
+  type t = slice list
+
+  let slice ?(off = 0) ?len base =
+    let len = match len with Some l -> l | None -> Bytes.length base - off in
+    if off < 0 || len < 0 || off + len > Bytes.length base then
+      invalid_arg "Pkt.Iov.slice: out of range";
+    { base; off; len }
+
+  let of_bytes b = [ slice b ]
+
+  (* No copy: slices are read-only by convention, so sharing the string's
+     storage is safe. *)
+  let of_string s = of_bytes (Bytes.unsafe_of_string s)
+  let empty = []
+  let length t = List.fold_left (fun acc s -> acc + s.len) 0 t
+  let concat = List.concat
+
+  let materialize t =
+    let n = length t in
+    let out = Bytes.create n in
+    let pos = ref 0 in
+    List.iter
+      (fun { base; off; len } ->
+        Bytes.blit base off out !pos len;
+        pos := !pos + len)
+      t;
+    count_copy n;
+    out
+
+  let iter_bytes t f =
+    List.iter
+      (fun { base; off; len } ->
+        for i = off to off + len - 1 do
+          f (Char.code (Bytes.get base i))
+        done)
+      t
+end
+
+(* Direct big-endian header stores: the iov encoders build fixed-size
+   headers in place instead of going through [W] (whose [contents] would
+   count a copy the zero-copy path doesn't make). *)
+let set_u16 b pos v =
+  Bytes.set b pos (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr (v land 0xFF))
+
+let set_u32 b pos v =
+  set_u16 b pos (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF);
+  set_u16 b (pos + 2) (Int32.to_int v land 0xFFFF)
+
+let fold_carry sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  !s
 
 let checksum data ~off ~len =
   let sum = ref 0 in
@@ -63,9 +149,22 @@ let checksum data ~off ~len =
     i := !i + 2
   done;
   if !i < last then sum := !sum + (Char.code (Bytes.get data !i) lsl 8);
-  while !sum lsr 16 <> 0 do
-    sum := (!sum land 0xFFFF) + (!sum lsr 16)
-  done;
-  lnot !sum land 0xFFFF
+  lnot (fold_carry !sum) land 0xFFFF
 
 let checksum_valid data ~off ~len = checksum data ~off ~len = 0
+
+(* Stride the one's-complement sum across slices without materializing.
+   Byte parity (high/low half of the current 16-bit word) carries over
+   slice boundaries, so odd-length slices sum exactly as the contiguous
+   checksum does; a trailing odd byte pads with zero as in RFC 1071. *)
+let checksum_iov ?(skip_slice = -1) iov =
+  let sum = ref 0 in
+  let hi = ref true in
+  List.iteri
+    (fun si s ->
+      if si <> skip_slice then
+        Iov.iter_bytes [ s ] (fun b ->
+            if !hi then sum := !sum + (b lsl 8) else sum := !sum + b;
+            hi := not !hi))
+    iov;
+  lnot (fold_carry !sum) land 0xFFFF

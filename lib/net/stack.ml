@@ -8,7 +8,7 @@ type t = {
   nic : Nic.t;
   ip_addr : int32;
   arp : Arp.Cache.cache;
-  mutable arp_waiting : (int32 * bytes) list; (* IP payloads awaiting MAC *)
+  mutable arp_waiting : (int32 * Pkt.Iov.t) list; (* IP packets awaiting MAC *)
   udp_ports : (int, (int32 * int * bytes) Queue.t) Hashtbl.t;
   tcp_listening : (int, unit) Hashtbl.t;
   tcp_conns : (conn_id, conn_entry) Hashtbl.t;
@@ -34,9 +34,12 @@ let create ~nic ~ip =
 let ip t = t.ip_addr
 let mac t = Nic.mac t.nic
 
+(* The whole TX path is vectored: each layer prepends a header slice and
+   the frame is materialized exactly once, here, at the NIC boundary. *)
 let send_frame t ~dst_mac ~ethertype payload =
   Nic.transmit t.nic
-    (Eth.encode { Eth.dst = dst_mac; src = mac t; ethertype; payload })
+    (Pkt.Iov.materialize
+       (Eth.frame_iov ~dst:dst_mac ~src:(mac t) ~ethertype payload))
 
 let send_arp_request t target_ip =
   let pkt =
@@ -49,12 +52,13 @@ let send_arp_request t target_ip =
         target_ip;
       }
   in
-  send_frame t ~dst_mac:Eth.broadcast ~ethertype:Eth.ethertype_arp pkt
+  send_frame t ~dst_mac:Eth.broadcast ~ethertype:Eth.ethertype_arp
+    (Pkt.Iov.of_bytes pkt)
 
 (* Send an IP payload, queueing behind ARP if the neighbour is unknown. *)
 let send_ip t ~dst_ip ~proto payload =
   let packet =
-    Ip.encode { Ip.src = t.ip_addr; dst = dst_ip; proto; ttl = 64; payload }
+    Ip.packet_iov ~src:t.ip_addr ~dst:dst_ip ~proto ~ttl:64 payload
   in
   match Arp.Cache.find t.arp dst_ip with
   | Some dst_mac -> send_frame t ~dst_mac ~ethertype:Eth.ethertype_ipv4 packet
@@ -85,7 +89,7 @@ let conn_send_all t conn segs =
   List.iter
     (fun s ->
       send_ip t ~dst_ip:rip ~proto:Ip.proto_tcp
-        (Tcp.encode_segment ~src_ip:t.ip_addr ~dst_ip:rip s))
+        (Tcp.encode_segment_iov ~src_ip:t.ip_addr ~dst_ip:rip s))
     segs
 
 let find_conn t ~rip ~rport ~lport =
@@ -151,7 +155,7 @@ let handle_arp t payload =
               }
           in
           send_frame t ~dst_mac:a.Arp.sender_mac ~ethertype:Eth.ethertype_arp
-            reply
+            (Pkt.Iov.of_bytes reply)
       | Arp.Request | Arp.Reply -> ())
 
 let handle_frame t frame =
@@ -200,8 +204,8 @@ let udp_unbind t port = Hashtbl.remove t.udp_ports port
 
 let udp_send t ~dst_ip ~dst_port ~src_port payload =
   send_ip t ~dst_ip ~proto:Ip.proto_udp
-    (Udp.encode ~src_ip:t.ip_addr ~dst_ip
-       { Udp.src_port; dst_port; payload })
+    (Udp.datagram_iov ~src_ip:t.ip_addr ~dst_ip ~src_port ~dst_port
+       (Pkt.Iov.of_bytes payload))
 
 let udp_recv t port =
   match Hashtbl.find_opt t.udp_ports port with

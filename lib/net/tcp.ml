@@ -58,6 +58,35 @@ let encode_segment ~src_ip ~dst_ip t =
   Bytes.set b 17 (Char.chr (csum land 0xFF));
   b
 
+(* Vectored encode: 20-byte header slice + one payload slice; the
+   pseudo-header/segment checksum strides the slices.  Materializes to
+   exactly [encode_segment]'s bytes (hp parity VC). *)
+let encode_segment_iov ~src_ip ~dst_ip t =
+  let h = Bytes.create 20 in
+  Pkt.set_u16 h 0 t.src_port;
+  Pkt.set_u16 h 2 t.dst_port;
+  Pkt.set_u32 h 4 t.seq;
+  Pkt.set_u32 h 8 t.ack_n;
+  Bytes.set h 12 '\x50' (* data offset 5 words *);
+  Bytes.set h 13 (Char.chr (flags_byte t.flags));
+  Pkt.set_u16 h 14 t.window;
+  Pkt.set_u16 h 16 0 (* checksum placeholder *);
+  Pkt.set_u16 h 18 0 (* urgent *);
+  let iov =
+    if Bytes.length t.payload = 0 then [ Pkt.Iov.slice h ]
+    else [ Pkt.Iov.slice h; Pkt.Iov.slice t.payload ]
+  in
+  let ph = Bytes.create 12 in
+  Pkt.set_u32 ph 0 src_ip;
+  Pkt.set_u32 ph 4 dst_ip;
+  Bytes.set ph 8 '\x00';
+  Bytes.set ph 9 (Char.chr Ip.proto_tcp);
+  Pkt.set_u16 ph 10 (20 + Bytes.length t.payload);
+  let csum = Pkt.checksum_iov (Pkt.Iov.slice ph :: iov) in
+  let csum = if csum = 0 then 0xFFFF else csum in
+  Pkt.set_u16 h 16 csum;
+  iov
+
 let decode_segment ~src_ip ~dst_ip b =
   if Bytes.length b < 20 then None
   else if pseudo_sum ~src_ip ~dst_ip b <> 0 then None
@@ -192,22 +221,25 @@ let accept_syn ~local_port ~remote_ip ~remote_port ~isn ~peer_seq =
   c.inflight <- [ { iseq = isn; idata = Bytes.empty; ifin = false } ];
   (c, synack)
 
-(* Pull queued data (and a pending FIN) into the window. *)
+(* Pull queued data (and a pending FIN) into the window.  New inflight
+   entries are accumulated newest-first and appended to the (oldest-first)
+   queue once at the end — a per-segment [c.inflight <- c.inflight @ ...]
+   would walk the whole queue for every segment, O(window²) per flush. *)
 let flush_send c =
   let out = ref [] in
+  let added = ref [] (* newest first *) in
+  let queued = ref (List.length c.inflight) in
   let continue = ref true in
   while !continue do
-    if
-      Buffer.length c.send_buf > 0
-      && List.length c.inflight < window_segments
-    then begin
+    if Buffer.length c.send_buf > 0 && !queued < window_segments then begin
       let n = min mss (Buffer.length c.send_buf) in
       let data = Bytes.of_string (Buffer.sub c.send_buf 0 n) in
       let rest = Buffer.sub c.send_buf n (Buffer.length c.send_buf - n) in
       Buffer.clear c.send_buf;
       Buffer.add_string c.send_buf rest;
       let s = { (seg c ~payload:data c.snd_nxt) with flags = { no_flags with ack = true; psh = true } } in
-      c.inflight <- c.inflight @ [ { iseq = c.snd_nxt; idata = data; ifin = false } ];
+      added := { iseq = c.snd_nxt; idata = data; ifin = false } :: !added;
+      incr queued;
       c.snd_nxt <- c.snd_nxt +^ n;
       out := s :: !out
     end
@@ -217,16 +249,18 @@ let flush_send c =
   if
     c.closing && (not c.fin_queued)
     && Buffer.length c.send_buf = 0
-    && List.length c.inflight < window_segments
+    && !queued < window_segments
     && (c.st = Established || c.st = Close_wait)
   then begin
     let s = { (seg c c.snd_nxt) with flags = { no_flags with ack = true; fin = true } } in
-    c.inflight <- c.inflight @ [ { iseq = c.snd_nxt; idata = Bytes.empty; ifin = true } ];
+    added := { iseq = c.snd_nxt; idata = Bytes.empty; ifin = true } :: !added;
+    incr queued;
     c.snd_nxt <- c.snd_nxt +^ 1;
     c.fin_queued <- true;
     c.st <- (if c.st = Close_wait then Last_ack else Fin_wait_1);
     out := s :: !out
   end;
+  if !added <> [] then c.inflight <- c.inflight @ List.rev !added;
   List.rev !out
 
 let ack_advance c ack =

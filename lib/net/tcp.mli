@@ -26,6 +26,12 @@ type segment = {
 }
 
 val encode_segment : src_ip:int32 -> dst_ip:int32 -> segment -> bytes
+
+val encode_segment_iov :
+  src_ip:int32 -> dst_ip:int32 -> segment -> Pkt.Iov.t
+(** Zero-copy {!encode_segment}: header slice + payload slice, the
+    pseudo-header checksum striding both. *)
+
 val decode_segment : src_ip:int32 -> dst_ip:int32 -> bytes -> segment option
 
 type state =

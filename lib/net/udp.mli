@@ -5,6 +5,16 @@ type t = { src_port : int; dst_port : int; payload : bytes }
 val encode : src_ip:int32 -> dst_ip:int32 -> t -> bytes
 (** Fills the checksum over the pseudo-header + segment. *)
 
+val datagram_iov :
+  src_ip:int32 ->
+  dst_ip:int32 ->
+  src_port:int ->
+  dst_port:int ->
+  Pkt.Iov.t ->
+  Pkt.Iov.t
+(** Zero-copy {!encode}: header slice + payload iovec, checksum computed
+    by striding the slices ({!Pkt.checksum_iov}). *)
+
 val decode : src_ip:int32 -> dst_ip:int32 -> bytes -> t option
 (** [None] on truncation or checksum mismatch (a zero checksum field
     disables verification, per RFC 768). *)

@@ -19,6 +19,14 @@ module Kv = struct
         Unit
     | Size -> Count (Hashtbl.length t)
 
+  include Seq_ds.Batch_of_apply (struct
+    type nonrec t = t
+    type nonrec op = op
+    type nonrec ret = ret
+
+    let apply = apply
+  end)
+
   let is_read_only = function Get _ | Size -> true | Put _ | Delete _ -> false
 end
 
@@ -165,6 +173,14 @@ module Counter = struct
         incr t;
         !t
     | Read -> !t
+
+  include Seq_ds.Batch_of_apply (struct
+    type nonrec t = t
+    type nonrec op = op
+    type nonrec ret = ret
+
+    let apply = apply
+  end)
 
   let is_read_only = function Read -> true | Incr -> false
 end

@@ -5,5 +5,29 @@ module type S = sig
 
   val create : unit -> t
   val apply : t -> op -> ret
+  val apply_batch : t -> op array -> ret array
   val is_read_only : op -> bool
+end
+
+module Batch_of_apply (D : sig
+  type t
+  type op
+  type ret
+
+  val apply : t -> op -> ret
+end) =
+struct
+  (* Explicit ascending loop: the evaluation order of Array.map is not
+     specified, and batch order is exactly what the batched-replay parity
+     VCs quantify over. *)
+  let apply_batch t ops =
+    let n = Array.length ops in
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n (D.apply t ops.(0)) in
+      for i = 1 to n - 1 do
+        out.(i) <- D.apply t ops.(i)
+      done;
+      out
+    end
 end

@@ -25,6 +25,27 @@ module type S = sig
       {!is_read_only}) must not mutate [t] — they may run concurrently
       under NR's read lock. *)
 
+  val apply_batch : t -> op array -> ret array
+  (** Execute a batch of operations, in array order, returning the
+      per-operation results in the same order.  Must be observationally
+      identical to [Array.map (apply t) ops] — the batched replay path
+      relies on this, and the [hp] suite's parity VCs falsify any
+      divergence.  A structure with no cheaper bulk form just writes
+      [let apply_batch t ops = Array.map (apply t) ops]. *)
+
   val is_read_only : op -> bool
   (** Classifies operations; read-only ops skip the log. *)
 end
+
+module Batch_of_apply (D : sig
+  type t
+  type op
+  type ret
+
+  val apply : t -> op -> ret
+end) : sig
+  val apply_batch : D.t -> D.op array -> D.ret array
+end
+(** The canonical [apply_batch] for structures with no bulk form:
+    [Array.map (apply t)].  Implementors can [include] it so the batched
+    contract has exactly one reference definition. *)

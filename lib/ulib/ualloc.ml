@@ -4,12 +4,13 @@ type t = {
   size : int;
   mutable free_list : (int * int) list; (* (offset, len), sorted by offset *)
   live : (int, int) Hashtbl.t; (* offset -> len *)
+  mutable scans : int; (* holes examined by first-fit (latency proxy) *)
 }
 
 let create ~size =
   if size <= 0 || size mod granule <> 0 then
     invalid_arg "Ualloc.create: size must be a positive multiple of 16";
-  { size; free_list = [ (0, size) ]; live = Hashtbl.create 16 }
+  { size; free_list = [ (0, size) ]; live = Hashtbl.create 16; scans = 0 }
 
 let round n = (n + granule - 1) / granule * granule
 
@@ -19,11 +20,13 @@ let alloc t n =
   let rec take = function
     | [] -> None
     | (off, len) :: rest when len >= need ->
+        t.scans <- t.scans + 1;
         let remainder =
           if len = need then rest else (off + need, len - need) :: rest
         in
         Some (off, remainder)
     | hole :: rest -> (
+        t.scans <- t.scans + 1;
         match take rest with
         | None -> None
         | Some (off, rest') -> Some (off, hole :: rest'))
@@ -56,6 +59,8 @@ let free t off =
 let allocated_bytes t = Hashtbl.fold (fun _ len acc -> acc + len) t.live 0
 let free_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 t.free_list
 let block_count t = Hashtbl.length t.live
+let scans t = t.scans
+let reset_scans t = t.scans <- 0
 
 let check_invariants t =
   let rec sorted_disjoint_coalesced = function
@@ -78,3 +83,156 @@ let check_invariants t =
   sorted_disjoint_coalesced t.free_list
   && in_range && no_overlap_with_live
   && allocated_bytes t + free_bytes t = t.size
+
+type arena = t
+
+(* Size-classed pool fast path: per-class LIFO stacks of blocks carved
+   from the first-fit arena.  Alloc/free of a pooled class is O(1) (no
+   hole scan); anything larger falls through to first-fit.  Blocks cached
+   in a stack remain allocated from the arena's point of view, so the
+   arena invariants keep holding; [drain] hands them back, after which the
+   arena must coalesce to its original hole structure. *)
+module Pool = struct
+  let arena_create = create
+  let arena_alloc = alloc
+  let arena_free = free
+  let arena_invariants = check_invariants
+
+  type t = {
+    arena : arena;
+    classes : int array; (* ascending, granule multiples *)
+    stacks : int list array; (* per class, LIFO of cached offsets *)
+    live : (int, int) Hashtbl.t; (* offset -> class index *)
+    cached : (int, int) Hashtbl.t; (* offset -> class index (in a stack) *)
+    mutable hits : int; (* allocs served from a stack *)
+    mutable carves : int; (* allocs that fell back to the arena *)
+  }
+
+  let default_classes = [| 64; 256; 1024; 4096 |]
+
+  let create ?(classes = default_classes) ~size () =
+    let classes = Array.copy classes in
+    let n = Array.length classes in
+    if n = 0 then invalid_arg "Ualloc.Pool.create: no size classes";
+    for i = 0 to n - 1 do
+      if classes.(i) <= 0 || classes.(i) mod granule <> 0 then
+        invalid_arg "Ualloc.Pool.create: classes must be positive granules";
+      if i > 0 && classes.(i) <= classes.(i - 1) then
+        invalid_arg "Ualloc.Pool.create: classes must be strictly ascending"
+    done;
+    {
+      arena = arena_create ~size;
+      classes;
+      stacks = Array.make n [];
+      live = Hashtbl.create 64;
+      cached = Hashtbl.create 64;
+      hits = 0;
+      carves = 0;
+    }
+
+  let arena p = p.arena
+
+  let class_for p need =
+    let rec go i =
+      if i >= Array.length p.classes then None
+      else if p.classes.(i) >= need then Some i
+      else go (i + 1)
+    in
+    go 0
+
+  let alloc p n =
+    if n <= 0 then invalid_arg "Ualloc.Pool.alloc: n <= 0";
+    match class_for p (round n) with
+    | None -> arena_alloc p.arena n (* oversize: first-fit fallback *)
+    | Some ci -> (
+        match p.stacks.(ci) with
+        | off :: rest ->
+            p.stacks.(ci) <- rest;
+            Hashtbl.remove p.cached off;
+            Hashtbl.replace p.live off ci;
+            p.hits <- p.hits + 1;
+            Some off
+        | [] -> (
+            match arena_alloc p.arena p.classes.(ci) with
+            | None -> None
+            | Some off ->
+                p.carves <- p.carves + 1;
+                Hashtbl.replace p.live off ci;
+                Some off))
+
+  let free p off =
+    match Hashtbl.find_opt p.live off with
+    | Some ci ->
+        Hashtbl.remove p.live off;
+        Hashtbl.replace p.cached off ci;
+        p.stacks.(ci) <- off :: p.stacks.(ci)
+    | None ->
+        if Hashtbl.mem p.cached off then
+          invalid_arg "Ualloc.Pool.free: double free"
+        else arena_free p.arena off (* oversize block; raises on unknown *)
+
+  (* hp-suite mutant: [free] without the double-free guard.  A second
+     free of a pooled block pushes the same offset onto its stack twice,
+     after which two allocs hand out the same block — the corruption
+     [check_invariants] must catch.  Never use outside self-checks. *)
+  let unsafe_free p off =
+    match Hashtbl.find_opt p.live off with
+    | Some ci ->
+        Hashtbl.remove p.live off;
+        Hashtbl.add p.cached off ci;
+        p.stacks.(ci) <- off :: p.stacks.(ci)
+    | None -> (
+        match Hashtbl.find_opt p.arena.live off with
+        | Some len -> (
+            match class_for p len with
+            | Some ci when p.classes.(ci) = len ->
+                Hashtbl.add p.cached off ci;
+                p.stacks.(ci) <- off :: p.stacks.(ci)
+            | _ -> arena_free p.arena off)
+        | None -> arena_free p.arena off)
+
+  let drain p =
+    Array.iteri
+      (fun ci stack ->
+        List.iter
+          (fun off ->
+            Hashtbl.remove p.cached off;
+            arena_free p.arena off)
+          stack;
+        p.stacks.(ci) <- [])
+      p.stacks
+
+  let live_blocks p = Hashtbl.length p.live
+  let cached_blocks p = Hashtbl.length p.cached
+  let hits p = p.hits
+  let carves p = p.carves
+
+  let check_invariants p =
+    let stack_offs = Array.to_list p.stacks |> List.concat in
+    let distinct =
+      List.length stack_offs
+      = List.length (List.sort_uniq compare stack_offs)
+    in
+    let stacks_match_cached =
+      List.length stack_offs = Hashtbl.length p.cached
+      && List.for_all (fun off -> Hashtbl.mem p.cached off) stack_offs
+    in
+    let backed_by_arena tbl =
+      Hashtbl.fold
+        (fun off ci acc ->
+          acc
+          &&
+          match Hashtbl.find_opt p.arena.live off with
+          | Some len -> len = p.classes.(ci)
+          | None -> false)
+        tbl true
+    in
+    let disjoint =
+      Hashtbl.fold
+        (fun off _ acc -> acc && not (Hashtbl.mem p.live off))
+        p.cached true
+    in
+    arena_invariants p.arena
+    && distinct && stacks_match_cached && backed_by_arena p.live
+    && backed_by_arena p.cached && disjoint
+end

@@ -184,6 +184,50 @@ let test_tcp_ack_clears_inflight () =
   List.iter (fun a -> ignore (Tcp.handle ca a)) acks;
   check Alcotest.int "acked" 0 (Tcp.bytes_in_flight ca)
 
+
+(* Satellite regression for the O(n^2) inflight append: a full window of
+   segments must come out in seq order, sized by mss, with the flight
+   accounting and retransmission order matching emission order. *)
+let test_tcp_inflight_order_and_window () =
+  let ca, _cb = establish () in
+  let segs = Tcp.send ca (Bytes.of_string (String.make 9500 'x')) in
+  check Alcotest.int "window caps emission" Tcp.window_segments
+    (List.length segs);
+  let expected =
+    List.init Tcp.window_segments (fun i ->
+        Int32.add 101l (Int32.of_int (i * Tcp.mss)))
+  in
+  check (Alcotest.list Alcotest.int32) "seqs ascend by mss" expected
+    (List.map (fun s -> s.Tcp.seq) segs);
+  check Alcotest.int "flight = full window"
+    (Tcp.window_segments * Tcp.mss)
+    (Tcp.bytes_in_flight ca)
+
+let test_tcp_retransmit_preserves_order () =
+  let ca, cb = establish () in
+  let segs = Tcp.send ca (Bytes.of_string (String.make 3500 'y')) in
+  let rec tick_until_rtx n =
+    if n = 0 then []
+    else match Tcp.tick ca with [] -> tick_until_rtx (n - 1) | ss -> ss
+  in
+  let rtx = tick_until_rtx 10 in
+  check (Alcotest.list Alcotest.int32) "retransmit order = send order"
+    (List.map (fun s -> s.Tcp.seq) segs)
+    (List.map (fun s -> s.Tcp.seq) rtx);
+  (* Ack the first two segments; the tail keeps its order and the flight
+     shrinks by exactly the acked bytes. *)
+  (match segs with
+  | s1 :: s2 :: _ ->
+      let a1 = Tcp.handle cb s1 in
+      let a2 = Tcp.handle cb s2 in
+      List.iter (fun a -> ignore (Tcp.handle ca a : Tcp.segment list)) (a1 @ a2)
+  | _ -> Alcotest.fail "expected several segments");
+  check Alcotest.int "flight after partial ack" 1500 (Tcp.bytes_in_flight ca);
+  let rtx2 = tick_until_rtx 10 in
+  check (Alcotest.list Alcotest.int32) "tail retransmits in order"
+    (List.map (fun s -> s.Tcp.seq) (List.filteri (fun i _ -> i >= 2) segs))
+    (List.map (fun s -> s.Tcp.seq) rtx2)
+
 let test_tcp_rst_closes () =
   let ca, _ = establish () in
   let rst =
@@ -329,6 +373,10 @@ let () =
           Alcotest.test_case "ack clears inflight" `Quick test_tcp_ack_clears_inflight;
           Alcotest.test_case "rst closes" `Quick test_tcp_rst_closes;
           Alcotest.test_case "window limits inflight" `Quick test_tcp_window_limits_inflight;
+          Alcotest.test_case "inflight order and window" `Quick
+            test_tcp_inflight_order_and_window;
+          Alcotest.test_case "retransmit preserves order" `Quick
+            test_tcp_retransmit_preserves_order;
         ] );
       ( "stack",
         [

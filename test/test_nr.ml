@@ -142,6 +142,14 @@ module Kv = struct
         Unit
     | Size -> Count (Hashtbl.length t)
 
+  include Bi_nr.Seq_ds.Batch_of_apply (struct
+    type nonrec t = t
+    type nonrec op = op
+    type nonrec ret = ret
+
+    let apply = apply
+  end)
+
   let is_read_only = function
     | Get _ | Size -> true
     | Put _ | Delete _ -> false
@@ -221,6 +229,14 @@ module Counter = struct
         !t
     | Read -> !t
 
+  include Bi_nr.Seq_ds.Batch_of_apply (struct
+    type nonrec t = t
+    type nonrec op = op
+    type nonrec ret = ret
+
+    let apply = apply
+  end)
+
   let is_read_only = function Read -> true | Incr -> false
 end
 
@@ -295,6 +311,49 @@ let test_nr_combines_batch () =
     ignore (Nr_counter.execute nr ~thread:0 Counter.Incr : int)
   done;
   check Alcotest.bool "combiner invoked" true (Nr_counter.combines nr > 0)
+
+
+(* Satellite regression: an empty-handed combiner pass must not count a
+   combine or append to the log — under contention, a loser that takes
+   the combiner lock after the winner drained every slot would otherwise
+   inflate [combines] and touch the log for nothing. *)
+let test_nr_empty_combine_not_counted () =
+  let nr = Nr_counter.create ~replicas:1 ~threads_per_replica:2 () in
+  check Alcotest.bool "kick with no requests" true (Nr_counter.kick nr ~replica:0);
+  check Alcotest.int "no combine counted" 0 (Nr_counter.combines nr);
+  check Alcotest.int "nothing appended" 0 (Nr_counter.log_entries nr);
+  check Alcotest.int "nothing published" 0 (Nr_counter.publishes nr);
+  (* Every counted combine appends at least one entry, so even under
+     two-domain contention combines can never exceed entries. *)
+  let worker thread () =
+    for _ = 1 to 200 do
+      ignore (Nr_counter.execute nr ~thread Counter.Incr : int)
+    done
+  in
+  let d1 = Domain.spawn (worker 0) in
+  let d2 = Domain.spawn (worker 1) in
+  Domain.join d1;
+  Domain.join d2;
+  check Alcotest.int "no lost updates" 400 (Nr_counter.log_entries nr);
+  check Alcotest.bool "combines bounded by entries" true
+    (Nr_counter.combines nr > 0
+    && Nr_counter.combines nr <= Nr_counter.log_entries nr)
+
+let test_nr_submit_kick_drain_batch () =
+  let nr = Nr_counter.create ~replicas:1 ~threads_per_replica:4 () in
+  for i = 0 to 3 do
+    Nr_counter.submit nr ~thread:i Counter.Incr
+  done;
+  check Alcotest.bool "became combiner" true (Nr_counter.kick nr ~replica:0);
+  let rets = List.filter_map (fun i -> Nr_counter.drain nr ~thread:i) [ 0; 1; 2; 3 ] in
+  check (Alcotest.list Alcotest.int) "every op answered, in slot order"
+    [ 1; 2; 3; 4 ] rets;
+  check Alcotest.int "one combine for the batch" 1 (Nr_counter.combines nr);
+  check Alcotest.int "one publish for the window" 1 (Nr_counter.publishes nr);
+  let stats = Nr_counter.batch_stats nr in
+  check Alcotest.int "batch size recorded" 4 stats.Bi_nr.Nr.max_batch;
+  check Alcotest.int "drained slots answer nothing twice" 0
+    (List.length (List.filter_map (fun i -> Nr_counter.drain nr ~thread:i) [ 0; 1; 2; 3 ]))
 
 (* ------------------------------------------------------------------ *)
 (* The paper's kernel design point (Section 4.1): kernel state like the
@@ -433,6 +492,10 @@ let () =
           Alcotest.test_case "no lost updates across domains" `Quick
             test_nr_concurrent_total;
           Alcotest.test_case "combiner batches" `Quick test_nr_combines_batch;
+          Alcotest.test_case "empty combine not counted" `Quick
+            test_nr_empty_combine_not_counted;
+          Alcotest.test_case "submit/kick/drain batch" `Quick
+            test_nr_submit_kick_drain_batch;
         ] );
       ( "sim",
         [

@@ -146,6 +146,47 @@ let test_ualloc_double_free () =
       | () -> Alcotest.fail "double free must fail")
   | None -> Alcotest.fail "alloc"
 
+
+(* Satellite: seeded 1000-op alloc/free fuzz over the pooled fast path;
+   the pool invariants hold after every operation, and a final free of
+   the survivors plus a drain coalesces the arena back to one block. *)
+let test_ualloc_pool_fuzz () =
+  let module Gen = Bi_core.Gen in
+  List.iter
+    (fun seed ->
+      let g = Gen.create (Int64.of_int (0xF00D + seed)) in
+      let p = Ualloc.Pool.create ~size:32768 () in
+      let live = ref [] in
+      for step = 1 to 1000 do
+        (if Gen.bool g || !live = [] then begin
+           let n =
+             Gen.oneof g [ 16; 48; 64; 200; 256; 1024; 2048; 4096; 6000 ]
+           in
+           match Ualloc.Pool.alloc p n with
+           | Some off -> live := off :: !live
+           | None -> ()
+         end
+         else begin
+           let i = Gen.int g (List.length !live) in
+           let off = List.nth !live i in
+           live := List.filteri (fun j _ -> j <> i) !live;
+           Ualloc.Pool.free p off
+         end);
+        if not (Ualloc.Pool.check_invariants p) then
+          Alcotest.failf "pool invariants broken at step %d (seed %d)" step
+            seed
+      done;
+      List.iter (Ualloc.Pool.free p) !live;
+      Ualloc.Pool.drain p;
+      check Alcotest.int "no live blocks" 0 (Ualloc.Pool.live_blocks p);
+      check Alcotest.int "nothing cached" 0 (Ualloc.Pool.cached_blocks p);
+      let a = Ualloc.Pool.arena p in
+      check Alcotest.int "single coalesced block" 32768 (Ualloc.free_bytes a);
+      check Alcotest.int "no arena blocks" 0 (Ualloc.block_count a);
+      check Alcotest.bool "final invariants" true
+        (Ualloc.Pool.check_invariants p))
+    [ 0; 1; 2 ]
+
 let prop_ualloc_invariants_under_churn =
   qtest "invariants under random alloc/free churn" 80
     QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 100))
@@ -535,6 +576,7 @@ let () =
           Alcotest.test_case "exhaustion + coalesce" `Quick test_ualloc_exhaustion_and_coalesce;
           Alcotest.test_case "double free" `Quick test_ualloc_double_free;
           prop_ualloc_invariants_under_churn;
+          Alcotest.test_case "pool fuzz 1000 ops" `Quick test_ualloc_pool_fuzz;
         ] );
       ( "ustring",
         [
