@@ -1163,6 +1163,82 @@ let run_hp_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Workload engine: the capacity-planning artifact — throughput and
+   latency percentiles vs offered load, with and without admission
+   control, plus the million-client headline row.                      *)
+
+let json_of_wl_row (r : Bi_load.Wl_check.bench_row) =
+  let s = r.Bi_load.Wl_check.s in
+  Json.Obj
+    [
+      ("label", Json.Str r.Bi_load.Wl_check.label);
+      ("admission", Json.Bool r.Bi_load.Wl_check.admission);
+      ("offered_load_pct", Json.Int r.Bi_load.Wl_check.load_pct);
+      ("clients", Json.Int s.Bi_load.Engine.clients);
+      ("issued", Json.Int s.Bi_load.Engine.issued);
+      ("attempts", Json.Int s.Bi_load.Engine.attempts);
+      ("completed", Json.Int s.Bi_load.Engine.completed);
+      ("shed", Json.Int s.Bi_load.Engine.shed);
+      ("gave_up", Json.Int s.Bi_load.Engine.gave_up);
+      ("duration_ticks", Json.Int s.Bi_load.Engine.duration);
+      ("throughput_per_tick", Json.Float s.Bi_load.Engine.throughput);
+      ("p50_ticks", Json.Float s.Bi_load.Engine.p50);
+      ("p99_ticks", Json.Float s.Bi_load.Engine.p99);
+      ("p999_ticks", Json.Float s.Bi_load.Engine.p999);
+      ("mean_latency_ticks", Json.Float s.Bi_load.Engine.mean_latency);
+      ("max_queue", Json.Int s.Bi_load.Engine.max_queue);
+      ("min_client_completed", Json.Int s.Bi_load.Engine.min_client_completed);
+      ("invariants_ok", Json.Bool s.Bi_load.Engine.invariants_ok);
+    ]
+
+let run_wl_bench () =
+  Format.fprintf ppf
+    "Workload engine: latency vs offered load, admission-control knee@.";
+  Format.fprintf ppf
+    "    open loop, 100k simulated clients, Zipf(1.1) keys, Pareto(1.5) \
+     service@.";
+  let sweep = Bi_load.Wl_check.bench_sweep () in
+  Format.fprintf ppf
+    "    %-20s %10s %8s %8s %8s %9s %9s@." "arm" "completed" "p50" "p99"
+    "p999" "shed" "maxqueue";
+  List.iter
+    (fun (r : Bi_load.Wl_check.bench_row) ->
+      let s = r.Bi_load.Wl_check.s in
+      Format.fprintf ppf
+        "    %-20s %10d %8.1f %8.1f %8.1f %9d %9d@."
+        r.Bi_load.Wl_check.label s.Bi_load.Engine.completed
+        s.Bi_load.Engine.p50 s.Bi_load.Engine.p99 s.Bi_load.Engine.p999
+        s.Bi_load.Engine.shed s.Bi_load.Engine.max_queue)
+    sweep;
+  let headline = Bi_load.Wl_check.bench_headline () in
+  let hs = headline.Bi_load.Wl_check.s in
+  Format.fprintf ppf
+    "    headline: %d clients over 4 sharded nodes, bursty arrivals@."
+    hs.Bi_load.Engine.clients;
+  Format.fprintf ppf
+    "      completed %d / issued %d, shed %d, p50 %.1f / p99 %.1f / p999 \
+     %.1f ticks, max queue %d@."
+    hs.Bi_load.Engine.completed hs.Bi_load.Engine.issued
+    hs.Bi_load.Engine.shed hs.Bi_load.Engine.p50 hs.Bi_load.Engine.p99
+    hs.Bi_load.Engine.p999 hs.Bi_load.Engine.max_queue;
+  let suite = Bi_load.Wl_check.vcs () in
+  let rep = Bi_core.Verifier.discharge ~jobs:1 suite in
+  Format.fprintf ppf
+    "    wl suite: %d VCs in %.3f s wall (%d proved, slowest %.3f s)@."
+    (List.length suite) rep.Bi_core.Verifier.wall_time_s
+    rep.Bi_core.Verifier.proved rep.Bi_core.Verifier.max_time_s;
+  record "wl"
+    (Json.Obj
+       [
+         ("sweep", Json.List (List.map json_of_wl_row sweep));
+         ("headline", json_of_wl_row headline);
+         ("suite_vcs", Json.Int (List.length suite));
+         ("suite_proved", Json.Int rep.Bi_core.Verifier.proved);
+         ("suite_wall_s", Json.Float rep.Bi_core.Verifier.wall_time_s);
+         ("suite_max_vc_s", Json.Float rep.Bi_core.Verifier.max_time_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec split_json acc = function
@@ -1200,6 +1276,7 @@ let () =
     | "rs" -> run_rs_bench ()
     | "shard" -> run_shard_bench ()
     | "hp" -> run_hp_bench ()
+    | "wl" -> run_wl_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
         record_table1 ();
@@ -1221,11 +1298,13 @@ let () =
         Format.fprintf ppf "@.";
         run_hp_bench ();
         Format.fprintf ppf "@.";
+        run_wl_bench ();
+        Format.fprintf ppf "@.";
         run_micro ()
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|shard|hp|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|shard|hp|wl|micro|all)@."
           other;
         exit 2
   in

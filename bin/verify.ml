@@ -37,6 +37,9 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ( "hp",
       "hot path: batch apply, zero-copy framing, buffer pool parity",
       Bi_app.Hp_check.vcs );
+    ( "wl",
+      "workload: admission control, shedding, fairness under 1e6 clients",
+      Bi_load.Wl_check.vcs );
   ]
 
 (* Every suite's VC count is pinned: the paper's headline pt suite must
@@ -57,6 +60,7 @@ let expected_count = function
   | "rs" -> Some 57
   | "sh" -> Some 41
   | "hp" -> Some 45
+  | "wl" -> Some 54
   | _ -> None
 
 let run_suite ~jobs ?timeout_s verbose (name, descr, vcs) =

@@ -486,3 +486,72 @@ let fs_store fs =
                    not (String.length n > 4 && Filename.check_suffix n ".crc"))
                  names));
   }
+
+(* A node core fronted by a bounded fair admission queue — the overload
+   policy the `wl` suite verifies.  [submit] either queues the request or
+   sheds it with [Err Overloaded] *before* any dispatch to [handle]: a
+   shed request never reaches the store, the duplicate table, or the
+   degraded-mode latch, which is the whole point — shedding must not be a
+   third, half-applied outcome.  [serve] dispatches up to a service
+   budget's worth of queued requests in admission (round-robin) order.
+
+   [mutant_half_apply] is a mutation self-check knob: on shed it applies
+   the mutation straight to the backing store (bypassing [handle] and the
+   dup table) while still answering [Overloaded].  The wl suite proves its
+   VCs catch this — the shed-leaves-state-unchanged check and the
+   linearizability check both fail against the mutant. *)
+module Queued = struct
+  type core = t
+
+  type nonrec t = {
+    node : core;
+    q : (int * P.req) Admission.t; (* (request id, request) per client *)
+    half_apply : bool;
+    mutable served : int;
+  }
+
+  let create ?per_client ?unfair ?(mutant_half_apply = false) ~capacity node =
+    {
+      node;
+      q = Admission.create ?per_client ?unfair ~capacity ();
+      half_apply = mutant_half_apply;
+      served = 0;
+    }
+
+  let node t = t.node
+
+  (* The bug the mutation VCs must catch: state changes on the shed path. *)
+  let mutant_apply t = function
+    | P.Put { key; value; crc; txn = _ } ->
+        ignore (t.node.store.save key { value; crc })
+    | P.Delete { key; txn = _ } -> ignore (t.node.store.remove key)
+    | P.Get _ | P.List | P.Ping | P.Shutdown -> ()
+
+  let submit t ~client ~id req =
+    if Admission.offer t.q ~client (id, req) then None
+    else begin
+      if t.half_apply then mutant_apply t req;
+      Some (P.Err P.Overloaded)
+    end
+
+  let serve ?(max_requests = max_int) t =
+    let rec go n acc =
+      if n >= max_requests then List.rev acc
+      else
+        match Admission.take t.q with
+        | None -> List.rev acc
+        | Some (client, (id, req)) ->
+            let resp = handle t.node req in
+            t.served <- t.served + 1;
+            go (n + 1) ((client, id, resp) :: acc)
+    in
+    go 0 []
+
+  let queue_length t = Admission.length t.q
+  let high_water t = Admission.high_water t.q
+  let admitted t = Admission.admitted t.q
+  let shed t = Admission.shed t.q
+  let served t = t.served
+  let capacity t = Admission.capacity t.q
+  let invariants_ok t = Admission.check_invariants t.q
+end

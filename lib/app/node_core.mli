@@ -154,3 +154,57 @@ val fs_store : Bi_fs.Fs.t -> store
     [/blocks/<key>.crc], over a directly mounted filesystem — mount one
     on a {!Bi_fault.Faulty_disk} to exercise the read-integrity path
     under bit rot. *)
+
+(** A node core fronted by a bounded fair {!Admission} queue — the
+    explicit overload policy the [wl] verify suite proves things about.
+
+    {!Queued.submit} either admits a request into the bounded queue
+    (response comes later, from {!Queued.serve}) or sheds it with
+    [Err Overloaded] {e before} any dispatch to {!handle}: a shed request
+    never touches the store, the duplicate table, or the degraded latch,
+    so "shed + client retry under the same txn" composes with the
+    exactly-once machinery instead of fighting it.  {!Queued.serve}
+    dispatches up to a service budget's worth of queued requests in
+    admission (per-client round-robin) order. *)
+module Queued : sig
+  type core := t
+  type t
+
+  val create :
+    ?per_client:int ->
+    ?unfair:bool ->
+    ?mutant_half_apply:bool ->
+    capacity:int ->
+    core ->
+    t
+  (** [create ~capacity node] bounds the node's request queue at
+      [capacity]; [per_client] caps one client's share (default: the whole
+      queue).  [unfair] swaps in the starvation-prone single-FIFO policy
+      and [mutant_half_apply] makes shedding apply mutations anyway —
+      both are mutation-self-check knobs for the wl suite, never used by
+      real nodes. *)
+
+  val node : t -> core
+
+  val submit : t -> client:int -> id:int -> Protocol.req -> Protocol.resp option
+  (** [None] — admitted, the response will come from a later {!serve};
+      [Some (Err Overloaded)] — shed, nothing changed. *)
+
+  val serve : ?max_requests:int -> t -> (int * int * Protocol.resp) list
+  (** Dispatch up to [max_requests] queued requests (default: drain);
+      returns [(client, id, resp)] in dispatch order. *)
+
+  val queue_length : t -> int
+  val capacity : t -> int
+
+  val high_water : t -> int
+  (** Largest queue length ever observed — the bounded-memory VC asserts
+      this never exceeds [capacity] under adversarial load. *)
+
+  val admitted : t -> int
+  val shed : t -> int
+  val served : t -> int
+
+  val invariants_ok : t -> bool
+  (** {!Admission.check_invariants} on the underlying queue. *)
+end

@@ -11,6 +11,7 @@ type err =
   | Read_only
   | Wrong_shard of int
   | Io of string
+  | Overloaded
 
 type health = Serving | Degraded
 
@@ -39,6 +40,7 @@ let pp_err ppf = function
   | Read_only -> Format.pp_print_string ppf "node degraded: read-only"
   | Wrong_shard v -> Format.fprintf ppf "wrong shard (map version %d)" v
   | Io m -> Format.fprintf ppf "io: %s" m
+  | Overloaded -> Format.pp_print_string ppf "overloaded: request shed, retry later"
 
 let pp_health ppf = function
   | Serving -> Format.pp_print_string ppf "serving"
@@ -49,8 +51,12 @@ let pp_txn ppf { client; seq } = Format.fprintf ppf "%d.%d" client seq
 (* [Wrong_shard] is not transient-retryable: resending the same bytes to
    the same node cannot help.  The shard router handles it specially by
    refreshing its map and re-routing (same txn, different node). *)
+(* [Overloaded] IS transient-retryable: the node shed the request before
+   touching state (see {!Node_core.Queued}), so resending the same bytes
+   under the same txn after backoff is safe and eventually succeeds once
+   the queue drains. *)
 let retryable = function
-  | Bad_crc -> true
+  | Bad_crc | Overloaded -> true
   | Bad_key | Too_large | No_crc | Integrity | Read_only | Wrong_shard _
   | Io _ ->
       false
@@ -138,6 +144,7 @@ let err_tag = function
   | Read_only -> 5
   | Io _ -> 6
   | Wrong_shard _ -> 7
+  | Overloaded -> 8
 
 let err_of_tag tag arg detail =
   match tag with
@@ -148,6 +155,7 @@ let err_of_tag tag arg detail =
   | 4 -> Integrity
   | 5 -> Read_only
   | 7 -> Wrong_shard arg
+  | 8 -> Overloaded
   | _ -> Io detail
 
 let health_tag = function Serving -> 0 | Degraded -> 1

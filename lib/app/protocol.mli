@@ -37,6 +37,11 @@ type err =
           version; a router refreshes its map and re-routes under the
           same txn.  Not {!retryable} at the same node. *)
   | Io of string  (** Backing-store failure, with detail. *)
+  | Overloaded
+      (** The node's admission queue was full and the request was shed
+          {e before} reaching the store: no state changed, no dup-table
+          entry was written.  {!retryable} — a client backs off and
+          resends under the same txn. *)
 
 type health = Serving | Degraded
 
@@ -64,7 +69,8 @@ val pp_txn : Format.formatter -> txn -> unit
 
 val retryable : err -> bool
 (** [true] for errors a client may safely retry ([Bad_crc]: the wire, not
-    the request, was at fault).  Definitive rejections ([Bad_key],
+    the request, was at fault; [Overloaded]: the node shed the request
+    without touching state).  Definitive rejections ([Bad_key],
     [Too_large], [Read_only], ...) are not retryable. *)
 
 val crc32 : string -> int32

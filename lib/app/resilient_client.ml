@@ -70,6 +70,7 @@ type stats = {
   retries : int;
   breaker_opens : int;
   breaker_closes : int;
+  sheds : int;
 }
 
 type t = {
@@ -86,6 +87,7 @@ type t = {
   mutable s_retries : int;
   mutable s_opens : int;
   mutable s_closes : int;
+  mutable s_sheds : int;
 }
 
 let create ?(config = default_config) ~client clock ep =
@@ -103,6 +105,7 @@ let create ?(config = default_config) ~client clock ep =
     s_retries = 0;
     s_opens = 0;
     s_closes = 0;
+    s_sheds = 0;
   }
 
 let next_txn t =
@@ -118,6 +121,7 @@ let stats t =
     retries = t.s_retries;
     breaker_opens = t.s_opens;
     breaker_closes = t.s_closes;
+    sheds = t.s_sheds;
   }
 
 (* Breaker admission.  Half-open admits exactly one probe: a second call
@@ -178,6 +182,9 @@ let run t req interp =
           record_failure t;
           next attempt msg
       | Ok resp -> (
+          (match resp with
+          | P.Err P.Overloaded -> t.s_sheds <- t.s_sheds + 1
+          | _ -> ());
           match interp resp with
           | `Ok v ->
               record_success t;

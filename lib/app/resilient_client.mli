@@ -96,6 +96,7 @@ type stats = {
   retries : int;  (** Attempts beyond the first of their call. *)
   breaker_opens : int;
   breaker_closes : int;  (** Half-open probes that succeeded. *)
+  sheds : int;  (** Attempts answered [Err Overloaded] by the server. *)
 }
 
 val stats : t -> stats

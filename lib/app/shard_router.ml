@@ -97,9 +97,10 @@ let stats t =
           retries = acc.retries + s.retries;
           breaker_opens = acc.breaker_opens + s.breaker_opens;
           breaker_closes = acc.breaker_closes + s.breaker_closes;
+          sheds = acc.sheds + s.sheds;
         })
       { RC.ops = 0; attempts = 0; retries = 0; breaker_opens = 0;
-        breaker_closes = 0 }
+        breaker_closes = 0; sheds = 0 }
       t.rcs
   in
   { rc; wrong_shard_retries = t.s_wrong_shard; map_refreshes = t.s_refreshes }

@@ -1,0 +1,145 @@
+(* Deterministic workload samplers.
+
+   Everything here draws from a caller-supplied [Gen.t] and nothing else:
+   the same seed gives bit-identical key, arrival, and service streams,
+   which is what lets the wl determinism VCs compare whole traces and the
+   statistical VCs pin exact (not tolerance-flaky) empirical counts per
+   seed.  The shapes are the standard load-testing trio — Zipf key skew,
+   heavy-tailed (bounded Pareto) service times, and bursty on/off arrival
+   modulation over geometric inter-arrival gaps. *)
+
+module G = Bi_core.Gen
+
+(* Uniform float in [0, 1): 53 random bits, the full double mantissa. *)
+let two53 = 9007199254740992.0 (* 2^53 *)
+let unit_float g = Int64.to_float (G.bits g 53) /. two53
+
+(* Zipf(theta) over ranks 1..n by inverse CDF on the precomputed
+   cumulative weights — O(n) setup, O(log n) per sample, exact. *)
+module Zipf = struct
+  type t = { cum : float array }
+
+  let create ~n ~theta =
+    if n < 1 then invalid_arg "Workload.Zipf.create: n < 1";
+    if theta < 0. then invalid_arg "Workload.Zipf.create: theta < 0";
+    let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+    let total = Array.fold_left ( +. ) 0. w in
+    let cum = Array.make n 0. in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (w.(i) /. total);
+      cum.(i) <- !acc
+    done;
+    (* Pin the top so a u drawn arbitrarily close to 1 still lands. *)
+    cum.(n - 1) <- 1.0;
+    { cum }
+
+  let n t = Array.length t.cum
+
+  (* Analytic P[rank = i] (0-based), for the statistical-soundness VCs. *)
+  let prob t i =
+    if i = 0 then t.cum.(0) else t.cum.(i) -. t.cum.(i - 1)
+
+  let sample t g =
+    let u = unit_float g in
+    (* First index with cum.(i) > u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cum.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end
+
+(* Bounded Pareto service times: xm / U^(1/alpha), capped.  alpha in
+   (1, 2] gives the classic heavy tail — finite mean, huge p99/p50. *)
+module Pareto = struct
+  type t = { xm : float; alpha : float; cap : float }
+
+  let create ?(cap = 1e6) ~xm ~alpha () =
+    if xm <= 0. then invalid_arg "Workload.Pareto.create: xm <= 0";
+    if alpha <= 0. then invalid_arg "Workload.Pareto.create: alpha <= 0";
+    if cap < xm then invalid_arg "Workload.Pareto.create: cap < xm";
+    { xm; alpha; cap }
+
+  let sample t g =
+    let u = unit_float g in
+    let u = if u >= 1. then 1. -. epsilon_float else u in
+    Float.min t.cap (t.xm /. ((1. -. u) ** (1. /. t.alpha)))
+
+  (* Service must take at least one tick of virtual time. *)
+  let sample_ticks t g = max 1 (int_of_float (ceil (sample t g)))
+
+  (* Analytic p-quantile of the *unbounded* Pareto — the band the
+     statistical VC checks the empirical p99/p50 ratio against. *)
+  let quantile t p = t.xm /. ((1. -. p) ** (1. /. t.alpha))
+end
+
+(* Geometric-ish inter-arrival gap with the given mean, via inverse CDF
+   of the exponential; 0 is allowed (several arrivals in one tick). *)
+let arrival_gap g ~mean_gap =
+  if mean_gap <= 0. then 0
+  else
+    let u = unit_float g in
+    let u = if u >= 1. then 1. -. epsilon_float else u in
+    int_of_float (Float.round (-.mean_gap *. log (1. -. u)))
+
+(* On/off burst modulation: time is carved into [on_len + off_len]-tick
+   periods, arrivals only land in the first [on_len] ticks of each.  An
+   arrival falling in the off phase is deferred to the next on-phase
+   start — the bursty shape that hammers the admission queue. *)
+module Burst = struct
+  type t = { on_len : int; off_len : int }
+
+  let create ~on_len ~off_len =
+    if on_len < 1 then invalid_arg "Workload.Burst.create: on_len < 1";
+    if off_len < 0 then invalid_arg "Workload.Burst.create: off_len < 0";
+    { on_len; off_len }
+
+  let always_on = { on_len = 1; off_len = 0 }
+  let period t = t.on_len + t.off_len
+  let in_on t ~time = t.off_len = 0 || time mod period t < t.on_len
+
+  (* Earliest time >= [time] inside an on phase. *)
+  let defer t ~time =
+    if in_on t ~time then time else time + (period t - (time mod period t))
+
+  (* Exact fraction of each period that accepts arrivals. *)
+  let duty_cycle t = float_of_int t.on_len /. float_of_int (period t)
+end
+
+(* One sampled request: [gap] ticks after the previous arrival (before
+   burst deferral), on key rank [key], costing [service] ticks. *)
+type event = { gap : int; key : int; service : int }
+
+(* The combined sampler: everything the engine draws, in one place, from
+   one generator — so a trace is a pure function of (config, seed). *)
+type t = {
+  g : G.t;
+  zipf : Zipf.t;
+  pareto : Pareto.t;
+  burst : Burst.t;
+  mean_gap : float;
+}
+
+let create ?(burst = Burst.always_on) ~n_keys ~theta ~service_xm
+    ~service_alpha ?(service_cap = 1e6) ~mean_gap ~seed () =
+  {
+    g = G.create seed;
+    zipf = Zipf.create ~n:n_keys ~theta;
+    pareto = Pareto.create ~cap:service_cap ~xm:service_xm ~alpha:service_alpha ();
+    burst;
+    mean_gap;
+  }
+
+let next t =
+  let gap = arrival_gap t.g ~mean_gap:t.mean_gap in
+  let key = Zipf.sample t.zipf t.g in
+  let service = Pareto.sample_ticks t.pareto t.g in
+  { gap; key; service }
+
+let burst t = t.burst
+
+(* The determinism suite's artifact: the first [n] events as a list —
+   equal seeds must give equal lists, bit for bit. *)
+let trace ~n t = List.init n (fun _ -> next t)

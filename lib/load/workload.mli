@@ -1,0 +1,93 @@
+(** Deterministic workload samplers: Zipf key skew, heavy-tailed
+    (bounded Pareto) service times, geometric inter-arrival gaps, and
+    on/off burst modulation.
+
+    Every sampler draws from a caller-supplied {!Bi_core.Gen.t} and
+    nothing else, so a trace is a pure function of (configuration, seed):
+    the wl determinism VCs compare whole traces bit-for-bit and the
+    statistical VCs pin exact empirical counts per seed. *)
+
+val unit_float : Bi_core.Gen.t -> float
+(** Uniform in [0, 1), 53 random bits. *)
+
+(** Zipf(theta) over ranks [0..n-1] by inverse CDF; rank 0 is hottest. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> theta:float -> t
+  (** Raises [Invalid_argument] if [n < 1] or [theta < 0].  [theta = 0.]
+      is uniform. *)
+
+  val n : t -> int
+
+  val prob : t -> int -> float
+  (** Analytic probability of rank [i] — what the statistical-soundness
+      VCs compare empirical frequencies against. *)
+
+  val sample : t -> Bi_core.Gen.t -> int
+end
+
+(** Bounded Pareto: [xm / U^(1/alpha)], capped at [cap]. *)
+module Pareto : sig
+  type t
+
+  val create : ?cap:float -> xm:float -> alpha:float -> unit -> t
+  (** [cap] defaults to 1e6 ticks.  Raises [Invalid_argument] on
+      non-positive [xm]/[alpha] or [cap < xm]. *)
+
+  val sample : t -> Bi_core.Gen.t -> float
+  val sample_ticks : t -> Bi_core.Gen.t -> int
+  (** [max 1 (ceil (sample t g))] — service takes at least one tick. *)
+
+  val quantile : t -> float -> float
+  (** Analytic p-quantile of the unbounded Pareto, for the expected
+      p99/p50 band. *)
+end
+
+val arrival_gap : Bi_core.Gen.t -> mean_gap:float -> int
+(** Exponential inter-arrival gap with the given mean, rounded to ticks;
+    0 is allowed (several arrivals in one tick). *)
+
+(** On/off burst modulation: arrivals only land in the first [on_len]
+    ticks of each [on_len + off_len]-tick period. *)
+module Burst : sig
+  type t
+
+  val create : on_len:int -> off_len:int -> t
+  val always_on : t
+  val period : t -> int
+  val in_on : t -> time:int -> bool
+
+  val defer : t -> time:int -> int
+  (** Earliest time [>= time] inside an on phase. *)
+
+  val duty_cycle : t -> float
+  (** [on_len / (on_len + off_len)], the exact accepting fraction. *)
+end
+
+type event = { gap : int; key : int; service : int }
+(** One sampled request: [gap] ticks after the previous arrival (before
+    burst deferral), key rank [key], [service] ticks of work. *)
+
+type t
+(** A combined sampler owning its generator: key skew, service tail,
+    arrival process and burst shape in one place. *)
+
+val create :
+  ?burst:Burst.t ->
+  n_keys:int ->
+  theta:float ->
+  service_xm:float ->
+  service_alpha:float ->
+  ?service_cap:float ->
+  mean_gap:float ->
+  seed:int64 ->
+  unit ->
+  t
+
+val next : t -> event
+val burst : t -> Burst.t
+
+val trace : n:int -> t -> event list
+(** The first [n] events — the determinism suite's bit-comparison
+    artifact. *)

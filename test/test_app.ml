@@ -98,7 +98,7 @@ let gen_err =
       [
         oneofl
           [ P.Bad_key; P.Too_large; P.Bad_crc; P.No_crc; P.Integrity;
-            P.Read_only ];
+            P.Read_only; P.Overloaded ];
         map (fun m -> P.Io m) (string_size ~gen:printable (int_range 0 30));
         map (fun v -> P.Wrong_shard v) (int_range 0 64);
       ])
@@ -386,6 +386,8 @@ let test_pp_error_coverage () =
   check Alcotest.string "P.Io" "io: disk on fire" (p P.pp_err (P.Io "disk on fire"));
   check Alcotest.string "P.Wrong_shard" "wrong shard (map version 3)"
     (p P.pp_err (P.Wrong_shard 3));
+  check Alcotest.string "P.Overloaded" "overloaded: request shed, retry later"
+    (p P.pp_err P.Overloaded);
   check Alcotest.string "P.Serving" "serving" (p P.pp_health P.Serving);
   check Alcotest.string "P.Degraded" "degraded" (p P.pp_health P.Degraded);
   check Alcotest.string "P.txn" "7.42" (p P.pp_txn { P.client = 7; seq = 42 });
@@ -418,6 +420,7 @@ let test_pp_error_coverage () =
 
 let test_retryable () =
   check Alcotest.bool "Bad_crc retryable" true (P.retryable P.Bad_crc);
+  check Alcotest.bool "Overloaded retryable" true (P.retryable P.Overloaded);
   List.iter
     (fun e -> check Alcotest.bool "definitive" false (P.retryable e))
     [
@@ -625,6 +628,56 @@ let test_fi_positive_control () =
     c.Rs.replay_fails
 
 (* ------------------------------------------------------------------ *)
+(* Bounded fair admission queue *)
+
+module Adm = Bi_app.Admission
+
+let test_admission_capacity_boundary () =
+  let q = Adm.create ~capacity:3 () in
+  List.iter
+    (fun c -> check Alcotest.bool "admitted" true (Adm.offer q ~client:c c))
+    [ 0; 1; 2 ];
+  (* Exactly at capacity: the next offer is shed, not queued. *)
+  check Alcotest.bool "fourth shed" false (Adm.offer q ~client:3 3);
+  check Alcotest.int "length pinned" 3 (Adm.length q);
+  check Alcotest.int "one shed" 1 (Adm.shed q);
+  check Alcotest.bool "invariants" true (Adm.check_invariants q);
+  (* One take frees exactly one slot. *)
+  check Alcotest.bool "has item" true (Adm.take q <> None);
+  check Alcotest.bool "slot reopened" true (Adm.offer q ~client:3 3);
+  check Alcotest.bool "full again" false (Adm.offer q ~client:4 4)
+
+let test_admission_fifo_per_client () =
+  let q = Adm.create ~capacity:8 () in
+  List.iter (fun i -> ignore (Adm.offer q ~client:7 i)) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ ->
+      match Adm.take q with Some (7, x) -> x | _ -> -1)
+  in
+  check (Alcotest.list Alcotest.int) "served in offer order" [ 1; 2; 3; 4 ]
+    order
+
+let test_admission_round_robin_64 () =
+  let nclients = 64 in
+  let q = Adm.create ~capacity:(2 * nclients) () in
+  for round = 1 to 2 do
+    for c = 0 to nclients - 1 do
+      check Alcotest.bool "admitted" true
+        (Adm.offer q ~client:c ((100 * c) + round))
+    done
+  done;
+  (* Dispatch cycles all 64 clients in order before revisiting any. *)
+  for round = 1 to 2 do
+    for c = 0 to nclients - 1 do
+      match Adm.take q with
+      | Some (c', x) ->
+          check Alcotest.int "client in rotation order" c c';
+          check Alcotest.int "that client's next item" ((100 * c) + round) x
+      | None -> Alcotest.fail "queue ran dry"
+    done
+  done;
+  check Alcotest.bool "drained" true (Adm.is_empty q)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "bi_app"
@@ -671,5 +724,14 @@ let () =
             test_breaker_half_open_single_probe;
           Alcotest.test_case "fault-injection positive control" `Quick
             test_fi_positive_control;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "capacity boundary" `Quick
+            test_admission_capacity_boundary;
+          Alcotest.test_case "FIFO per client" `Quick
+            test_admission_fifo_per_client;
+          Alcotest.test_case "round-robin over 64 clients" `Quick
+            test_admission_round_robin_64;
         ] );
     ]

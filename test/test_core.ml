@@ -154,6 +154,78 @@ let prop_percentile_member =
     (fun (xs, p) -> List.mem (Stats.percentile p xs) xs)
 
 (* ------------------------------------------------------------------ *)
+(* Reservoir sketch *)
+
+module Rsv = Stats.Reservoir
+
+let test_reservoir_exact_below_capacity () =
+  (* Below capacity nothing is ever evicted, so the sketch must agree
+     with the exact percentile bit-for-bit, same nearest-rank formula. *)
+  let g = Gen.create 31L in
+  let xs = List.init 500 (fun _ -> float_of_int (Gen.int g 10_000)) in
+  let r = Rsv.create ~capacity:1024 ~seed:1L () in
+  List.iter (Rsv.add r) xs;
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.) "sketch = exact" (Stats.percentile p xs)
+        (Rsv.percentile p r))
+    [ 0.; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  check Alcotest.int "count" 500 (Rsv.count r);
+  check Alcotest.int "stored" 500 (Rsv.stored r)
+
+let test_reservoir_bounded_error_large_stream () =
+  (* A seeded uniform stream: the true p-quantile of Uniform[0,1) is p
+     itself; the 4096-sample sketch of a 200k stream must land close. *)
+  let r = Rsv.create ~capacity:4096 ~seed:7L () in
+  let g = Gen.create 8L in
+  for _ = 1 to 200_000 do
+    Rsv.add r (Int64.to_float (Gen.bits g 53) /. 9007199254740992.0)
+  done;
+  check Alcotest.int "count sees everything" 200_000 (Rsv.count r);
+  check Alcotest.int "memory bounded" 4096 (Rsv.stored r);
+  check Alcotest.bool "p50 within 3e-2" true
+    (Float.abs (Rsv.percentile 0.5 r -. 0.5) < 0.03);
+  check Alcotest.bool "p99 within 1e-2" true
+    (Float.abs (Rsv.percentile 0.99 r -. 0.99) < 0.01);
+  check Alcotest.bool "exact extremes tracked" true
+    (Rsv.min_seen r >= 0. && Rsv.max_seen r < 1. && Rsv.mean r > 0.45
+   && Rsv.mean r < 0.55)
+
+let test_reservoir_edge_cases () =
+  (match Rsv.create ~capacity:0 ~seed:1L () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must raise");
+  let r = Rsv.create ~capacity:4 ~seed:1L () in
+  (match Rsv.percentile 0.5 r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty reservoir must raise");
+  Rsv.add r 42.;
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.) "single sample" 42. (Rsv.percentile p r))
+    [ 0.; 0.5; 1.0 ];
+  for _ = 1 to 100 do
+    Rsv.add r 7.
+  done;
+  check (Alcotest.float 0.) "all-equal p999" 7. (Rsv.percentile 0.999 r);
+  check Alcotest.int "stored at cap" 4 (Rsv.stored r);
+  check Alcotest.int "count past cap" 101 (Rsv.count r)
+
+let test_reservoir_deterministic () =
+  let fill ~res_seed ~stream_seed =
+    let r = Rsv.create ~capacity:64 ~seed:res_seed () in
+    let g = Gen.create stream_seed in
+    for _ = 1 to 5000 do
+      Rsv.add r (float_of_int (Gen.int g 1_000_000))
+    done;
+    Rsv.to_list r
+  in
+  check Alcotest.bool "same seeds, same sample" true
+    (fill ~res_seed:3L ~stream_seed:9L = fill ~res_seed:3L ~stream_seed:9L);
+  check Alcotest.bool "different reservoir seed, different sample" true
+    (fill ~res_seed:3L ~stream_seed:9L <> fill ~res_seed:4L ~stream_seed:9L)
+
+(* ------------------------------------------------------------------ *)
 (* Vc and Verifier *)
 
 let test_vc_prop_proved () =
@@ -932,6 +1004,15 @@ let () =
             test_stats_histogram_degenerate;
           prop_cdf_monotone;
           prop_percentile_member;
+        ] );
+      ( "reservoir",
+        [
+          Alcotest.test_case "exact below capacity" `Quick
+            test_reservoir_exact_below_capacity;
+          Alcotest.test_case "bounded error on a 200k stream" `Quick
+            test_reservoir_bounded_error_large_stream;
+          Alcotest.test_case "edge cases" `Quick test_reservoir_edge_cases;
+          Alcotest.test_case "deterministic" `Quick test_reservoir_deterministic;
         ] );
       ( "pool",
         [
