@@ -3,7 +3,7 @@
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all build test verify fmt-check bench bench-json bench-hp bench-wl discharge mc fi rs sh hp wl clean
+.PHONY: all build test verify fmt-check bench bench-json bench-hp bench-wl bench-nd discharge mc fi rs sh hp wl nd clean
 
 all: build
 
@@ -56,12 +56,18 @@ hp:
 wl:
 	dune exec bin/verify.exe -- wl
 
+# The netd suite alone (concurrent daemon, e2e exactly-once/lin,
+# syscall-trace replay, futex queue model, mutations).
+nd:
+	dune exec bin/verify.exe -- nd
+
 bench:
 	dune exec bench/main.exe
 
 bench-json:
 	dune exec bench/main.exe -- all --json BENCH_pr2.json
 	dune exec bench/main.exe -- wl --json BENCH_pr8.json
+	dune exec bench/main.exe -- netd --json BENCH_pr9.json
 
 # Hot-path numbers (plus the end-to-end shard throughput they must not
 # regress), as committed in BENCH_pr7.json.
@@ -72,6 +78,11 @@ bench-hp:
 # as committed in BENCH_pr8.json.
 bench-wl:
 	dune exec bench/main.exe -- wl --json BENCH_pr8.json
+
+# netd worker-pool scaling in virtual time, as committed in
+# BENCH_pr9.json.
+bench-nd:
+	dune exec bench/main.exe -- netd --json BENCH_pr9.json
 
 discharge:
 	dune exec bench/main.exe -- discharge

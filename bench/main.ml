@@ -1239,6 +1239,59 @@ let run_wl_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* netd: worker-pool scaling of the network daemon in virtual time.
+   Each arm runs the same quiet two-kernel world — 6 client threads,
+   4 puts each, 6-tick service time per request — varying only the
+   worker-pool size; the figure of merit is acknowledged ops per
+   kilotick of virtual time.                                           *)
+
+let run_netd_bench () =
+  Format.fprintf ppf "netd: worker-pool scaling (virtual time)@.";
+  Format.fprintf ppf
+    "    quiet wire, 6 client threads x 4 puts, service 6 ticks/request@.";
+  let rows = Bi_netd.Nd_check.bench_scaling ~workers:[ 1; 2; 4; 8 ] in
+  Format.fprintf ppf "    %-8s %12s %16s@." "workers" "finish-tick"
+    "acks/kilotick";
+  List.iter
+    (fun (w, ticks, rate) ->
+      Format.fprintf ppf "    %-8d %12d %16.2f@." w ticks rate)
+    rows;
+  (match rows with
+  | (_, t1, _) :: _ -> (
+      match List.rev rows with
+      | (_, tn, _) :: _ when tn > 0 ->
+          Format.fprintf ppf "    speedup 1 -> %d workers: %.2fx@."
+            (match List.rev rows with (w, _, _) :: _ -> w | [] -> 0)
+            (float_of_int t1 /. float_of_int tn)
+      | _ -> ())
+  | [] -> ());
+  let suite = Bi_netd.Nd_check.vcs () in
+  let rep = Bi_core.Verifier.discharge ~jobs:1 suite in
+  Format.fprintf ppf
+    "    nd suite: %d VCs in %.3f s wall (%d proved, slowest %.3f s)@."
+    (List.length suite) rep.Bi_core.Verifier.wall_time_s
+    rep.Bi_core.Verifier.proved rep.Bi_core.Verifier.max_time_s;
+  record "netd"
+    (Json.Obj
+       [
+         ( "scaling",
+           Json.List
+             (List.map
+                (fun (w, ticks, rate) ->
+                  Json.Obj
+                    [
+                      ("workers", Json.Int w);
+                      ("finish_ticks", Json.Int ticks);
+                      ("acks_per_kilotick", Json.Float rate);
+                    ])
+                rows) );
+         ("suite_vcs", Json.Int (List.length suite));
+         ("suite_proved", Json.Int rep.Bi_core.Verifier.proved);
+         ("suite_wall_s", Json.Float rep.Bi_core.Verifier.wall_time_s);
+         ("suite_max_vc_s", Json.Float rep.Bi_core.Verifier.max_time_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec split_json acc = function
@@ -1277,6 +1330,7 @@ let () =
     | "shard" -> run_shard_bench ()
     | "hp" -> run_hp_bench ()
     | "wl" -> run_wl_bench ()
+    | "netd" -> run_netd_bench ()
     | "all" ->
         Bi_eval.Report.all ppf;
         record_table1 ();
@@ -1300,11 +1354,13 @@ let () =
         Format.fprintf ppf "@.";
         run_wl_bench ();
         Format.fprintf ppf "@.";
+        run_netd_bench ();
+        Format.fprintf ppf "@.";
         run_micro ()
     | other ->
         Format.fprintf ppf
           "unknown target %s (expected \
-           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|shard|hp|wl|micro|all)@."
+           table1|table2|fig1a|fig1b|fig1c|ratio|discharge|ablations|mc|fi|rs|shard|hp|wl|netd|micro|all)@."
           other;
         exit 2
   in

@@ -40,6 +40,9 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ( "wl",
       "workload: admission control, shedding, fairness under 1e6 clients",
       Bi_load.Wl_check.vcs );
+    ( "nd",
+      "netd: concurrent daemon, e2e exactly-once/lin via syscall traces",
+      Bi_netd.Nd_check.vcs );
   ]
 
 (* Every suite's VC count is pinned: the paper's headline pt suite must
@@ -61,6 +64,7 @@ let expected_count = function
   | "sh" -> Some 41
   | "hp" -> Some 45
   | "wl" -> Some 54
+  | "nd" -> Some 43
   | _ -> None
 
 let run_suite ~jobs ?timeout_s verbose (name, descr, vcs) =

@@ -3,7 +3,9 @@
    verified stack — two simulated machines, each booting the kernel; the
    node persists blocks through the filesystem's write-ahead log; the
    client talks TCP through the network stack; every interaction crosses
-   the marshalled syscall ABI.
+   the marshalled syscall ABI.  Serving is done by the netd daemon — an
+   acceptor thread, a futex-backed request queue, and a pool of worker
+   threads, all real kernel threads of one process.
 
    Run with:  dune exec examples/storage_node.exe *)
 
@@ -63,9 +65,9 @@ let () =
   let server = K.create ~ip:server_ip () in
   let client = K.create ~ip:client_ip () in
   K.connect server client;
-  Bi_app.Storage_node.install server;
+  ignore (Bi_netd.Netd.install server);
   K.register_program client "client" client_program;
-  (match K.spawn server ~prog:"storage_node" ~arg:"" with
+  (match K.spawn server ~prog:"netd" ~arg:"" with
   | Ok pid -> Format.printf "server: booted storage node as pid %d@." pid
   | Error _ -> failwith "server spawn failed");
   (match K.spawn client ~prog:"client" ~arg:"" with

@@ -85,54 +85,3 @@ let usys_store s : Node_core.store =
                  names));
   }
 
-(* Epochs count node (re)starts, so a client that pings across a restart
-   sees the epoch move and knows the duplicate table was lost. *)
-let epochs = Atomic.make 0
-
-(* Serve one connection; returns [`Shutdown] if asked to stop. *)
-let serve_conn s core conn =
-  let buf = ref Bytes.empty in
-  let connection_open = ref true in
-  while !connection_open do
-    match P.decode_req !buf ~off:0 with
-    | Some (req, consumed) ->
-        buf := Bytes.sub !buf consumed (Bytes.length !buf - consumed);
-        let resp = Node_core.handle core req in
-        ignore (U.tcp_send s ~conn (Bytes.to_string (P.encode_resp resp)));
-        if Node_core.wants_shutdown core then connection_open := false
-    | None -> (
-        match U.tcp_recv s conn with
-        | Ok "" -> connection_open := false (* peer closed *)
-        | Ok chunk -> buf := Bytes.cat !buf (Bytes.of_string chunk)
-        | Error _ -> connection_open := false)
-  done;
-  ignore (U.tcp_close s ~conn);
-  if Node_core.wants_shutdown core then `Shutdown else `Continue
-
-let program s _arg =
-  (match U.mkdir s "/blocks" with
-  | Ok () | Error Bi_kernel.Sysabi.E_exists -> ()
-  | Error e ->
-      U.log s (Format.asprintf "storage_node: mkdir failed: %a"
-                 Bi_kernel.Sysabi.pp_err e));
-  let core =
-    Node_core.create ~epoch:(Atomic.fetch_and_add epochs 1) (usys_store s)
-  in
-  (match U.tcp_listen s port with
-  | Ok () -> ()
-  | Error _ -> U.log s "storage_node: listen failed");
-  U.log s "storage_node: serving";
-  let running = ref true in
-  while !running do
-    match U.tcp_accept s port with
-    | Ok conn -> (
-        match serve_conn s core conn with
-        | `Shutdown ->
-            U.log s "storage_node: shutdown requested";
-            running := false
-        | `Continue -> ())
-    | Error _ -> running := false
-  done
-
-let install kernel =
-  Bi_kernel.Kernel.register_program kernel "storage_node" program

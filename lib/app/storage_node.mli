@@ -1,27 +1,21 @@
-(** The storage node: the paper's motivating application, running as a
-    user process on the verified OS stack.
+(** The storage node's Usys-backed persistence: blocks as files under
+    [/blocks/<key>] with the CRC in a sidecar [/blocks/<key>.crc], every
+    access crossing the marshalled syscall ABI into the verified
+    filesystem.  Every GET re-verifies the checksum before answering, so
+    filesystem corruption is detected rather than served — the property
+    Amazon's S3 work checks with lightweight formal methods (paper
+    Section 1).
 
-    Values live as files under [/blocks/<key>] with the CRC stored in a
-    sidecar [/blocks/<key>.crc]; every GET re-verifies the checksum before
-    answering, so filesystem corruption is detected rather than served —
-    the property Amazon's S3 work checks with lightweight formal methods
-    (paper Section 1).  Everything the node does goes through the
-    {!Bi_kernel.Usys} syscall interface: TCP for transport, the
-    filesystem for persistence.
-
-    Request semantics (duplicate suppression for retried mutations,
-    degraded read-only mode after a backing-store write failure, epochs
-    across restarts) live in {!Node_core}; this module is the transport
-    shell plus the Usys-backed store. *)
+    The sequential TCP serving loop that used to live here is retired:
+    serving is now [Bi_netd.Netd]'s job (acceptor + futex-backed queue +
+    worker pool).  Request semantics (duplicate suppression, degraded
+    mode, epochs) stay in {!Node_core}; this module is just the store. *)
 
 val port : int
-(** 9000. *)
+(** 9000 — the block-protocol port netd listens on. *)
 
-val program : Bi_kernel.Usys.t -> string -> unit
-(** The node's main; register as a kernel program and [Spawn] it.  Serves
-    connections sequentially until a [Shutdown] request arrives.  Each
-    run takes a fresh epoch, reported in [Pong]. *)
-
-val install : Bi_kernel.Kernel.t -> unit
-(** [register_program kernel "storage_node" program] plus the [/blocks]
-    directory setup at first run. *)
+val usys_store : Bi_kernel.Usys.t -> Node_core.store
+(** The node's backing store over the syscall interface.  Operations are
+    multi-syscall (write = unlink + recreate + crc sidecar), so callers
+    serving concurrently must serialize same-store access themselves —
+    netd holds one data-path mutex across {!Node_core.handle}. *)

@@ -2,20 +2,26 @@ type mode = Checked | Erased
 
 exception Violation of { name : string; clause : string; detail : string }
 
-let current = ref Checked
+(* The mode is domain-local, not a shared global: VC suites are
+   discharged across parallel domains, and a parity VC running
+   [with_mode Erased] in one domain must not erase the contracts of
+   checks running concurrently in another (that race made
+   ghost-counting VCs fail only on multi-core hosts).  Every domain
+   starts in [Checked], the default. *)
+let key = Domain.DLS.new_key (fun () -> Checked)
 
-let set_mode m = current := m
-let mode () = !current
+let set_mode m = Domain.DLS.set key m
+let mode () = Domain.DLS.get key
 
 let with_mode m f =
-  let saved = !current in
-  current := m;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get key in
+  Domain.DLS.set key m;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
 
 let fail name clause detail = raise (Violation { name; clause; detail })
 
 let apply ~name ~requires ~ensures body =
-  match !current with
+  match mode () with
   | Erased -> body ()
   | Checked ->
       if not (requires ()) then fail name "requires" "precondition false";
@@ -24,21 +30,21 @@ let apply ~name ~requires ~ensures body =
       result
 
 let requires ~name b =
-  match !current with
+  match mode () with
   | Erased -> ()
   | Checked -> if not b then fail name "requires" "precondition false"
 
 let ensures ~name b =
-  match !current with
+  match mode () with
   | Erased -> ()
   | Checked -> if not b then fail name "ensures" "postcondition false"
 
 let check_invariant ~name f =
-  match !current with
+  match mode () with
   | Erased -> ()
   | Checked -> if not (f ()) then fail name "invariant" "invariant false"
 
 let ghost f =
-  match !current with
+  match mode () with
   | Erased -> ()
   | Checked -> f ()

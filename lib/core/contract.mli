@@ -14,14 +14,18 @@ exception Violation of { name : string; clause : string; detail : string }
     ["ensures"] (or ["invariant"] for {!check_invariant}). *)
 
 val set_mode : mode -> unit
-(** Set the global contract mode.  Default is [Checked]. *)
+(** Set the calling domain's contract mode.  Default is [Checked].  The
+    mode is domain-local: parallel VC discharge means one domain's
+    [Erased] parity run must not erase the contracts of checks running
+    concurrently in another domain.  A freshly spawned domain starts in
+    [Checked] regardless of its parent's mode. *)
 
 val mode : unit -> mode
-(** Current global mode. *)
+(** The calling domain's current mode. *)
 
 val with_mode : mode -> (unit -> 'a) -> 'a
-(** Run a thunk under a specific mode, restoring the previous mode after,
-    including on exceptions. *)
+(** Run a thunk under a specific mode (in this domain), restoring the
+    previous mode after, including on exceptions. *)
 
 val apply :
   name:string ->

@@ -232,29 +232,67 @@ and make_zombie t p code =
       | File_fd _ -> ())
     p.fds;
   Hashtbl.reset p.fds;
-  (* Wake a parent blocked in wait(pid). *)
-  Hashtbl.iter
-    (fun _ th ->
-      match th.tstate with
-      | Blocked (On_wait waited, k) when waited = p.pid ->
-          th.tstate <- Ready (Resume (k, Sysabi.R_int code));
-          p.pstate <- Reaped;
-          enqueue_ready t th.tid
-      | _ -> ())
-    t.threads
+  (* Wake a parent blocked in wait(pid).  Exactly one waiter collects the
+     exit code — the child is reaped at that point, so the others get
+     [E_child], same as a wait issued after the reap.  (Previously every
+     parked waiter was handed the code: a misdelivered wakeup, found by
+     the blocking-syscall audit.)  Lowest tid wins, deterministically. *)
+  let waiters =
+    Hashtbl.fold
+      (fun _ th acc ->
+        match th.tstate with
+        | Blocked (On_wait waited, k) when waited = p.pid -> (th, k) :: acc
+        | _ -> acc)
+      t.threads []
+    |> List.sort (fun (a, _) (b, _) -> compare a.tid b.tid)
+  in
+  match waiters with
+  | [] -> ()
+  | (first, k) :: rest ->
+      first.tstate <- Ready (Resume (k, Sysabi.R_int code));
+      p.pstate <- Reaped;
+      enqueue_ready t first.tid;
+      List.iter
+        (fun (th, k) ->
+          th.tstate <- Ready (Resume (k, Sysabi.R_err Sysabi.E_child));
+          enqueue_ready t th.tid)
+        rest
 
 and kill_process t p code =
   (* Discard every thread of the process; parked continuations are
      abandoned (their stacks are reclaimed by the GC). *)
+  let killed =
+    List.filter
+      (fun tid ->
+        let th = get_thread t tid in
+        let was_live =
+          match th.tstate with
+          | Finished -> false
+          | Ready _ | Blocked _ ->
+              th.tstate <- Finished;
+              true
+        in
+        Futex.remove_thread t.futexes ~tid;
+        Scheduler.remove t.sched tid;
+        was_live)
+      p.tids
+  in
+  (* A killed thread never reaches [finish_thread], so its joiners must
+     be woken here or they stay parked forever — the lost wakeup found by
+     the blocking-syscall audit (a [Kill]/[Exit] landing on a process one
+     of whose threads is being joined from outside).  Same-process
+     joiners were just set [Finished] above and no longer match. *)
   List.iter
     (fun tid ->
-      let th = get_thread t tid in
-      (match th.tstate with
-      | Finished -> ()
-      | Ready _ | Blocked _ -> th.tstate <- Finished);
-      Futex.remove_thread t.futexes ~tid;
-      Scheduler.remove t.sched tid)
-    p.tids;
+      Hashtbl.iter
+        (fun _ other ->
+          match other.tstate with
+          | Blocked (On_join waited, k) when waited = tid ->
+              other.tstate <- Ready (Resume (k, Sysabi.R_unit));
+              enqueue_ready t other.tid
+          | _ -> ())
+        t.threads)
+    killed;
   if p.pstate = Alive then make_zombie t p code
 
 (* ------------------------------------------------------------------ *)
@@ -728,7 +766,7 @@ let connect a b =
   a.peer <- Some b;
   b.peer <- Some a
 
-let run_pair a b =
+let run_pair ?(on_tick = fun () -> ()) a b =
   let idle = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -737,6 +775,11 @@ let run_pair a b =
     if ran_a || ran_b then idle := 0
     else if blocked_count a = 0 && blocked_count b = 0 then continue_ := false
     else begin
+      (* [on_tick] runs before [advance_time] delivers (and, for a NIC
+         with no connected peer, clears) the wire queues — a fault
+         adversary interposing on two unconnected NICs must harvest tx
+         frames here or they are gone. *)
+      on_tick ();
       advance_time a;
       advance_time b;
       ignore (try_unblock a : int);

@@ -81,9 +81,13 @@ val register_entry : t -> (sys -> unit) -> int
 val connect : t -> t -> unit
 (** Wire two kernels' NICs together (a two-machine network). *)
 
-val run_pair : t -> t -> unit
+val run_pair : ?on_tick:(unit -> unit) -> t -> t -> unit
 (** Co-schedule two kernels (alternating quanta, shared virtual time)
-    until both are idle — used for client/server experiments. *)
+    until both are idle — used for client/server experiments.  [on_tick]
+    runs on every idle tick {e before} frames move across the wire, so a
+    fault adversary (e.g. {!Bi_fault.Faulty_link.step_link} over two
+    {e unconnected} NICs) can take tx frames before the delivery pass
+    would discard them. *)
 
 val set_trace : t -> bool -> unit
 (** Record (pid, request, response) for every syscall. *)

@@ -1,0 +1,22 @@
+(** The [nd] verification suite: netd end-to-end.
+
+    Worlds are pairs of kernels (server machine + client machine); netd
+    runs as a spawned server process with its acceptor, reader threads
+    and futex-queue worker pool; clients are kernel threads of a spawned
+    client process driving {!Bi_app.Resilient_client} over kernel TCP.
+    The suite proves end-to-end exactly-once and per-key linearizability
+    (quiet, faulty NIC, netd crash + respawn with the epoch fence),
+    replays the interleaved multi-process syscall traces of those same
+    runs through {!Bi_kernel.Sys_spec}, exhausts schedules of the
+    futex-condvar queue protocol as an {!Bi_core.Explore} model,
+    checks worker no-starvation and multi-worker scaling in virtual
+    time, Checked≡Erased parity, [Sysabi] fuzz totality, and catches
+    three seeded mutations (unchecked futex wait, close-as-signal,
+    dedup bypass). *)
+
+val vcs : unit -> Bi_core.Vc.t list
+
+val bench_scaling : workers:int list -> (int * int * float) list
+(** [bench_scaling ~workers] runs the quiet scaling world once per pool
+    size and reports [(workers, finish_ticks, acks_per_kilotick)] — the
+    bench's netd subject. *)

@@ -1,0 +1,60 @@
+(** netd: the node's network daemon — a kernel process owning the TCP
+    syscall surface, serving the block protocol concurrently.
+
+    Architecture: an acceptor thread polls [tcp_accept] and spawns one
+    reader thread per connection; readers frame bytes into
+    {!Bi_app.Protocol} requests and push them onto a futex-backed
+    bounded {!Req_queue}; a pool of worker threads pops requests, runs
+    {!Bi_app.Node_core.handle} under a single data-path umutex (the
+    Usys store is multi-syscall per operation, so concurrent same-key
+    writes would tear value/crc pairs), and answers on the request's
+    connection.  Simulated service time is slept {e outside} the lock,
+    so worker-scaling is observable in virtual time.
+
+    This replaces {!Bi_app.Storage_node}'s sequential serving loop;
+    persistence still goes through [Storage_node.usys_store].  A
+    [Shutdown] request stops the daemon cleanly: the queue drains, every
+    thread is joined, and the process exits — a respawn gets the next
+    epoch (the crash-fence clients observe via [Ping]). *)
+
+type config = {
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  service_ticks : int;
+      (** Simulated per-request service time, slept outside the store
+          lock — the contention knob of the scaling benchmark. *)
+  accept_poll_ticks : int;
+  mutant_strip_txn : bool;
+      (** Seeded bug: drop txn ids before [Node_core.handle], bypassing
+          the duplicate table (exactly-once must catch this). *)
+  mutant_close_signal : bool;
+      (** Seeded bug: queue close signals instead of broadcasting
+          (no-lost-wakeup must catch this). *)
+}
+
+val default_config : config
+(** Port {!Bi_app.Storage_node.port}, 4 workers, queue capacity 16, no
+    service time, no mutants. *)
+
+type run = {
+  run_epoch : int;
+  run_core : Bi_app.Node_core.t;
+  served : int array;  (** Requests handled, per worker. *)
+  mutable queue_pushed : int;
+  mutable queue_popped : int;
+  mutable queue_high_water : int;
+  mutable finished : bool;  (** Clean shutdown (not a crash). *)
+}
+
+type t
+(** One installation; tracks every run (spawn) of the daemon. *)
+
+val install : ?config:config -> Bi_kernel.Kernel.t -> t
+(** Register the ["netd"] program.  Each [Spawn] of it takes the next
+    epoch from this installation and appends a {!run}. *)
+
+val runs : t -> run list
+(** Oldest first. *)
+
+val latest_run : t -> run option

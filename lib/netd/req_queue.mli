@@ -1,0 +1,36 @@
+(** Bounded MPMC request queue over the verified userspace futex layer.
+
+    The hand-off between netd's acceptor/reader threads and its worker
+    pool: a fixed-capacity ring guarded by one {!Bi_ulib.Umutex} with two
+    {!Bi_ulib.Ucond}s, all bottoming out in the kernel's
+    [Futex_wait]/[Futex_wake] syscalls.  Producers block while the ring
+    is full; consumers block while it is empty; {!close} releases
+    everyone.  The [nd] verify suite discharges no-lost-wakeup for this
+    exact protocol — as an {!Bi_core.Explore} model and live on the
+    kernel — plus ghost-counter invariants under [Checked] mode. *)
+
+type 'a t
+
+val create : ?mutant_close_signal:bool -> Bi_kernel.Usys.t -> capacity:int -> 'a t
+(** [mutant_close_signal] plants the seeded wake(1)-instead-of-broadcast
+    bug in {!close} for the mutation self-check VCs. *)
+
+val push : Bi_kernel.Usys.t -> 'a t -> 'a -> bool
+(** Blocks while full.  [false] iff the queue was closed (item dropped). *)
+
+val pop : Bi_kernel.Usys.t -> 'a t -> 'a option
+(** Blocks while empty.  [None] iff the queue is closed {e and}
+    drained — remaining items are always delivered before [None]. *)
+
+val close : Bi_kernel.Usys.t -> 'a t -> unit
+(** Idempotent.  Wakes every blocked producer and consumer. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val pushed : 'a t -> int
+val popped : 'a t -> int
+
+val high_water : 'a t -> int
+(** Maximum occupancy ever observed (under the lock). *)
+
+val is_closed : 'a t -> bool

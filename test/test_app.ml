@@ -22,7 +22,7 @@ let with_store body =
   let server = K.create ~ip:ip_server () in
   let client = K.create ~ip:ip_client () in
   K.connect server client;
-  Bi_app.Storage_node.install server;
+  ignore (Bi_netd.Netd.install server);
   K.register_program client "cli" (fun s _ ->
       match Client.connect s ~ip:ip_server with
       | Error e -> Alcotest.failf "connect: %a" Client.pp_error e
@@ -30,7 +30,7 @@ let with_store body =
           body s c;
           ignore (Client.shutdown c);
           Client.close c);
-  (match K.spawn server ~prog:"storage_node" ~arg:"" with
+  (match K.spawn server ~prog:"netd" ~arg:"" with
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "server spawn");
   (match K.spawn client ~prog:"cli" ~arg:"" with
@@ -281,7 +281,7 @@ let test_e2e_corruption_detected () =
   let server = K.create ~ip:ip_server () in
   let client = K.create ~ip:ip_client () in
   K.connect server client;
-  Bi_app.Storage_node.install server;
+  ignore (Bi_netd.Netd.install server);
   let outcome = ref "" in
   K.register_program client "cli" (fun s _ ->
       match Client.connect s ~ip:ip_server with
@@ -306,7 +306,7 @@ let test_e2e_corruption_detected () =
           | Error e -> outcome := Format.asprintf "%a" Client.pp_error e);
           ignore (Client.shutdown c);
           Client.close c);
-  ignore (K.spawn server ~prog:"storage_node" ~arg:"");
+  ignore (K.spawn server ~prog:"netd" ~arg:"");
   ignore (K.spawn client ~prog:"cli" ~arg:"");
   K.run_pair server client;
   check Alcotest.string "integrity violation surfaced"
@@ -318,7 +318,7 @@ let test_e2e_sequential_clients () =
   let server = K.create ~ip:ip_server () in
   let client = K.create ~ip:ip_client () in
   K.connect server client;
-  Bi_app.Storage_node.install server;
+  ignore (Bi_netd.Netd.install server);
   let second_saw = ref None in
   K.register_program client "cli" (fun s _ ->
       (match Client.connect s ~ip:ip_server with
@@ -335,7 +335,7 @@ let test_e2e_sequential_clients () =
           ignore (Client.shutdown c2);
           Client.close c2
       | Error _ -> ());
-  ignore (K.spawn server ~prog:"storage_node" ~arg:"");
+  ignore (K.spawn server ~prog:"netd" ~arg:"");
   ignore (K.spawn client ~prog:"cli" ~arg:"");
   K.run_pair server client;
   check (Alcotest.option Alcotest.string) "data visible across connections"

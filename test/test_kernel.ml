@@ -435,6 +435,76 @@ let test_futex_fault_on_unmapped () =
            (Error Sysabi.E_fault)
            (U.futex_wait s ~va:0xDEAD000L ~expected:0L)))
 
+let test_thread_join_finished_and_absent () =
+  ignore
+    (run_one (fun _ s ->
+         let tid = U.thread_create s (fun s2 -> U.yield s2) in
+         U.sleep s 3;
+         (* The thread is long finished: join completes immediately. *)
+         check (Alcotest.result Alcotest.unit err) "join finished thread"
+           (Ok ()) (U.thread_join s tid);
+         check (Alcotest.result Alcotest.unit err) "join unknown tid"
+           (Error Sysabi.E_srch)
+           (U.thread_join s 9_999)))
+
+let test_kill_wakes_cross_process_joiner () =
+  (* Regression (blocking-syscall audit): a thread parked in
+     [thread_join] on a thread of another process must be woken when
+     that process is killed — the killed thread never reaches
+     [finish_thread], so [kill_process] has to wake its joiners itself.
+     Before the fix the joiner stayed parked forever and this test died
+     in [K.run]'s deadlock detector. *)
+  let victim_tid = ref (-1) in
+  let join_result = ref (Error Sysabi.E_inval) in
+  let k = K.create () in
+  K.register_program k "victim" (fun s _ ->
+      victim_tid := U.thread_create s (fun s2 -> U.sleep s2 10_000);
+      U.sleep s 10_000);
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"victim" ~arg:"" with
+      | Error _ -> Alcotest.fail "spawn"
+      | Ok pid ->
+          (* Let the victim run and publish its worker tid. *)
+          U.sleep s 2;
+          let joiner =
+            U.thread_create s (fun s2 ->
+                join_result := U.thread_join s2 !victim_tid)
+          in
+          U.sleep s 5;
+          ignore (U.kill s ~pid ~signal:9);
+          ignore (U.thread_join s joiner);
+          ignore (U.wait s pid));
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  check (Alcotest.result Alcotest.unit err) "joiner woken by kill" (Ok ())
+    !join_result
+
+let test_wait_single_collector () =
+  (* Regression (blocking-syscall audit): with two threads parked in
+     [wait] on the same child, the exit code is delivered to exactly one
+     (lowest tid, deterministically); the other sees [E_child], the same
+     answer a wait issued after the reap would get.  Before the fix both
+     were handed the code — a misdelivered wakeup. *)
+  let r1 = ref (Ok (-1)) in
+  let r2 = ref (Ok (-1)) in
+  let k = K.create () in
+  K.register_program k "child" (fun s _ ->
+      U.sleep s 5;
+      U.exit s 7);
+  K.register_program k "main" (fun s _ ->
+      match U.spawn s ~prog:"child" ~arg:"" with
+      | Error _ -> Alcotest.fail "spawn"
+      | Ok pid ->
+          let w1 = U.thread_create s (fun s2 -> r1 := U.wait s2 pid) in
+          let w2 = U.thread_create s (fun s2 -> r2 := U.wait s2 pid) in
+          ignore (U.thread_join s w1);
+          ignore (U.thread_join s w2));
+  ignore (K.spawn k ~prog:"main" ~arg:"");
+  K.run k;
+  let results = List.sort compare [ !r1; !r2 ] in
+  check Alcotest.bool "one code, one E_child" true
+    (results = List.sort compare [ Ok 7; Error Sysabi.E_child ])
+
 (* ------------------------------------------------------------------ *)
 (* Pipes, mprotect, rename (extensions) *)
 
@@ -886,6 +956,7 @@ let () =
           Alcotest.test_case "kill signal 0 probes" `Quick test_kill_signal_zero_probes;
           Alcotest.test_case "spawn unknown" `Quick test_spawn_unknown_program;
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "wait: single collector" `Quick test_wait_single_collector;
         ] );
       ( "fd",
         [
@@ -908,6 +979,10 @@ let () =
           Alcotest.test_case "futex value mismatch" `Quick test_futex_wait_value_mismatch;
           Alcotest.test_case "futex wake count" `Quick test_futex_wake_count;
           Alcotest.test_case "futex fault" `Quick test_futex_fault_on_unmapped;
+          Alcotest.test_case "join finished/absent" `Quick
+            test_thread_join_finished_and_absent;
+          Alcotest.test_case "kill wakes cross-process joiner" `Quick
+            test_kill_wakes_cross_process_joiner;
         ] );
       ( "extensions",
         [
