@@ -3,7 +3,7 @@
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all build test verify fmt-check bench bench-json bench-hp bench-wl bench-nd discharge mc fi rs sh hp wl nd clean
+.PHONY: all build test verify fmt-check bench bench-json bench-hp bench-wl bench-nd bench-cr discharge mc fi rs sh hp wl nd cr clean
 
 all: build
 
@@ -61,6 +61,11 @@ wl:
 nd:
 	dune exec bin/verify.exe -- nd
 
+# The crash-recovery suite alone (journaled commit, crash exploration of
+# commit and recovery, exactly-once across restarts).
+cr:
+	dune exec bin/verify.exe -- cr
+
 bench:
 	dune exec bench/main.exe
 
@@ -68,6 +73,7 @@ bench-json:
 	dune exec bench/main.exe -- all --json BENCH_pr2.json
 	dune exec bench/main.exe -- wl --json BENCH_pr8.json
 	dune exec bench/main.exe -- netd --json BENCH_pr9.json
+	dune exec bench/main.exe -- recovery --json BENCH_pr10.json
 
 # Hot-path numbers (plus the end-to-end shard throughput they must not
 # regress), as committed in BENCH_pr7.json.
@@ -83,6 +89,11 @@ bench-wl:
 # BENCH_pr9.json.
 bench-nd:
 	dune exec bench/main.exe -- netd --json BENCH_pr9.json
+
+# Journal overhead + recovery time vs journal length, as committed in
+# BENCH_pr10.json.
+bench-cr:
+	dune exec bench/main.exe -- recovery --json BENCH_pr10.json
 
 discharge:
 	dune exec bench/main.exe -- discharge

@@ -43,6 +43,9 @@ let suites : (string * string * (unit -> Bi_core.Vc.t list)) list =
     ( "nd",
       "netd: concurrent daemon, e2e exactly-once/lin via syscall traces",
       Bi_netd.Nd_check.vcs );
+    ( "cr",
+      "crash recovery: journaled commit + recover at every crash point",
+      Bi_app.Cr_check.vcs );
   ]
 
 (* Every suite's VC count is pinned: the paper's headline pt suite must
@@ -60,11 +63,12 @@ let expected_count = function
   | "abi" -> Some 5
   | "mc" -> Some 39
   | "fi" -> Some 52
-  | "rs" -> Some 57
+  | "rs" -> Some 59
   | "sh" -> Some 41
   | "hp" -> Some 45
   | "wl" -> Some 54
-  | "nd" -> Some 43
+  | "nd" -> Some 44
+  | "cr" -> Some 30
   | _ -> None
 
 let run_suite ~jobs ?timeout_s verbose (name, descr, vcs) =

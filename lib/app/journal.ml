@@ -1,0 +1,366 @@
+(* Per-node redo journal: the durable half of the exactly-once machinery.
+
+   The backing store is already durable (each save/remove lands in the
+   WAL-backed filesystem), but everything that makes the store *safe to
+   serve* — the duplicate table, shard ownership, the degraded latch —
+   dies with the process.  The journal commits each mutation's store
+   write and its dup-table entry as one atomic record: append-then-apply,
+   so the record *is* the commit point, and recovery replays the log to
+   rebuild the in-memory state and redo any store write the crash cut
+   off between append and apply.
+
+   Record framing is [varint body-length | u32 CRC-32 | body]; each body
+   is a tag byte plus a Serde-encoded payload.  Decoding is total and
+   prefix-tolerant at the *stream* level (a torn tail is reported, not
+   fatal) and strict at the *record* level (a truncated or trailing-byte
+   body is rejected), so a crash mid-append can only ever cost the
+   record being appended — which was by definition not yet acknowledged.
+
+   Sinks abstract where the bytes live: an in-memory buffer for the
+   simulated rs worlds, a file on a directly mounted [Bi_fs.Fs] for the
+   crash-exploration suite, and (in {!Storage_node}) the kernel syscall
+   surface for netd.  [replace] — used by checkpoints — must be atomic
+   under crash; the file sinks get that from a two-file dance whose
+   every step is a filesystem transaction:
+
+     1. write + sync the snapshot to [path.new]   (journal = path)
+     2. unlink [path]                             (journal = path.new,
+                                                   complete by step 1)
+     3. rename [path.new] -> [path]               (journal = path)
+
+   [read] settles an interrupted dance: if [path] exists, any [path.new]
+   is leftover garbage (crash before step 2) and is discarded; if only
+   [path.new] exists the dance passed its point of no return (the
+   snapshot was fully written and synced before the unlink) and the
+   rename is completed. *)
+
+module P = Protocol
+module S = Bi_ulib.Serde
+module FP = Bi_fault.Fault_plan
+module Fs = Bi_fs.Fs
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+
+type snapshot = {
+  s_dups : (int * (int * int * bool) list) list;
+      (** [(client, [(seq, shard, done)])], clients sorted ascending,
+          entries newest-first — the whole duplicate table. *)
+  s_sharding : (int * int * int list * int list) option;
+      (** [(nshards, map_version, owned, frozen)]. *)
+  s_degraded : bool;
+}
+
+type record =
+  | Mut of {
+      txn : P.txn option;
+      shard : int;
+      key : string;
+      put : (string * int32) option;  (** [Some (value, crc)]; [None] = delete *)
+      done_ : bool;  (** the decided response: [Done] or [Missing] *)
+    }
+  | Cancel of { degraded : bool }
+      (** The preceding [Mut]'s store apply failed: its effects are void
+          (no dup entry, no redo) and the node latched degraded if the
+          failure was an I/O error. *)
+  | Snapshot of snapshot
+      (** Checkpoint: everything before this record is materialized in
+          the store; replay restarts from here. *)
+  | Enable of { nshards : int; version : int; owned : int list }
+  | Adopt of int
+  | Release of int
+  | Freeze of int
+  | Unfreeze of int
+  | Map_version of int
+  | Import of { shard : int; entries : (P.txn * bool) list }
+
+(* ------------------------------------------------------------------ *)
+(* Serde                                                               *)
+
+let txn_c : P.txn option S.t =
+  S.map
+    (Option.map (fun (client, seq) -> { P.client; seq }))
+    (Option.map (fun { P.client; seq } -> (client, seq)))
+    S.(option (pair varint varint))
+
+let mut_c = S.(pair txn_c (pair varint (pair string (pair (option (pair string u32)) bool))))
+let snap_c =
+  S.(
+    pair
+      (list (pair varint (list (triple varint varint bool))))
+      (pair (option (pair (pair varint varint) (pair (list varint) (list varint)))) bool))
+let enable_c = S.(triple varint varint (list varint))
+let import_c = S.(pair varint (list (pair (pair varint varint) bool)))
+
+let tag = function
+  | Mut _ -> 0
+  | Cancel _ -> 1
+  | Snapshot _ -> 2
+  | Enable _ -> 3
+  | Adopt _ -> 4
+  | Release _ -> 5
+  | Freeze _ -> 6
+  | Unfreeze _ -> 7
+  | Map_version _ -> 8
+  | Import _ -> 9
+
+let encode_record r =
+  let body =
+    match r with
+    | Mut { txn; shard; key; put; done_ } ->
+        S.encode mut_c (txn, (shard, (key, (put, done_))))
+    | Cancel { degraded } -> S.encode S.bool degraded
+    | Snapshot { s_dups; s_sharding; s_degraded } ->
+        S.encode snap_c
+          ( s_dups,
+            ( Option.map (fun (n, v, o, f) -> ((n, v), (o, f))) s_sharding,
+              s_degraded ) )
+    | Enable { nshards; version; owned } ->
+        S.encode enable_c (nshards, version, owned)
+    | Adopt s | Release s | Freeze s | Unfreeze s | Map_version s ->
+        S.encode S.varint s
+    | Import { shard; entries } ->
+        S.encode import_c
+          ( shard,
+            List.map (fun ({ P.client; seq }, d) -> ((client, seq), d)) entries
+          )
+  in
+  Bytes.cat (S.encode S.u8 (tag r)) body
+
+let decode_record buf =
+  match S.decode_prefix S.u8 buf ~off:0 with
+  | None -> None
+  | Some (tag, off) -> (
+      let body = Bytes.sub buf off (Bytes.length buf - off) in
+      match tag with
+      | 0 ->
+          Option.map
+            (fun (txn, (shard, (key, (put, done_)))) ->
+              Mut { txn; shard; key; put; done_ })
+            (S.decode mut_c body)
+      | 1 -> Option.map (fun degraded -> Cancel { degraded }) (S.decode S.bool body)
+      | 2 ->
+          Option.map
+            (fun (s_dups, (sharding, s_degraded)) ->
+              Snapshot
+                {
+                  s_dups;
+                  s_sharding =
+                    Option.map (fun ((n, v), (o, f)) -> (n, v, o, f)) sharding;
+                  s_degraded;
+                })
+            (S.decode snap_c body)
+      | 3 ->
+          Option.map
+            (fun (nshards, version, owned) -> Enable { nshards; version; owned })
+            (S.decode enable_c body)
+      | 4 -> Option.map (fun s -> Adopt s) (S.decode S.varint body)
+      | 5 -> Option.map (fun s -> Release s) (S.decode S.varint body)
+      | 6 -> Option.map (fun s -> Freeze s) (S.decode S.varint body)
+      | 7 -> Option.map (fun s -> Unfreeze s) (S.decode S.varint body)
+      | 8 -> Option.map (fun s -> Map_version s) (S.decode S.varint body)
+      | 9 ->
+          Option.map
+            (fun (shard, entries) ->
+              Import
+                {
+                  shard;
+                  entries =
+                    List.map
+                      (fun ((client, seq), d) -> ({ P.client; seq }, d))
+                      entries;
+                })
+            (S.decode import_c body)
+      | _ -> None)
+
+let frame_record r =
+  let body = encode_record r in
+  let b = Buffer.create (Bytes.length body + 8) in
+  Buffer.add_bytes b (S.encode S.varint (Bytes.length body));
+  Buffer.add_bytes b (S.encode S.u32 (P.crc32 (Bytes.to_string body)));
+  Buffer.add_bytes b body;
+  Buffer.to_bytes b
+
+(* Total: whatever the bytes, the answer is the longest decodable record
+   prefix plus a torn-tail flag.  A bad length, a short body, a CRC
+   mismatch, or an undecodable body all stop the scan — everything after
+   the first damage is discarded, which is exactly the prefix-crash
+   semantics the append path is designed around. *)
+let decode_stream buf =
+  let len = Bytes.length buf in
+  let rec go off acc =
+    if off >= len then (List.rev acc, false)
+    else
+      match S.decode_prefix S.varint buf ~off with
+      | None -> (List.rev acc, true)
+      | Some (blen, off) -> (
+          match S.decode_prefix S.u32 buf ~off with
+          | None -> (List.rev acc, true)
+          | Some (crc, off) ->
+              if blen < 0 || off + blen > len then (List.rev acc, true)
+              else
+                let body = Bytes.sub buf off blen in
+                if P.crc32 (Bytes.to_string body) <> crc then
+                  (List.rev acc, true)
+                else
+                  match decode_record body with
+                  | None -> (List.rev acc, true)
+                  | Some r -> go (off + blen) (r :: acc))
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+type sink = {
+  sink_read : unit -> (bytes, P.err) result;
+  sink_append : bytes -> (unit, P.err) result;
+  sink_replace : bytes -> (unit, P.err) result;
+}
+
+(* Fault-site contract: with [faults], exactly one decision is consumed
+   per sink operation (read, append, or replace), in call order; any
+   non-[Pass] decision fails that operation with [Err (Io _)]. *)
+let mem_sink ?faults () =
+  let buf = ref Bytes.empty in
+  let fail () =
+    match faults with
+    | None -> false
+    | Some plan -> FP.next plan <> FP.Pass
+  in
+  let sink =
+    {
+      sink_read =
+        (fun () ->
+          if fail () then Error (P.Io "injected journal read failure")
+          else Ok !buf);
+      sink_append =
+        (fun b ->
+          if fail () then Error (P.Io "injected journal append failure")
+          else begin
+            buf := Bytes.cat !buf b;
+            Ok ()
+          end);
+      sink_replace =
+        (fun b ->
+          if fail () then Error (P.Io "injected journal replace failure")
+          else begin
+            buf := b;
+            Ok ()
+          end);
+    }
+  in
+  (sink, buf)
+
+let fs_sink fs ~path =
+  let tmp = path ^ ".new" in
+  let io e = P.Io (Format.asprintf "journal: %a" Fs.pp_error e) in
+  let exists p =
+    match Fs.resolve fs p with Ok _ -> true | Error _ -> false
+  in
+  let read_file p =
+    match Fs.resolve fs p with
+    | Error Fs.Not_found -> Ok Bytes.empty
+    | Error e -> Error (io e)
+    | Ok ino -> (
+        match Fs.stat_ino fs ino with
+        | Error e -> Error (io e)
+        | Ok { Fs.size; _ } -> (
+            match Fs.read_ino fs ~ino ~off:0 ~len:size with
+            | Ok b -> Ok b
+            | Error e -> Error (io e)))
+  in
+  (* Settle an interrupted replace; see the module comment. *)
+  let settle () =
+    if exists path then begin
+      if exists tmp then ignore (Fs.unlink fs tmp)
+    end
+    else if exists tmp then ignore (Fs.rename fs ~src:tmp ~dst:path)
+  in
+  let ensure p =
+    match Fs.resolve fs p with
+    | Ok ino -> Ok ino
+    | Error Fs.Not_found -> (
+        match Fs.create fs p with
+        | Ok () -> Result.map_error io (Fs.resolve fs p)
+        | Error e -> Error (io e))
+    | Error e -> Error (io e)
+  in
+  {
+    sink_read = (fun () -> settle (); read_file path);
+    sink_append =
+      (fun b ->
+        settle ();
+        match ensure path with
+        | Error _ as e -> e
+        | Ok ino -> (
+            match Fs.stat_ino fs ino with
+            | Error e -> Error (io e)
+            | Ok { Fs.size; _ } -> (
+                match Fs.write_ino fs ~ino ~off:size b with
+                | Error e -> Error (io e)
+                | Ok () ->
+                    Fs.fsync fs;
+                    Ok ())));
+    sink_replace =
+      (fun b ->
+        settle ();
+        match ensure tmp with
+        | Error _ as e -> e
+        | Ok ino -> (
+            match Fs.truncate_ino fs ~ino 0 with
+            | Error e -> Error (io e)
+            | Ok () -> (
+                match Fs.write_ino fs ~ino ~off:0 b with
+                | Error e -> Error (io e)
+                | Ok () -> (
+                    Fs.fsync fs;
+                    (match Fs.unlink fs path with
+                    | Ok () | Error Fs.Not_found -> ()
+                    | Error _ -> ());
+                    match Fs.rename fs ~src:tmp ~dst:path with
+                    | Error e -> Error (io e)
+                    | Ok () ->
+                        Fs.fsync fs;
+                        Ok ()))));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The journal handle                                                  *)
+
+type t = {
+  sink : sink;
+  mutable size : int;  (** bytes, as of the last load/append/replace *)
+  mutable appends : int;
+  mutable replaces : int;
+}
+
+let create sink = { sink; size = 0; appends = 0; replaces = 0 }
+let size t = t.size
+let appends t = t.appends
+let replaces t = t.replaces
+
+let append t r =
+  let b = frame_record r in
+  match t.sink.sink_append b with
+  | Ok () ->
+      t.size <- t.size + Bytes.length b;
+      t.appends <- t.appends + 1;
+      Ok ()
+  | Error _ as e -> e
+
+let load t =
+  match t.sink.sink_read () with
+  | Error _ as e -> e
+  | Ok b ->
+      t.size <- Bytes.length b;
+      Ok (decode_stream b)
+
+let replace_with t rs =
+  let b = Bytes.concat Bytes.empty (List.map frame_record rs) in
+  match t.sink.sink_replace b with
+  | Ok () ->
+      t.size <- Bytes.length b;
+      t.replaces <- t.replaces + 1;
+      Ok ()
+  | Error _ as e -> e

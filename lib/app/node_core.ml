@@ -40,9 +40,23 @@ type t = {
   mutable shutdown : bool;
   mutable applied : int;
   mutable dup_hits : int;
+  (* Crash durability: with a journal, every mutation is appended as one
+     Journal.Mut record *before* the store apply (the append is the
+     commit point), and control-plane transitions are appended after
+     they succeed; [recover] replays the log on restart. *)
+  journal : Journal.t option;
+  journal_checkpoint : int; (* auto-checkpoint size threshold, bytes *)
+  mutant_journal_after_apply : bool;
+      (* seeded ordering bug for the cr mutation self-check: store write
+         first, journal append second — a crash between the two loses
+         the dup entry for an applied mutation *)
+  mutable recovering : bool; (* replay must not re-journal its own ops *)
+  mutable checkpoints : int;
 }
 
-let create ?pool ?(dup_capacity = 8) ?(epoch = 0) store =
+let create ?pool ?(dup_capacity = 8) ?(epoch = 0) ?journal
+    ?(journal_checkpoint = 32 * 1024) ?(mutant_journal_after_apply = false)
+    store =
   {
     store;
     pool;
@@ -55,6 +69,11 @@ let create ?pool ?(dup_capacity = 8) ?(epoch = 0) store =
     shutdown = false;
     applied = 0;
     dup_hits = 0;
+    journal;
+    journal_checkpoint;
+    mutant_journal_after_apply;
+    recovering = false;
+    checkpoints = 0;
   }
 
 let wants_shutdown t = t.shutdown
@@ -62,6 +81,19 @@ let degraded t = t.degraded
 let epoch t = t.epoch
 let applied t = t.applied
 let dup_hits t = t.dup_hits
+let checkpoints t = t.checkpoints
+
+(* Best-effort control-plane journaling: replay must not re-append its
+   own records, and an append failure latches degraded — the node can no
+   longer promise its recovered self would agree with its live self. *)
+let jrecord t r =
+  if not t.recovering then
+    match t.journal with
+    | None -> ()
+    | Some j -> (
+        match Journal.append j r with
+        | Ok () -> ()
+        | Error _ -> t.degraded <- true)
 
 (* ------------------------------------------------------------------ *)
 (* Sharding control plane                                              *)
@@ -82,7 +114,8 @@ let enable_sharding t ~nshards ~version ~owned =
         invalid_arg "Node_core.enable_sharding: shard out of range";
       sh.owned.(s) <- true)
     owned;
-  t.sharding <- Some sh
+  t.sharding <- Some sh;
+  jrecord t (Journal.Enable { nshards; version; owned })
 
 let shard_state t =
   match t.sharding with
@@ -100,10 +133,16 @@ let with_sharding t f =
   | Some sh -> f sh
 
 let set_map_version t version =
-  with_sharding t (fun sh -> sh.map_version <- version)
+  with_sharding t (fun sh -> sh.map_version <- version);
+  jrecord t (Journal.Map_version version)
 
-let freeze t ~shard = with_sharding t (fun sh -> sh.frozen.(shard) <- true)
-let unfreeze t ~shard = with_sharding t (fun sh -> sh.frozen.(shard) <- false)
+let freeze t ~shard =
+  with_sharding t (fun sh -> sh.frozen.(shard) <- true);
+  jrecord t (Journal.Freeze shard)
+
+let unfreeze t ~shard =
+  with_sharding t (fun sh -> sh.frozen.(shard) <- false);
+  jrecord t (Journal.Unfreeze shard)
 
 (* Which shard a key belongs to on this node: the map's hash when
    sharded, a single catch-all shard 0 otherwise (so the dup table is
@@ -143,6 +182,7 @@ let adopt t ~shard =
       | Ok () ->
           sh.owned.(shard) <- true;
           sh.frozen.(shard) <- false;
+          jrecord t (Journal.Adopt shard);
           Ok ())
 
 (* [Ok shard] when this node may perform the request on [key];
@@ -192,6 +232,13 @@ let dup_record t txn ~shard resp =
       Hashtbl.replace t.dups client entries;
       touch t client
 
+(* Deterministic order for anything that leaves the table: [Hashtbl.fold]
+   order depends on hashing internals, so every export is sorted by
+   (client id, seq) explicitly — migration hand-offs, checkpoint
+   snapshots, and the world-determinism VCs all rely on it. *)
+let compare_txn { P.client = c1; seq = s1 } { P.client = c2; seq = s2 } =
+  match Int.compare c1 c2 with 0 -> Int.compare s1 s2 | c -> c
+
 let export_dups t ~shard =
   Hashtbl.fold
     (fun client entries acc ->
@@ -200,7 +247,19 @@ let export_dups t ~shard =
           if s = shard then ({ P.client; seq }, resp) :: acc else acc)
         acc entries)
     t.dups []
-  |> List.sort compare
+  |> List.sort (fun (t1, _) (t2, _) -> compare_txn t1 t2)
+
+(* The whole table, every shard, in the same deterministic order — the
+   observation the recovery and determinism VCs compare across a
+   restart. *)
+let dump_dups t =
+  Hashtbl.fold
+    (fun client entries acc ->
+      List.fold_left
+        (fun acc (seq, entry) -> ({ P.client; seq }, entry) :: acc)
+        acc entries)
+    t.dups []
+  |> List.sort (fun (t1, _) (t2, _) -> compare_txn t1 t2)
 
 (* Merge the carried entries with the target's own table, per client,
    keeping the [dup_capacity] highest seqs.  Per-client seqs are
@@ -209,6 +268,12 @@ let export_dups t ~shard =
    would give them unconditional recency priority and could evict the
    target's freshest entries for its other shards. *)
 let import_dups t ~shard entries =
+  jrecord t
+    (Journal.Import
+       {
+         shard;
+         entries = List.map (fun (txn, resp) -> (txn, resp = P.Done)) entries;
+       });
   List.iter
     (fun ({ P.client; seq }, resp) ->
       let existing =
@@ -240,11 +305,167 @@ let release t ~shard =
   with_sharding t (fun sh ->
       sh.owned.(shard) <- false;
       sh.frozen.(shard) <- false);
+  jrecord t (Journal.Release shard);
   prune_dups t ~shard;
   sweep_shard t ~shard
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
+
+(* A mutation, decided before anything durable happens: a put always
+   answers [Done]; a delete answers [Done] or [Missing] depending on
+   presence. *)
+type mutation = M_put of stored | M_del
+
+(* The unjournaled path, byte-for-byte the pre-journal behaviour
+   (including the fault-site ordering of [mem_store ~write_faults]):
+   apply directly, latch degraded on I/O failure, record the outcome. *)
+let direct_apply t txn ~shard key m =
+  let resp =
+    match m with
+    | M_put stored -> (
+        match t.store.save key stored with
+        | Ok () ->
+            t.applied <- t.applied + 1;
+            P.Done
+        | Error e -> P.Err e)
+    | M_del -> (
+        match t.store.remove key with
+        | Ok true ->
+            t.applied <- t.applied + 1;
+            P.Done
+        | Ok false -> P.Missing
+        | Error e -> P.Err e)
+  in
+  (match resp with P.Err (P.Io _) -> t.degraded <- true | _ -> ());
+  (match resp with
+  | P.Done | P.Missing -> dup_record t txn ~shard resp
+  | _ -> ());
+  resp
+
+(* Snapshot of the whole duplicate table in journal form, deterministic
+   order (see {!dump_dups}). *)
+let snapshot_dups t =
+  Hashtbl.fold (fun client entries acc -> (client, entries) :: acc) t.dups []
+  |> List.sort (fun ((c1 : int), _) ((c2 : int), _) -> Int.compare c1 c2)
+  |> List.map (fun (client, entries) ->
+         ( client,
+           List.map (fun (seq, (shard, resp)) -> (seq, shard, resp = P.Done))
+             entries ))
+
+let shard_lists sh =
+  let list_of mask =
+    Array.to_list (Array.mapi (fun s b -> (s, b)) mask)
+    |> List.filter_map (fun (s, b) -> if b then Some s else None)
+  in
+  (sh.nshards, sh.map_version, list_of sh.owned, list_of sh.frozen)
+
+(* Checkpoint: atomically replace the whole journal with one [Snapshot]
+   record.  Only called from quiescent points (after a completed commit,
+   or explicitly), where the store is fully materialized — which is what
+   makes "replay restarts at the snapshot" sound. *)
+let checkpoint t =
+  match t.journal with
+  | None -> Ok ()
+  | Some j -> (
+      let snap =
+        Journal.Snapshot
+          {
+            s_dups = snapshot_dups t;
+            s_sharding = Option.map shard_lists t.sharding;
+            s_degraded = t.degraded;
+          }
+      in
+      match Journal.replace_with j [ snap ] with
+      | Ok () ->
+          t.checkpoints <- t.checkpoints + 1;
+          Ok ()
+      | Error _ as e -> e)
+
+(* A failed auto-checkpoint is not a failed commit: the replace dance is
+   crash-atomic, so the previous journal is intact and replay still
+   reconstructs the node — the journal just keeps growing until an
+   append itself fails (which does refuse the mutation and latch
+   degraded). *)
+let maybe_checkpoint t j =
+  if Journal.size j >= t.journal_checkpoint then ignore (checkpoint t)
+
+(* The journaled commit protocol.  Order matters and is the protocol:
+
+     decide resp -> append Mut record (COMMIT) -> apply store write
+                 -> dup entry + counters
+
+   A crash before the append loses nothing (the mutation was never
+   acknowledged); a crash after it is recovered by replay, which redoes
+   the store write and restores the dup entry together — the "one atomic
+   record" the tentpole asks for.  If the apply fails after the append,
+   a [Cancel] record voids the Mut (the client got an error, so a retry
+   must re-evaluate, not be answered [Done]). *)
+let journaled_commit t j txn ~shard key m =
+  let decided =
+    match m with
+    | M_put _ -> Ok P.Done
+    | M_del -> (
+        match t.store.load key with
+        | Ok (Some _) -> Ok P.Done
+        | Ok None -> Ok P.Missing
+        | Error e -> Error e)
+  in
+  match decided with
+  | Error e -> P.Err e (* read failure: nothing appended, nothing applied *)
+  | Ok resp ->
+      let record =
+        Journal.Mut
+          {
+            txn;
+            shard;
+            key;
+            put = (match m with M_put { value; crc } -> Some (value, crc) | M_del -> None);
+            done_ = (resp = P.Done);
+          }
+      in
+      let apply () =
+        match (m, resp) with
+        | M_put stored, _ -> t.store.save key stored
+        | M_del, P.Done -> (
+            match t.store.remove key with Ok _ -> Ok () | Error e -> Error e)
+        | M_del, _ -> Ok () (* Missing: journal-only, no store effect *)
+      in
+      let fail e =
+        (match e with P.Io _ -> t.degraded <- true | _ -> ());
+        P.Err e
+      in
+      let finish () =
+        (match resp with P.Done -> t.applied <- t.applied + 1 | _ -> ());
+        dup_record t txn ~shard resp;
+        maybe_checkpoint t j;
+        resp
+      in
+      if t.mutant_journal_after_apply then
+        (* Seeded ordering bug: the store mutates before the commit
+           record exists, so a crash between the two acknowledges (or
+           applies) a mutation recovery knows nothing about.  The cr
+           mutation self-check proves Crash_explore catches this. *)
+        match apply () with
+        | Error e -> fail e
+        | Ok () ->
+            (match Journal.append j record with Ok () | Error _ -> ());
+            finish ()
+      else
+        match Journal.append j record with
+        | Error e -> fail e
+        | Ok () -> (
+            match apply () with
+            | Ok () -> finish ()
+            | Error e ->
+                ignore
+                  (Journal.append j
+                     (Journal.Cancel
+                        {
+                          degraded =
+                            (match e with P.Io _ -> true | _ -> false);
+                        }));
+                fail e)
 
 (* The dedup check runs before everything else: a retry of a mutation
    acknowledged just before the node degraded (or froze the shard for
@@ -252,7 +473,7 @@ let release t ~shard =
    refused.  Only side-effecting outcomes ([Done]/[Missing]) enter the
    table — caching a failure would answer a future retry with an error
    for a mutation that never happened, instead of re-evaluating it. *)
-let mutate t txn key compute =
+let mutate t txn key m =
   match dup_lookup t txn with
   | Some resp ->
       t.dup_hits <- t.dup_hits + 1;
@@ -262,16 +483,10 @@ let mutate t txn key compute =
       | Error e -> P.Err e
       | Ok shard ->
           if t.degraded then P.Err P.Read_only
-          else begin
-            let resp = compute () in
-            (match resp with
-            | P.Err (P.Io _) -> t.degraded <- true
-            | _ -> ());
-            (match resp with
-            | P.Done | P.Missing -> dup_record t txn ~shard resp
-            | _ -> ());
-            resp
-          end)
+          else
+            match t.journal with
+            | None -> direct_apply t txn ~shard key m
+            | Some j -> journaled_commit t j txn ~shard key m)
 
 let handle t req =
   match req with
@@ -279,13 +494,7 @@ let handle t req =
       if not (P.valid_key key) then P.Err P.Bad_key
       else if String.length value > P.max_value_size then P.Err P.Too_large
       else if P.crc32 value <> crc then P.Err P.Bad_crc
-      else
-        mutate t txn key (fun () ->
-            match t.store.save key { value; crc } with
-            | Ok () ->
-                t.applied <- t.applied + 1;
-                P.Done
-            | Error e -> P.Err e)
+      else mutate t txn key (M_put { value; crc })
   | P.Get key -> (
       if not (P.valid_key key) then P.Err P.Bad_key
       else
@@ -300,14 +509,7 @@ let handle t req =
             | Error e -> P.Err e))
   | P.Delete { key; txn } ->
       if not (P.valid_key key) then P.Err P.Bad_key
-      else
-        mutate t txn key (fun () ->
-            match t.store.remove key with
-            | Ok true ->
-                t.applied <- t.applied + 1;
-                P.Done
-            | Ok false -> P.Missing
-            | Error e -> P.Err e)
+      else mutate t txn key M_del
   | P.List -> (
       match t.store.keys () with
       | Ok ks ->
@@ -364,6 +566,196 @@ let handle_frame t frame =
           let resp_buf = scratch (Bi_net.Pkt.Iov.length iov) in
           Fun.protect ~finally:(fun () -> release resp_buf) @@ fun () ->
           Some (Bi_net.Pkt.Iov.materialize iov))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+type recovery = {
+  r_records : int;  (** journal records decoded *)
+  r_snapshot : bool;  (** replay resumed from a checkpoint snapshot *)
+  r_redone : int;  (** store writes re-applied *)
+  r_skipped : int;  (** records whose store state already matched *)
+  r_dup_entries : int;  (** duplicate-table entries restored *)
+  r_cancelled : int;  (** committed-then-cancelled mutations skipped *)
+  r_store_failures : int;  (** redo writes the store refused (degraded) *)
+  r_torn_tail : bool;  (** a damaged journal tail was discarded *)
+  r_journal_error : bool;  (** the journal itself was unreadable *)
+}
+
+let no_recovery =
+  {
+    r_records = 0;
+    r_snapshot = false;
+    r_redone = 0;
+    r_skipped = 0;
+    r_dup_entries = 0;
+    r_cancelled = 0;
+    r_store_failures = 0;
+    r_torn_tail = false;
+    r_journal_error = false;
+  }
+
+(* Rebuild the node from its journal: dup table, shard ownership,
+   degraded latch, and any store write a crash cut off between the
+   commit append and the apply.  Total by design — the two failure modes
+   keep the node alive but degraded instead of refusing to start:
+
+   - an unreadable journal latches degraded immediately (with no dup
+     table, serving mutations could double-apply a retried op; reads of
+     the durable store are still safe);
+   - a redo the backing store refuses latches degraded and keeps the dup
+     entry — the commit record exists, so the mutation *was*
+     acknowledged, and a retry must be answered from the table rather
+     than re-evaluated against a store that just failed a write.
+
+   Replay is idempotent: redo writes are skipped when the store already
+   matches the record, so recovering an already-recovered node changes
+   nothing (the cr suite checks this at every crash point, including
+   crashes during recovery itself). *)
+let recover t =
+  match t.journal with
+  | None -> no_recovery
+  | Some j -> (
+      t.recovering <- true;
+      Fun.protect ~finally:(fun () -> t.recovering <- false) @@ fun () ->
+      match Journal.load j with
+      | Error _ ->
+          t.degraded <- true;
+          { no_recovery with r_journal_error = true }
+      | Ok (records, torn) ->
+          let arr = Array.of_list records in
+          let n = Array.length arr in
+          let start = ref 0 in
+          Array.iteri
+            (fun i r -> match r with Journal.Snapshot _ -> start := i | _ -> ())
+            arr;
+          let stats =
+            ref
+              {
+                no_recovery with
+                r_records = n;
+                r_torn_tail = torn;
+                r_snapshot =
+                  (n > 0
+                  && match arr.(!start) with
+                     | Journal.Snapshot _ -> true
+                     | _ -> false);
+              }
+          in
+          let bump f = stats := f !stats in
+          let record_dup txn ~shard done_ =
+            match txn with
+            | None -> ()
+            | Some _ ->
+                dup_record t txn ~shard (if done_ then P.Done else P.Missing);
+                bump (fun s -> { s with r_dup_entries = s.r_dup_entries + 1 })
+          in
+          let redo_put key (value, crc) =
+            let desired = { value; crc } in
+            match t.store.load key with
+            | Ok (Some cur) when cur = desired ->
+                bump (fun s -> { s with r_skipped = s.r_skipped + 1 })
+            | _ -> (
+                (* absent, stale, or unreadable (e.g. a torn save left
+                   the value without its crc sidecar): rewrite *)
+                match t.store.save key desired with
+                | Ok () -> bump (fun s -> { s with r_redone = s.r_redone + 1 })
+                | Error _ ->
+                    t.degraded <- true;
+                    bump (fun s ->
+                        { s with r_store_failures = s.r_store_failures + 1 }))
+          in
+          let redo_del key ~done_ =
+            if not done_ then
+              bump (fun s -> { s with r_skipped = s.r_skipped + 1 })
+            else
+              match t.store.load key with
+              | Ok None -> bump (fun s -> { s with r_skipped = s.r_skipped + 1 })
+              | _ -> (
+                  match t.store.remove key with
+                  | Ok _ -> bump (fun s -> { s with r_redone = s.r_redone + 1 })
+                  | Error _ ->
+                      t.degraded <- true;
+                      bump (fun s ->
+                          { s with r_store_failures = s.r_store_failures + 1 }))
+          in
+          let install_snapshot { Journal.s_dups; s_sharding; s_degraded } =
+            Hashtbl.reset t.dups;
+            t.recency <- [];
+            List.iter
+              (fun (client, entries) ->
+                Hashtbl.replace t.dups client
+                  (List.map
+                     (fun (seq, shard, done_) ->
+                       (seq, (shard, if done_ then P.Done else P.Missing)))
+                     entries);
+                t.recency <- client :: t.recency)
+              s_dups;
+            (match s_sharding with
+            | None -> t.sharding <- None
+            | Some (nshards, version, owned, frozen) ->
+                enable_sharding t ~nshards ~version ~owned;
+                List.iter (fun s -> freeze t ~shard:s) frozen);
+            t.degraded <- s_degraded
+          in
+          let replay_ctl = function
+            | Journal.Enable { nshards; version; owned } ->
+                enable_sharding t ~nshards ~version ~owned
+            | Journal.Adopt shard ->
+                (* The live adopt already succeeded (only successes are
+                   journaled), so replay must not let a failed reconcile
+                   sweep refuse the ownership it is reconstructing. *)
+                with_sharding t (fun sh ->
+                    (match sweep_shard t ~shard with
+                    | Ok () -> ()
+                    | Error _ -> t.degraded <- true);
+                    sh.owned.(shard) <- true;
+                    sh.frozen.(shard) <- false)
+            | Journal.Release shard ->
+                with_sharding t (fun sh ->
+                    sh.owned.(shard) <- false;
+                    sh.frozen.(shard) <- false);
+                prune_dups t ~shard;
+                (match sweep_shard t ~shard with
+                | Ok () -> ()
+                | Error _ -> t.degraded <- true)
+            | Journal.Freeze shard -> freeze t ~shard
+            | Journal.Unfreeze shard -> unfreeze t ~shard
+            | Journal.Map_version v -> set_map_version t v
+            | Journal.Mut _ | Journal.Cancel _ | Journal.Snapshot _
+            | Journal.Import _ ->
+                ()
+          in
+          for i = !start to n - 1 do
+            match arr.(i) with
+            | Journal.Snapshot s -> install_snapshot s
+            | Journal.Cancel { degraded } ->
+                if degraded then t.degraded <- true
+            | Journal.Mut { txn; shard; key; put; done_ } ->
+                let cancelled =
+                  i + 1 < n
+                  && match arr.(i + 1) with Journal.Cancel _ -> true | _ -> false
+                in
+                if cancelled then
+                  bump (fun s -> { s with r_cancelled = s.r_cancelled + 1 })
+                else begin
+                  (match put with
+                  | Some stored -> redo_put key stored
+                  | None -> redo_del key ~done_);
+                  record_dup txn ~shard done_
+                end
+            | Journal.Import { shard; entries } ->
+                import_dups t ~shard
+                  (List.map
+                     (fun (txn, done_) ->
+                       (txn, if done_ then P.Done else P.Missing))
+                     entries)
+            | (Journal.Enable _ | Journal.Adopt _ | Journal.Release _
+              | Journal.Freeze _ | Journal.Unfreeze _ | Journal.Map_version _)
+              as ctl ->
+                replay_ctl ctl
+          done;
+          !stats)
 
 (* ------------------------------------------------------------------ *)
 (* Stores                                                              *)

@@ -48,12 +48,33 @@ type store = {
 type t
 
 val create :
-  ?pool:Bi_ulib.Ualloc.Pool.t -> ?dup_capacity:int -> ?epoch:int -> store -> t
+  ?pool:Bi_ulib.Ualloc.Pool.t ->
+  ?dup_capacity:int ->
+  ?epoch:int ->
+  ?journal:Journal.t ->
+  ?journal_checkpoint:int ->
+  ?mutant_journal_after_apply:bool ->
+  store ->
+  t
 (** [dup_capacity] bounds both the per-client entry count and the number
     of distinct clients tracked (default 8 entries for each of up to 64
     clients; oldest evicted first).  [pool] backs {!handle_frame}'s
     request/response scratch buffers (shared across cores is fine — the
-    worlds are single-domain). *)
+    worlds are single-domain).
+
+    With [journal], mutations run the crash-durable commit protocol:
+    decide the response, append one {!Journal.Mut} record (the commit
+    point — an append failure refuses the mutation and latches
+    degraded), apply the store write, then record the dup-table entry;
+    control-plane transitions (sharding, imports) are journaled after
+    they succeed.  {!recover} replays the journal on restart.  When the
+    journal exceeds [journal_checkpoint] bytes (default 32 KiB) after a
+    commit, it is atomically collapsed to a {!Journal.Snapshot}.
+
+    [mutant_journal_after_apply] is a mutation-self-check knob (cr
+    suite only): it applies the store write {e before} the commit
+    append, the dup-entry-after-store-write ordering bug
+    {!Bi_fault.Crash_explore} must catch. *)
 
 val handle : t -> Protocol.req -> Protocol.resp
 (** Total: every request gets a response.  [Shutdown] answers [Done];
@@ -134,6 +155,46 @@ val applied : t -> int
 
 val dup_hits : t -> int
 (** Retried mutations answered from the duplicate table. *)
+
+val dump_dups : t -> (Protocol.txn * (int * Protocol.resp)) list
+(** The whole duplicate table — every shard — as [(txn, (shard, resp))]
+    sorted by (client, seq): the deterministic observation the recovery
+    and world-determinism VCs compare across restarts. *)
+
+(** {2 Crash recovery}
+
+    Only meaningful on a node created with a [journal]; without one,
+    {!recover} is a no-op and {!checkpoint} answers [Ok ()]. *)
+
+type recovery = {
+  r_records : int;  (** journal records decoded *)
+  r_snapshot : bool;  (** replay resumed from a checkpoint snapshot *)
+  r_redone : int;  (** store writes re-applied *)
+  r_skipped : int;  (** records whose store state already matched *)
+  r_dup_entries : int;  (** duplicate-table entries restored *)
+  r_cancelled : int;  (** committed-then-cancelled mutations skipped *)
+  r_store_failures : int;  (** redo writes the store refused *)
+  r_torn_tail : bool;  (** a damaged journal tail was discarded *)
+  r_journal_error : bool;  (** the journal itself was unreadable *)
+}
+
+val no_recovery : recovery
+
+val recover : t -> recovery
+(** Replay the journal: rebuild the duplicate table, shard ownership and
+    the degraded latch, and redo any store write a crash cut off after
+    its commit record.  Total — failure modes degrade instead of
+    refusing to start: an unreadable journal, or a redo the backing
+    store rejects, latches degraded (read-only) while recovered reads
+    keep being served.  Idempotent: redo is skipped wherever the store
+    already matches, so re-recovering changes nothing. *)
+
+val checkpoint : t -> (unit, Protocol.err) result
+(** Atomically collapse the journal to one snapshot record.  Must only
+    be called at a quiescent point (no commit in flight), where the
+    store is fully materialized. *)
+
+val checkpoints : t -> int
 
 val mem_store : ?write_faults:Bi_fault.Fault_plan.t -> unit -> store
 (** In-memory store.  [write_faults] follows the {!Bi_fault.Fault_plan}

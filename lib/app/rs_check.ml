@@ -82,9 +82,13 @@ module World = struct
   type node = {
     name : string;
     store : Node_core.store;
+    journal : Journal.t;
+        (** mem_sink-backed; the sink's buffer outlives the core, so a
+            restart can rebuild the duplicate table from it. *)
     mutable core : Node_core.t;
     mutable up : bool;
     mutable node_epoch : int;
+    mutable last_recovery : Node_core.recovery;
     req_ch : FL.channel;
     resp_ch : FL.channel;
   }
@@ -102,12 +106,15 @@ module World = struct
     let store =
       match store with Some s -> s | None -> Node_core.mem_store ()
     in
+    let journal = Journal.create (fst (Journal.mem_sink ())) in
     {
       name;
       store;
-      core = Node_core.create ~pool:(fresh_pool ()) ~epoch:0 store;
+      journal;
+      core = Node_core.create ~pool:(fresh_pool ()) ~epoch:0 ~journal store;
       up = true;
       node_epoch = 0;
+      last_recovery = Node_core.no_recovery;
       req_ch = FL.channel req_plan;
       resp_ch = FL.channel resp_plan;
     }
@@ -122,13 +129,18 @@ module World = struct
 
   let crash t i = t.nodes.(i).up <- false
 
-  (* The store is durable across a crash; the duplicate table and the
-     degraded flag are not — exactly the asymmetry the epoch exists to
-     advertise. *)
+  (* Store and journal are durable across a crash; the in-memory
+     duplicate table and degraded latch are rebuilt from the journal by
+     [recover], so exactly-once survives the restart.  The epoch still
+     moves: replicas must re-fence and resync regardless, because the
+     node missed every write acked while it was down. *)
   let restart t i =
     let n = t.nodes.(i) in
     n.node_epoch <- n.node_epoch + 1;
-    n.core <- Node_core.create ~pool:(fresh_pool ()) ~epoch:n.node_epoch n.store;
+    n.core <-
+      Node_core.create ~pool:(fresh_pool ()) ~epoch:n.node_epoch
+        ~journal:n.journal n.store;
+    n.last_recovery <- Node_core.recover n.core;
     n.up <- true
 
   let tick t =
@@ -764,6 +776,7 @@ let cat_client = "rs/client"
 let cat_lin = "rs/lin"
 let cat_replica = "rs/replica"
 let cat_mutation = "rs/mutation"
+let cat_crash = "rs/crash"
 
 let sample_txns = [ None; Some { P.client = 1; seq = 1 }; Some { P.client = 7; seq = 123456 } ]
 
@@ -1354,18 +1367,84 @@ let mutation_vcs =
         else if not c.replay_fails then
           Vc.Falsified "shrunk plan no longer fails on replay"
         else Vc.Proved);
-    (* Replay determinism of a whole simulated run. *)
+    (* Replay determinism of a whole simulated run — including the
+       duplicate tables: [dump_dups] is sorted by client id, so two
+       identical runs must dump byte-identical tables on every node. *)
     Vc.prop ~id:"rs/mutation/sim-deterministic" ~category:cat_mutation
       (fun () ->
         let go () =
-          let rc, _, set =
+          let rc, w, set =
             lin_run ~tag:"determinism" ~seed:5 ~rates:rates_mixed ~replicas:2
               ~procs:2 ~ops:4 ()
           in
           (List.rev_map (fun c -> (c.Lin.proc, c.Lin.op, c.Lin.ret, c.Lin.inv, c.Lin.res)) rc.calls,
-           (Replica_set.stats set).RC.attempts)
+           (Replica_set.stats set).RC.attempts,
+           Array.to_list
+             (Array.map
+                (fun n -> Node_core.dump_dups n.World.core)
+                w.World.nodes))
         in
         go () = go ());
+  ]
+
+(* PR 10 tightening: restarts recover the duplicate table from the
+   node's journal, so crash-straddling retries are answered exactly-once
+   — no ambiguity carve-out, even for deletes, whose pre-crash outcome
+   the store alone cannot recall. *)
+let crash_vcs =
+  [
+    (* A retry that straddles a crash+restart: the delete applies and
+       its ack is dropped; the node crashes and respawns before the
+       retry lands.  The recovered table must answer [true] (the
+       pre-crash decision) without re-applying — the new incarnation
+       applies nothing. *)
+    Vc.prop ~id:"rs/crash/journaled-restart-exactly-once" ~category:cat_crash
+      (fun () ->
+        let s, w, node =
+          scripted_world ~req:[] ~resp:[ FP.Pass; FP.Drop ]
+        in
+        let ep = World.endpoint w 0 ~attempt_timeout in
+        let client =
+          RC.create ~config:(patient_config 23) ~client:1 (World.clock w) ep
+        in
+        let put_r = ref (Error RC.Breaker_open) in
+        let del_r = ref (Error RC.Breaker_open) in
+        let worker () =
+          put_r := RC.put client ~key:"k" ~value:"v";
+          del_r := RC.delete client ~key:"k"
+        in
+        let controller () =
+          (* After the delete has applied (ack dropped), before the
+             retry's backoff expires. *)
+          Sim.sleep 6;
+          World.crash w 0;
+          Sim.sleep 3;
+          World.restart w 0
+        in
+        ignore (run_world s w [ worker; controller ]);
+        !put_r = Ok ()
+        && !del_r = Ok true
+        && Node_core.mem_contents node.World.store = []
+        && Node_core.applied node.World.core = 0
+        && Node_core.dup_hits node.World.core >= 1
+        && node.World.last_recovery.Node_core.r_dup_entries >= 2);
+    (* Linearizability stays exact when drop-induced retries straddle a
+       crash+restart of a replica — the family the suite previously only
+       ran fault-free. *)
+    Vc.make ~id:"rs/crash/journaled-restart-lin-exact" ~category:cat_crash
+      (fun () ->
+        let ok =
+          List.for_all
+            (fun seed ->
+              let rc, _, _ =
+                lin_run ~tag:"lin-journaled-crash-restart" ~seed
+                  ~rates:rates_drop ~replicas:2 ~procs:2 ~ops:5
+                  ~crash:(`Crash_restart (25, 30)) ()
+              in
+              rc.errors = [] && rc.calls <> [] && linearizable rc)
+            [ 1; 2 ]
+        in
+        Vc.outcome_of_bool ok);
   ]
 
 let exactly_once_vcs =
@@ -1381,7 +1460,7 @@ let exactly_once_vcs =
 
 let vcs () =
   protocol_vcs @ node_vcs @ backoff_vcs @ breaker_vcs @ client_vcs
-  @ exactly_once_vcs @ lin_vcs @ replica_vcs @ mutation_vcs
+  @ exactly_once_vcs @ lin_vcs @ replica_vcs @ mutation_vcs @ crash_vcs
 
 (* ================================================================== *)
 (* Bench scenario                                                      *)

@@ -401,6 +401,9 @@ type mig_run = {
   keys_moved : int;
   nballast : int;
   rounds : int;
+  dups : (P.txn * (int * P.resp)) list list;
+      (** Per-node duplicate-table dumps, sorted by client id — the
+          world-determinism VC compares them across identical runs. *)
 }
 
 let lin_migration ~tag ~seed ~rates ?(deletes = true) ?(crash = `No) () =
@@ -509,6 +512,9 @@ let lin_migration ~tag ~seed ~rates ?(deletes = true) ?(crash = `No) () =
     keys_moved = (SR.migration_stats c).SR.keys_moved;
     nballast = nshards;
     rounds;
+    dups =
+      Array.to_list
+        (Array.map (fun n -> Node_core.dump_dups n.World.core) w.World.nodes);
   }
 
 (* A reader polling the last-copied key of a migrating shard, against
@@ -1275,7 +1281,7 @@ let mutation_vcs =
           ( List.rev_map
               (fun c -> (c.Lin.proc, c.Lin.op, c.Lin.ret, c.Lin.inv, c.Lin.res))
               m.rc.calls,
-            m.rounds, m.applied, m.keys_moved )
+            m.rounds, m.applied, m.keys_moved, m.dups )
         in
         go () = go ());
   ]

@@ -85,3 +85,96 @@ let usys_store s : Node_core.store =
                  names));
   }
 
+(* The node's redo journal through the same syscall interface.  Appends
+   happen under netd's data-path mutex, so the append fd stays open
+   across commits (seek once at open, then write + fsync per record);
+   [sink_replace] is the two-file checkpoint dance whose interrupted
+   states the next [sink_read] settles. *)
+let usys_journal ?(path = "/journal") s : Journal.sink =
+  let tmp = path ^ ".new" in
+  let fd = ref None in
+  let drop_fd () =
+    match !fd with
+    | Some f ->
+        fd := None;
+        ignore (U.close s f)
+    | None -> ()
+  in
+  let settle () =
+    match U.openf s path with
+    | Ok f ->
+        ignore (U.close s f);
+        ignore (U.unlink s tmp)
+    | Error _ -> (
+        match U.openf s tmp with
+        | Ok f ->
+            ignore (U.close s f);
+            ignore (U.rename s ~src:tmp ~dst:path)
+        | Error _ -> ())
+  in
+  let append_fd () =
+    match !fd with
+    | Some f -> Ok f
+    | None -> (
+        match U.openf s ~create:true path with
+        | Error e -> Error e
+        | Ok f -> (
+            match U.fstat s ~fd:f with
+            | Error e ->
+                ignore (U.close s f);
+                Error e
+            | Ok (_, size) -> (
+                match U.seek s ~fd:f ~off:size with
+                | Error e ->
+                    ignore (U.close s f);
+                    Error e
+                | Ok _ ->
+                    fd := Some f;
+                    Ok f)))
+  in
+  {
+    Journal.sink_read =
+      (fun () ->
+        drop_fd ();
+        settle ();
+        match read_file s path with
+        | Ok data -> Ok (Bytes.of_string data)
+        | Error Bi_kernel.Sysabi.E_noent -> Ok Bytes.empty
+        | Error e -> Error (io_err e));
+    sink_append =
+      (fun data ->
+        match append_fd () with
+        | Error e -> Error (io_err e)
+        | Ok f -> (
+            match U.write s ~fd:f (Bytes.to_string data) with
+            | Error e ->
+                drop_fd ();
+                Error (io_err e)
+            | Ok _ -> (
+                match U.fsync s ~fd:f with
+                | Error e ->
+                    drop_fd ();
+                    Error (io_err e)
+                | Ok () -> Ok ())));
+    sink_replace =
+      (fun data ->
+        drop_fd ();
+        ignore (U.unlink s tmp);
+        match U.openf s ~create:true tmp with
+        | Error e -> Error (io_err e)
+        | Ok f -> (
+            let r =
+              match U.write s ~fd:f (Bytes.to_string data) with
+              | Error e -> Error e
+              | Ok _ -> U.fsync s ~fd:f
+            in
+            ignore (U.close s f);
+            match r with
+            | Error e -> Error (io_err e)
+            | Ok () -> (
+                ignore (U.unlink s path);
+                match U.rename s ~src:tmp ~dst:path with
+                | Error e -> Error (io_err e)
+                | Ok () -> Ok ())));
+  }
+

@@ -19,3 +19,12 @@ val usys_store : Bi_kernel.Usys.t -> Node_core.store
     multi-syscall (write = unlink + recreate + crc sidecar), so callers
     serving concurrently must serialize same-store access themselves —
     netd holds one data-path mutex across {!Node_core.handle}. *)
+
+val usys_journal : ?path:string -> Bi_kernel.Usys.t -> Journal.sink
+(** The node's redo journal over the syscall interface (default path
+    [/journal]).  Same serialization contract as {!usys_store}: netd
+    appends under its data-path mutex, so the append fd is kept open
+    across commits (write + fsync per record).  The journal file
+    survives SIGKILL — the kernel filesystem outlives the process — so
+    a respawned daemon's {!Node_core.recover} sees every committed
+    record. *)

@@ -49,11 +49,13 @@ module Spec = struct
   type state = (string * string) list
   type op = Put of string * string | Get of string | Del of string
 
-  type ret = RUnit | RVal of string option | RBool of bool | RAmbig
-  (* [RAmbig] marks a mutation whose retries may have straddled a netd
-     crash: the duplicate table died with the old epoch, so a re-applied
-     [Del] legitimately observes either boolean.  The checker accepts
-     any [RBool] for it. *)
+  type ret = RUnit | RVal of string option | RBool of bool
+  (* Exact returns only.  Until PR 10 a mutation whose retries straddled
+     a netd crash was marked ambiguous (the duplicate table died with
+     the old epoch, so a re-applied [Del] could observe either boolean);
+     the respawned daemon now recovers the table from its journal, so
+     every call — straddling or not — must match the sequential spec
+     exactly. *)
 
   let step st op =
     match op with
@@ -61,10 +63,7 @@ module Spec = struct
     | Get k -> (st, RVal (List.assoc_opt k st))
     | Del k -> (List.remove_assoc k st, RBool (List.mem_assoc k st))
 
-  let equal_ret a b =
-    match (a, b) with
-    | RAmbig, RBool _ | RBool _, RAmbig -> true
-    | _ -> a = b
+  let equal_ret a b = a = b
 
   let pp_op ppf = function
     | Put (k, v) -> Format.fprintf ppf "put %s=%s" k v
@@ -76,7 +75,6 @@ module Spec = struct
     | RVal None -> Format.pp_print_string ppf "none"
     | RVal (Some v) -> Format.fprintf ppf "some %s" v
     | RBool b -> Format.fprintf ppf "%b" b
-    | RAmbig -> Format.pp_print_string ppf "ambiguous"
 end
 
 module Lin = Bi_core.Linearizability.Make (Spec)
@@ -240,7 +238,7 @@ let same_kv a b = List.sort compare a = List.sort compare b
 (* The linearizability workload: a 2-key space so operations genuinely
    contend, the op mix and jitter keyed off (proc, i) so every thread's
    schedule is deterministic but different. *)
-let lin_body rc ~seed ~attempt_ticks ~deletes ~ambig ~ops ts proc =
+let lin_body rc ~seed ~attempt_ticks ~deletes ~ops ts proc =
   let net, cl =
     Nd_client.create
       ~config:(patient_config ~seed:(seed + proc))
@@ -262,16 +260,11 @@ let lin_body rc ~seed ~attempt_ticks ~deletes ~ambig ~ops ts proc =
             | Ok v -> Ok (Spec.RVal v)
             | Error e -> Error (rc_err e))
     | _ ->
-        if deletes then begin
-          let before = (RC.stats cl).RC.attempts in
+        if deletes then
           record rc ts proc (Spec.Del key) (fun () ->
               match RC.delete cl ~key with
-              | Ok b ->
-                  let retried = (RC.stats cl).RC.attempts - before > 1 in
-                  if ambig && retried then Ok Spec.RAmbig
-                  else Ok (Spec.RBool b)
+              | Ok b -> Ok (Spec.RBool b)
               | Error e -> Error (rc_err e))
-        end
         else
           record rc ts proc (Spec.Get key) (fun () ->
               match RC.get cl ~key with
@@ -281,11 +274,11 @@ let lin_body rc ~seed ~attempt_ticks ~deletes ~ambig ~ops ts proc =
   Nd_client.close net
 
 let lin_world ?config ?faults ?crash ?trace ?(procs = 3) ?(ops = 6)
-    ?(attempt_ticks = 300) ?(deletes = true) ?(ambig = false) ~seed () =
+    ?(attempt_ticks = 300) ?(deletes = true) ~seed () =
   let rc = recorder () in
   let out =
     run_world ?config ?faults ?crash ?trace ~threads:procs
-      ~client_body:(lin_body rc ~seed ~attempt_ticks ~deletes ~ambig ~ops)
+      ~client_body:(lin_body rc ~seed ~attempt_ticks ~deletes ~ops)
       ()
   in
   (rc, out)
@@ -1083,27 +1076,93 @@ let vc_crash_lin_put_get =
   Vc.prop ~id:"nd/crash/lin-put-get" ~category:cat_crash (fun () ->
       lin_ok (lin_world ~crash:(80, 40) ~attempt_ticks:100 ~deletes:false ~seed:52 ()))
 
-let vc_crash_lin_deletes_ambig =
-  (* With deletes, a retry whose attempts straddle the epoch fence may
-     observe either boolean (the dup table died with the old epoch);
-     those calls are recorded ambiguous and the rest must still
-     linearize. *)
-  Vc.prop ~id:"nd/crash/lin-deletes-epoch-ambig" ~category:cat_crash (fun () ->
+let vc_crash_lin_deletes_exact =
+  (* PR 9 recorded a delete whose retries straddled the epoch fence as
+     ambiguous — the dup table died with the old epoch.  The respawned
+     daemon now recovers the table from its journal before listening, so
+     the same world must linearize with every boolean exact. *)
+  Vc.prop ~id:"nd/crash/lin-deletes-exact" ~category:cat_crash (fun () ->
       lin_ok
-        (lin_world ~crash:(80, 40) ~attempt_ticks:100 ~deletes:true ~ambig:true
-           ~seed:53 ()))
+        (lin_world ~crash:(80, 40) ~attempt_ticks:100 ~deletes:true ~seed:53 ()))
 
 let vc_crash_exactly_once =
   Vc.prop ~id:"nd/crash/exactly-once-durability" ~category:cat_crash (fun () ->
       let acks, fails, out = eo_world ~crash:(80, 40) ~attempt_ticks:90 ~seed:54 () in
       let durable = durable_contents out.w_server in
       (* Every acknowledged put is durable with its exact value, and
-         nothing else is: the respawned node re-applied retries under
-         their original txns without inventing or losing state. *)
+         nothing else is; summed across both incarnations the store
+         applied each of the 18 mutations exactly once — a retry landing
+         after the respawn is answered from the recovered dup table, not
+         re-applied. *)
       fails = 0
       && List.length acks = 18
       && same_kv durable acks
+      && applied_total out.w_netd = 18
       && List.length (Netd.runs out.w_netd) = 2)
+
+let vc_crash_retry_straddles_respawn =
+  (* The former RAmbig case, pinned deterministically: a put and a
+     delete acknowledged by epoch 0, then — after SIGKILL and respawn —
+     resent byte-identically (same txns) to epoch 1.  The recovered dup
+     table must answer both [Done] again; in particular the delete must
+     NOT be re-evaluated against the store (the key is gone — a fresh
+     table would answer [Missing] and a re-applied world would
+     double-count).  All proved over the two lives' interleaved syscall
+     traces. *)
+  Vc.prop ~id:"nd/crash/retry-straddles-respawn" ~category:cat_crash (fun () ->
+      let got = ref [] in
+      let body ts _ =
+        let net = Nd_client.make ~attempt_ticks:100 ts ~ip:server_ip () in
+        let rpc_retry req =
+          let rec go tries =
+            if tries = 0 then P.Err (P.Io "gave up")
+            else
+              match Nd_client.rpc net req with
+              | Ok ((P.Done | P.Missing) as r) -> r
+              | _ ->
+                  U.sleep ts 10;
+                  go (tries - 1)
+          in
+          go 100
+        in
+        let put1 =
+          P.Put
+            {
+              key = "straddle";
+              value = "v";
+              crc = P.crc32 "v";
+              txn = Some { P.client = 9; seq = 1 };
+            }
+        in
+        let del2 = P.Delete { key = "straddle"; txn = Some { P.client = 9; seq = 2 } } in
+        let a = rpc_retry put1 in
+        let b = rpc_retry del2 in
+        (* Outlive the kill window, then wait out the epoch fence. *)
+        U.sleep ts 200;
+        let rec wait_epoch tries =
+          if tries > 0 then
+            match Nd_client.rpc net P.Ping with
+            | Ok (P.Pong { epoch; _ }) when epoch >= 1 -> ()
+            | _ ->
+                U.sleep ts 10;
+                wait_epoch (tries - 1)
+        in
+        wait_epoch 200;
+        let a' = rpc_retry put1 in
+        let b' = rpc_retry del2 in
+        let g = rpc_retry (P.Get "straddle") in
+        got := [ a; b; a'; b'; g ];
+        Nd_client.close net
+      in
+      let out = run_world ~crash:(80, 40) ~threads:1 ~client_body:body () in
+      !got = [ P.Done; P.Done; P.Done; P.Done; P.Missing ]
+      && (match Netd.runs out.w_netd with
+         | [ _first; second ] ->
+             second.Netd.run_recovery.Node_core.r_dup_entries >= 2
+             && Node_core.dup_hits second.Netd.run_core >= 2
+             && Node_core.applied second.Netd.run_core = 0
+         | _ -> false)
+      && not (List.mem_assoc "straddle" (durable_contents out.w_server)))
 
 let vc_crash_read_your_survived_writes =
   Vc.prop ~id:"nd/crash/read-your-survived-writes" ~category:cat_crash
@@ -1148,9 +1207,9 @@ let vc_crash_read_your_survived_writes =
 (* ------------------------------------------------------------------ *)
 (* Worker scaling and no-starvation (virtual time)                     *)
 
-let scaling_run ~workers =
+let scaling_run ?(journal = true) ~workers () =
   let config =
-    { Netd.default_config with Netd.workers; service_ticks = 6 }
+    { Netd.default_config with Netd.workers; service_ticks = 6; journal }
   in
   let acked = ref 0 in
   let body ts proc =
@@ -1171,8 +1230,8 @@ let scaling_run ~workers =
 
 let vc_perf_scaling_1_vs_4 =
   Vc.make ~id:"nd/perf/scaling-1-vs-4" ~category:cat_perf (fun () ->
-      let out1, acked1 = scaling_run ~workers:1 in
-      let out4, acked4 = scaling_run ~workers:4 in
+      let out1, acked1 = scaling_run ~workers:1 () in
+      let out4, acked4 = scaling_run ~workers:4 () in
       if acked1 <> 24 || acked4 <> 24 then
         Vc.Falsified
           (Printf.sprintf "lost acks: %d with 1 worker, %d with 4" acked1 acked4)
@@ -1185,8 +1244,8 @@ let vc_perf_scaling_1_vs_4 =
 
 let vc_perf_scaling_monotone =
   Vc.make ~id:"nd/perf/scaling-monotone-to-8" ~category:cat_perf (fun () ->
-      let out1, _ = scaling_run ~workers:1 in
-      let out8, _ = scaling_run ~workers:8 in
+      let out1, _ = scaling_run ~workers:1 () in
+      let out8, _ = scaling_run ~workers:8 () in
       if out1.w_finish > out8.w_finish then Vc.Proved
       else
         Vc.Falsified
@@ -1294,8 +1353,9 @@ let vcs () =
     (* crash + epoch fence *)
     vc_crash_epoch_fence;
     vc_crash_lin_put_get;
-    vc_crash_lin_deletes_ambig;
+    vc_crash_lin_deletes_exact;
     vc_crash_exactly_once;
+    vc_crash_retry_straddles_respawn;
     vc_crash_read_your_survived_writes;
     (* perf *)
     vc_perf_scaling_1_vs_4;
@@ -1306,10 +1366,10 @@ let vcs () =
 (* ================================================================== *)
 (* Bench hook                                                          *)
 
-let bench_scaling ~workers =
+let bench_scaling ?journal ~workers () =
   List.map
     (fun w ->
-      let out, acked = scaling_run ~workers:w in
+      let out, acked = scaling_run ?journal ~workers:w () in
       let ticks = max 1 out.w_finish in
       (w, ticks, 1000.0 *. float_of_int acked /. float_of_int ticks))
     workers

@@ -16,7 +16,9 @@
 
 val vcs : unit -> Bi_core.Vc.t list
 
-val bench_scaling : workers:int list -> (int * int * float) list
+val bench_scaling :
+  ?journal:bool -> workers:int list -> unit -> (int * int * float) list
 (** [bench_scaling ~workers] runs the quiet scaling world once per pool
     size and reports [(workers, finish_ticks, acks_per_kilotick)] — the
-    bench's netd subject. *)
+    bench's netd subject.  [journal] (default [true]) toggles the redo
+    journal so the recovery bench can price its appends. *)

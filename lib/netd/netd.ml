@@ -33,6 +33,7 @@ module K = Bi_kernel.Kernel
 module U = Bi_kernel.Usys
 module P = Bi_app.Protocol
 module Node_core = Bi_app.Node_core
+module Journal = Bi_app.Journal
 module Storage_node = Bi_app.Storage_node
 module Umutex = Bi_ulib.Umutex
 
@@ -44,6 +45,10 @@ type config = {
       (** Simulated per-request service time, slept outside the store
           lock — the contention knob of the scaling benchmark. *)
   accept_poll_ticks : int;
+  journal : bool;
+      (** Commit mutations through a [/journal] redo log and recover
+          from it on (re)spawn, making the dup table crash-durable.
+          Default on; the benchmark turns it off to price the appends. *)
   mutant_strip_txn : bool;
       (** Seeded bug: drop txn ids before [Node_core.handle], bypassing
           the duplicate table (exactly-once must catch this). *)
@@ -59,6 +64,7 @@ let default_config =
     queue_capacity = 16;
     service_ticks = 0;
     accept_poll_ticks = 1;
+    journal = true;
     mutant_strip_txn = false;
     mutant_close_signal = false;
   }
@@ -66,6 +72,8 @@ let default_config =
 type run = {
   run_epoch : int;
   run_core : Node_core.t;
+  run_recovery : Node_core.recovery;
+      (** What this (re)spawn's journal replay found and redid. *)
   served : int array;  (** Requests handled, per worker. *)
   mutable queue_pushed : int;
   mutable queue_popped : int;
@@ -138,11 +146,27 @@ let program t s _arg =
         (Format.asprintf "netd: mkdir /blocks failed: %a" Bi_kernel.Sysabi.pp_err
            e));
   let epoch = Atomic.fetch_and_add t.epochs 1 in
-  let core = Node_core.create ~epoch (Storage_node.usys_store s) in
+  let journal =
+    if config.journal then Some (Journal.create (Storage_node.usys_journal s))
+    else None
+  in
+  let core = Node_core.create ~epoch ?journal (Storage_node.usys_store s) in
+  (* Recover before listening: the journal left by the previous life —
+     including any SIGKILL-interrupted commit — is replayed, so by the
+     time a reconnecting client's retry reaches a worker the dup table
+     already remembers its pre-crash ack.  The filesystem outlives the
+     process, so this is an ordinary sequence of read syscalls. *)
+  let recovery = Node_core.recover core in
+  if recovery.r_records > 0 then
+    U.log s
+      (Printf.sprintf
+         "netd: epoch %d recovered %d records (%d redone, %d dups)" epoch
+         recovery.r_records recovery.r_redone recovery.r_dup_entries);
   let run =
     {
       run_epoch = epoch;
       run_core = core;
+      run_recovery = recovery;
       served = Array.make config.workers 0;
       queue_pushed = 0;
       queue_popped = 0;

@@ -25,6 +25,12 @@ type config = {
       (** Simulated per-request service time, slept outside the store
           lock — the contention knob of the scaling benchmark. *)
   accept_poll_ticks : int;
+  journal : bool;
+      (** Commit mutations through a [/journal] redo log
+          ({!Bi_app.Storage_node.usys_journal}) and recover from it on
+          (re)spawn, making the duplicate table — and with it
+          exactly-once — crash-durable across SIGKILL.  Default on; the
+          benchmark turns it off to price the appends. *)
   mutant_strip_txn : bool;
       (** Seeded bug: drop txn ids before [Node_core.handle], bypassing
           the duplicate table (exactly-once must catch this). *)
@@ -35,11 +41,13 @@ type config = {
 
 val default_config : config
 (** Port {!Bi_app.Storage_node.port}, 4 workers, queue capacity 16, no
-    service time, no mutants. *)
+    service time, journal on, no mutants. *)
 
 type run = {
   run_epoch : int;
   run_core : Bi_app.Node_core.t;
+  run_recovery : Bi_app.Node_core.recovery;
+      (** What this (re)spawn's journal replay found and redid. *)
   served : int array;  (** Requests handled, per worker. *)
   mutable queue_pushed : int;
   mutable queue_popped : int;
